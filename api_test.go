@@ -1,0 +1,262 @@
+package metricindex_test
+
+// Integration tests over the public API: every index constructor is
+// exercised on every compatible benchmark dataset and must return exactly
+// the brute-force answer for MRQ and MkNNQ — the correctness contract the
+// paper's comparison rests on.
+
+import (
+	"math"
+	"testing"
+
+	"metricindex"
+)
+
+// buildAll constructs every index the public API offers for the dataset.
+func buildAll(t *testing.T, gen *metricindex.BenchmarkDataset) map[string]metricindex.Index {
+	t.Helper()
+	ds := gen.Dataset
+	pivots, err := metricindex.SelectPivots(ds, 4, 3)
+	if err != nil {
+		t.Fatalf("SelectPivots: %v", err)
+	}
+	disk := metricindex.DiskOptions{}
+	// CPT and the PM-tree store objects inside tree nodes, so
+	// high-dimensional data needs the paper's 40 KB page (§6.1).
+	bigDisk := disk
+	if gen.Kind == metricindex.DatasetColor || gen.Kind == metricindex.DatasetSynthetic {
+		bigDisk.PageSize = metricindex.LargePageSize
+	}
+	out := map[string]metricindex.Index{}
+	add := func(name string, idx metricindex.Index, err error) {
+		if err != nil {
+			t.Fatalf("New%s: %v", name, err)
+		}
+		out[name] = idx
+	}
+	{
+		idx, err := metricindex.NewLAESA(ds, pivots)
+		add("LAESA", idx, err)
+	}
+	{
+		idx, err := metricindex.NewAESA(ds)
+		add("AESA", idx, err)
+	}
+	{
+		idx, err := metricindex.NewEPT(ds, metricindex.EPTOptions{L: 4, Radius: gen.MaxDistance / 10, Seed: 3})
+		add("EPT", idx, err)
+	}
+	{
+		idx, err := metricindex.NewEPTStar(ds, metricindex.EPTOptions{L: 4, Seed: 3})
+		add("EPT*", idx, err)
+	}
+	{
+		idx, err := metricindex.NewCPT(ds, pivots, bigDisk)
+		add("CPT", idx, err)
+	}
+	if ds.Space().Metric().Discrete() {
+		idx, err := metricindex.NewBKT(ds, metricindex.TreeOptions{MaxDistance: gen.MaxDistance, Seed: 3})
+		add("BKT", idx, err)
+		idx, err = metricindex.NewFQT(ds, pivots, metricindex.TreeOptions{MaxDistance: gen.MaxDistance})
+		add("FQT", idx, err)
+		idx, err = metricindex.NewFQA(ds, pivots)
+		add("FQA", idx, err)
+	}
+	{
+		idx, err := metricindex.NewMVPT(ds, pivots, metricindex.TreeOptions{})
+		add("MVPT", idx, err)
+	}
+	{
+		idx, err := metricindex.NewMVPT(ds, pivots, metricindex.TreeOptions{Arity: 2})
+		add("VPT", idx, err)
+	}
+	{
+		idx, err := metricindex.NewPMTree(ds, pivots, bigDisk)
+		add("PM-tree", idx, err)
+	}
+	{
+		idx, err := metricindex.NewOmniRTree(ds, pivots, metricindex.OmniOptions{DiskOptions: disk, MaxDistance: gen.MaxDistance})
+		add("OmniR-tree", idx, err)
+	}
+	{
+		idx, err := metricindex.NewOmniSeqFile(ds, pivots, disk)
+		add("Omni-seq", idx, err)
+	}
+	{
+		idx, err := metricindex.NewOmniBPlus(ds, pivots, disk)
+		add("OmniB+", idx, err)
+	}
+	{
+		idx, err := metricindex.NewMIndex(ds, pivots, metricindex.MIndexOptions{DiskOptions: disk, MaxDistance: gen.MaxDistance, MaxNum: 64})
+		add("M-index", idx, err)
+	}
+	{
+		idx, err := metricindex.NewMIndexStar(ds, pivots, metricindex.MIndexOptions{DiskOptions: disk, MaxDistance: gen.MaxDistance, MaxNum: 64})
+		add("M-index*", idx, err)
+	}
+	{
+		idx, err := metricindex.NewSPBTree(ds, pivots, metricindex.SPBOptions{DiskOptions: disk, MaxDistance: gen.MaxDistance})
+		add("SPB-tree", idx, err)
+	}
+	return out
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllIndexesAllDatasets(t *testing.T) {
+	kinds := []metricindex.DatasetKind{
+		metricindex.DatasetLA, metricindex.DatasetWords,
+		metricindex.DatasetColor, metricindex.DatasetSynthetic,
+	}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			n := 400
+			if kind == metricindex.DatasetColor {
+				n = 150 // 282-dim objects; keep the matrix tests quick
+			}
+			gen, err := metricindex.GenerateDataset(kind, n, 3, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := gen.Dataset
+			indexes := buildAll(t, gen)
+			if len(indexes) < 13 {
+				t.Fatalf("expected at least 13 indexes, built %d", len(indexes))
+			}
+			for _, q := range gen.Queries {
+				for _, sel := range []float64{0.01, 0.1, 0.5} {
+					r := metricindex.CalibrateRadius(gen, sel)
+					want := metricindex.BruteForceRange(ds, q, r)
+					for name, idx := range indexes {
+						got, err := idx.RangeSearch(q, r)
+						if err != nil {
+							t.Fatalf("%s RangeSearch: %v", name, err)
+						}
+						if !sameIDs(got, want) {
+							t.Errorf("%s: MRQ(r=%.3g) returned %d ids, brute force %d", name, r, len(got), len(want))
+						}
+					}
+				}
+				for _, k := range []int{1, 10, 60} {
+					want := metricindex.BruteForceKNN(ds, q, k)
+					for name, idx := range indexes {
+						got, err := idx.KNNSearch(q, k)
+						if err != nil {
+							t.Fatalf("%s KNNSearch: %v", name, err)
+						}
+						if len(got) != len(want) {
+							t.Errorf("%s: MkNNQ(k=%d) returned %d, want %d", name, k, len(got), len(want))
+							continue
+						}
+						for i := range got {
+							if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+								t.Errorf("%s: MkNNQ(k=%d) rank %d distance %v, want %v",
+									name, k, i, got[i].Dist, want[i].Dist)
+								break
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestUpdatesKeepAllIndexesCorrect(t *testing.T) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetSynthetic, 300, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Dataset
+	indexes := buildAll(t, gen)
+	// Delete a batch, reinsert fresh objects, and re-verify everything.
+	for id := 0; id < 300; id += 5 {
+		for name, idx := range indexes {
+			if err := idx.Delete(id); err != nil {
+				t.Fatalf("%s Delete(%d): %v", name, id, err)
+			}
+		}
+		if err := ds.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		v := make(metricindex.IntVector, 20)
+		for d := range v {
+			v[d] = int32(100*i + d)
+		}
+		id := ds.Insert(v)
+		for name, idx := range indexes {
+			if err := idx.Insert(id); err != nil {
+				t.Fatalf("%s Insert(%d): %v", name, id, err)
+			}
+		}
+	}
+	q := gen.Queries[0]
+	r := metricindex.CalibrateRadius(gen, 0.1)
+	want := metricindex.BruteForceRange(ds, q, r)
+	wantKNN := metricindex.BruteForceKNN(ds, q, 12)
+	for name, idx := range indexes {
+		got, err := idx.RangeSearch(q, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !sameIDs(got, want) {
+			t.Errorf("%s: post-update MRQ mismatch (%d vs %d)", name, len(got), len(want))
+		}
+		gotKNN, err := idx.KNNSearch(q, 12)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(gotKNN) != len(wantKNN) || gotKNN[len(gotKNN)-1].Dist != wantKNN[len(wantKNN)-1].Dist {
+			t.Errorf("%s: post-update MkNNQ mismatch", name)
+		}
+	}
+}
+
+func TestDiskIndexCacheControl(t *testing.T) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetLA, 2000, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Dataset
+	pivots, err := metricindex.SelectPivots(ds, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := metricindex.NewSPBTree(ds, pivots, metricindex.SPBOptions{MaxDistance: gen.MaxDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int64 {
+		idx.ResetStats()
+		for _, q := range gen.Queries {
+			if _, err := idx.KNNSearch(q, 20); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return idx.PageAccesses()
+	}
+	cold := run()
+	idx.SetCacheBytes(metricindex.DefaultCacheBytes)
+	warm := run()
+	if warm >= cold {
+		t.Fatalf("128KB cache should reduce kNN page accesses (cold %d, warm %d)", cold, warm)
+	}
+	idx.SetCacheBytes(0)
+	uncached := run()
+	if uncached != cold {
+		t.Fatalf("disabling the cache should restore cold PA (got %d, want %d)", uncached, cold)
+	}
+}

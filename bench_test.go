@@ -1,0 +1,189 @@
+package metricindex_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§6), each delegating to the experiment harness at a reduced scale so
+// `go test -bench=.` regenerates the full study in minutes. Run
+// cmd/experiments for paper-scale sweeps and readable reports.
+
+import (
+	"io"
+	"testing"
+
+	"metricindex"
+	"metricindex/internal/bench"
+	"metricindex/internal/dataset"
+)
+
+// benchCfg keeps `go test -bench=.` runs laptop-quick while exercising
+// every code path the paper measures.
+func benchCfg(datasets ...dataset.Kind) bench.Config {
+	if len(datasets) == 0 {
+		datasets = []dataset.Kind{dataset.LA, dataset.Words}
+	}
+	return bench.Config{N: 2000, Queries: 4, Pivots: 5, Seed: 42, Datasets: datasets}
+}
+
+// BenchmarkTable4Construction regenerates Table 4: per-index construction
+// PA, compdists, time, and storage.
+func BenchmarkTable4Construction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table4(io.Discard, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6Update regenerates Table 6: delete+reinsert costs.
+func BenchmarkTable6Update(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table6(io.Discard, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14EPTvsEPTStar regenerates Fig 14: EPT vs EPT* MkNNQ costs
+// across k.
+func BenchmarkFig14EPTvsEPTStar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig14(io.Discard, benchCfg(dataset.LA)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15MIndex regenerates Fig 15: M-index vs M-index* MkNNQ
+// costs across k.
+func BenchmarkFig15MIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig15(io.Discard, benchCfg(dataset.LA)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16MRQ regenerates Fig 16: the MRQ radius sweep over the
+// nine-index lineup.
+func BenchmarkFig16MRQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig16(io.Discard, benchCfg(dataset.Words)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig17MkNN regenerates Fig 17: the MkNNQ k sweep over the
+// nine-index lineup.
+func BenchmarkFig17MkNN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig17(io.Discard, benchCfg(dataset.Words)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig18Pivots regenerates Fig 18: the |P| sweep on LA.
+func BenchmarkFig18Pivots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig18(io.Discard, benchCfg(dataset.LA)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPivotSelection compares HFI / HF / random pivots —
+// the methodological point of §6.1.
+func BenchmarkAblationPivotSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationPivotSelection(io.Discard, benchCfg(dataset.LA)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMVPTArity sweeps the MVPT fanout (§4.3's m=5 choice).
+func BenchmarkAblationMVPTArity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationMVPTArity(io.Discard, benchCfg(dataset.LA)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSFC sweeps the SPB-tree's discretization budget.
+func BenchmarkAblationSFC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationSFC(io.Discard, benchCfg(dataset.LA)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-index micro-benchmarks: MkNNQ(k=10) on the LA workload, isolating
+// per-query latency per structure.
+func BenchmarkKNNPerIndex(b *testing.B) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetLA, 5000, 8, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := gen.Dataset
+	pivots, err := metricindex.SelectPivots(ds, 5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	disk := metricindex.DiskOptions{CacheBytes: metricindex.DefaultCacheBytes}
+	builders := []struct {
+		name string
+		mk   func() (metricindex.Index, error)
+	}{
+		{"LAESA", func() (metricindex.Index, error) { return metricindex.NewLAESA(ds, pivots) }},
+		{"EPTStar", func() (metricindex.Index, error) {
+			return metricindex.NewEPTStar(ds, metricindex.EPTOptions{L: 5, Seed: 3})
+		}},
+		{"MVPT", func() (metricindex.Index, error) {
+			return metricindex.NewMVPT(ds, pivots, metricindex.TreeOptions{})
+		}},
+		{"PMTree", func() (metricindex.Index, error) {
+			idx, err := metricindex.NewPMTree(ds, pivots, disk)
+			if err != nil {
+				return nil, err
+			}
+			return idx, nil
+		}},
+		{"OmniRTree", func() (metricindex.Index, error) {
+			idx, err := metricindex.NewOmniRTree(ds, pivots, metricindex.OmniOptions{DiskOptions: disk, MaxDistance: gen.MaxDistance})
+			if err != nil {
+				return nil, err
+			}
+			return idx, nil
+		}},
+		{"MIndexStar", func() (metricindex.Index, error) {
+			idx, err := metricindex.NewMIndexStar(ds, pivots, metricindex.MIndexOptions{DiskOptions: disk, MaxDistance: gen.MaxDistance})
+			if err != nil {
+				return nil, err
+			}
+			return idx, nil
+		}},
+		{"SPBTree", func() (metricindex.Index, error) {
+			idx, err := metricindex.NewSPBTree(ds, pivots, metricindex.SPBOptions{DiskOptions: disk, MaxDistance: gen.MaxDistance})
+			if err != nil {
+				return nil, err
+			}
+			return idx, nil
+		}},
+	}
+	for _, bb := range builders {
+		idx, err := bb.mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bb.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := gen.Queries[i%len(gen.Queries)]
+				if _, err := idx.KNNSearch(q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates the tables and figures of "Pivot-based
+// Metric Indexing: Experiments and Analyses" (PVLDB 2017) at configurable
+// scale.
+//
+// Usage:
+//
+//	experiments -exp all                      # everything (slow)
+//	experiments -exp table4 -n 20000          # construction costs
+//	experiments -exp fig16 -datasets LA,Words # MRQ radius sweep
+//	experiments -exp fig17 -n 5000 -queries 10
+//
+// Experiments: table4, table6, fig14, fig15, fig16, fig17, fig18,
+// ablation-pivots, ablation-arity, ablation-sfc, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"metricindex/internal/bench"
+	"metricindex/internal/dataset"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (table4, table6, fig14..fig18, ablation-pivots, ablation-arity, ablation-sfc, all)")
+		n        = flag.Int("n", 20000, "dataset cardinality")
+		queries  = flag.Int("queries", 20, "query objects averaged per measurement")
+		pivots   = flag.Int("pivots", 5, "default number of pivots |P|")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		datasets = flag.String("datasets", "", "comma-separated subset of LA,Words,Color,Synthetic (default all)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{N: *n, Queries: *queries, Pivots: *pivots, Seed: *seed}
+	if *datasets != "" {
+		for _, name := range strings.Split(*datasets, ",") {
+			cfg.Datasets = append(cfg.Datasets, dataset.Kind(strings.TrimSpace(name)))
+		}
+	}
+
+	runners := map[string]func(io.Writer, bench.Config) error{
+		"table4":          bench.Table4,
+		"table6":          bench.Table6,
+		"fig14":           bench.Fig14,
+		"fig15":           bench.Fig15,
+		"fig16":           bench.Fig16,
+		"fig17":           bench.Fig17,
+		"fig18":           bench.Fig18,
+		"ablation-pivots": bench.AblationPivotSelection,
+		"ablation-arity":  bench.AblationMVPTArity,
+		"ablation-sfc":    bench.AblationSFC,
+	}
+	order := []string{
+		"table4", "table6", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"ablation-pivots", "ablation-arity", "ablation-sfc",
+	}
+
+	var toRun []string
+	if *exp == "all" {
+		toRun = order
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or all\n", *exp, order)
+			os.Exit(2)
+		}
+		toRun = []string{*exp}
+	}
+	for _, name := range toRun {
+		if err := runners[name](os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

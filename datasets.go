@@ -1,0 +1,35 @@
+package metricindex
+
+import "metricindex/internal/dataset"
+
+// DatasetKind names one of the four benchmark datasets of the paper's
+// Table 2.
+type DatasetKind = dataset.Kind
+
+// The benchmark datasets (§6.1): LA (2-D locations, L2), Words (strings,
+// edit distance), Color (282-dim features, L1), and Synthetic (20-dim
+// integer vectors, L∞).
+const (
+	DatasetLA        = dataset.LA
+	DatasetWords     = dataset.Words
+	DatasetColor     = dataset.Color
+	DatasetSynthetic = dataset.Synthetic
+)
+
+// BenchmarkDataset bundles a generated dataset with its held-out query
+// workload and the estimated maximum pairwise distance d+ (needed by the
+// M-index and SPB-tree constructors).
+type BenchmarkDataset = dataset.Generated
+
+// GenerateDataset builds a synthetic stand-in for one of the paper's
+// datasets at the requested cardinality (see DESIGN.md for how each
+// generator preserves the original's indexing-relevant properties).
+func GenerateDataset(kind DatasetKind, n, queries int, seed int64) (*BenchmarkDataset, error) {
+	return dataset.Generate(kind, dataset.Config{N: n, Queries: queries, Seed: seed})
+}
+
+// CalibrateRadius returns the MRQ radius whose expected selectivity is
+// the given fraction of the dataset — the paper's r = 4%..64% axis.
+func CalibrateRadius(g *BenchmarkDataset, selectivity float64) float64 {
+	return dataset.CalibrateRadius(g, selectivity)
+}

@@ -1,0 +1,173 @@
+package metricindex_test
+
+// Edge-case tests over the public API: degenerate queries, tiny datasets,
+// and duplicate-heavy data must behave exactly like brute force for every
+// index family.
+
+import (
+	"testing"
+
+	"metricindex"
+)
+
+func tinyDataset(t *testing.T, n int) *metricindex.BenchmarkDataset {
+	t.Helper()
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetSynthetic, n, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func TestKLargerThanDataset(t *testing.T) {
+	gen := tinyDataset(t, 25)
+	for name, idx := range buildAll(t, gen) {
+		nns, err := idx.KNNSearch(gen.Queries[0], 100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(nns) != 25 {
+			t.Errorf("%s: k>n returned %d results, want all 25", name, len(nns))
+		}
+	}
+}
+
+func TestZeroRadius(t *testing.T) {
+	gen := tinyDataset(t, 60)
+	ds := gen.Dataset
+	// Query exactly equal to a stored object: r=0 must return it (and any
+	// duplicates), nothing else.
+	q := ds.Object(7)
+	want := metricindex.BruteForceRange(ds, q, 0)
+	if len(want) < 1 {
+		t.Fatal("setup: object 7 must match itself")
+	}
+	for name, idx := range buildAll(t, gen) {
+		got, err := idx.RangeSearch(q, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: r=0 returned %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestKOne(t *testing.T) {
+	gen := tinyDataset(t, 60)
+	want := metricindex.BruteForceKNN(gen.Dataset, gen.Queries[0], 1)
+	for name, idx := range buildAll(t, gen) {
+		got, err := idx.KNNSearch(gen.Queries[0], 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != 1 || got[0].Dist != want[0].Dist {
+			t.Errorf("%s: 1-NN %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestHugeRadiusReturnsEverything(t *testing.T) {
+	gen := tinyDataset(t, 40)
+	for name, idx := range buildAll(t, gen) {
+		got, err := idx.RangeSearch(gen.Queries[0], gen.MaxDistance*10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != 40 {
+			t.Errorf("%s: huge radius returned %d of 40", name, len(got))
+		}
+	}
+}
+
+func TestDuplicateHeavyDataset(t *testing.T) {
+	// 10 distinct values, 20 copies each.
+	objs := make([]metricindex.Object, 200)
+	for i := range objs {
+		v := make(metricindex.IntVector, 20)
+		for d := range v {
+			v[d] = int32((i % 10) * 100)
+		}
+		objs[i] = v
+	}
+	ds := metricindex.NewDataset(metricindex.NewSpace(metricindex.IntLInf{}), objs)
+	gen := &metricindex.BenchmarkDataset{
+		Kind:        metricindex.DatasetSynthetic,
+		Dataset:     ds,
+		Queries:     []metricindex.Object{objs[0], objs[55]},
+		MaxDistance: 1000,
+	}
+	for name, idx := range buildAll(t, gen) {
+		for _, q := range gen.Queries {
+			for _, r := range []float64{0, 150, 2000} {
+				want := metricindex.BruteForceRange(ds, q, r)
+				got, err := idx.RangeSearch(q, r)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if len(got) != len(want) {
+					t.Errorf("%s: duplicates r=%v returned %d, want %d", name, r, len(got), len(want))
+				}
+			}
+			want := metricindex.BruteForceKNN(ds, q, 30)
+			got, err := idx.KNNSearch(q, 30)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(got) != len(want) || got[len(got)-1].Dist != want[len(want)-1].Dist {
+				t.Errorf("%s: duplicates kNN mismatch", name)
+			}
+		}
+	}
+}
+
+func TestDeleteEverythingThenQuery(t *testing.T) {
+	gen := tinyDataset(t, 30)
+	ds := gen.Dataset
+	indexes := buildAll(t, gen)
+	for _, id := range ds.LiveIDs() {
+		for name, idx := range indexes {
+			if err := idx.Delete(id); err != nil {
+				t.Fatalf("%s Delete(%d): %v", name, id, err)
+			}
+		}
+		if err := ds.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, idx := range indexes {
+		got, err := idx.RangeSearch(gen.Queries[0], gen.MaxDistance)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: empty index returned %v", name, got)
+		}
+		nns, err := idx.KNNSearch(gen.Queries[0], 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(nns) != 0 {
+			t.Errorf("%s: empty index kNN returned %v", name, nns)
+		}
+	}
+}
+
+func TestQueryObjectOutsideDomain(t *testing.T) {
+	// A query far outside the data's bounding region must still work.
+	gen := tinyDataset(t, 50)
+	q := make(metricindex.IntVector, 20)
+	for d := range q {
+		q[d] = 32000
+	}
+	want := metricindex.BruteForceKNN(gen.Dataset, q, 3)
+	for name, idx := range buildAll(t, gen) {
+		got, err := idx.KNNSearch(q, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != 3 || got[2].Dist != want[2].Dist {
+			t.Errorf("%s: far query mismatch: %v vs %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: build two metric indexes over a handful of 2-D points,
+// run a metric range query (MRQ) and a k-nearest-neighbor query (MkNNQ),
+// and show the distance computations each index saved versus a linear
+// scan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metricindex"
+)
+
+func main() {
+	// A tiny dataset in (R², L2) — the setting of the paper's Fig 1.
+	objs := []metricindex.Object{
+		metricindex.Vector{1, 5}, // o1
+		metricindex.Vector{5, 5}, // o2
+		metricindex.Vector{6, 6}, // o3
+		metricindex.Vector{5, 4}, // o4
+		metricindex.Vector{3, 1}, // o5
+		metricindex.Vector{7, 1}, // o6
+		metricindex.Vector{6, 2}, // o7
+		metricindex.Vector{4, 6}, // o8
+		metricindex.Vector{2, 3}, // o9
+	}
+	space := metricindex.NewSpace(metricindex.L2{})
+	ds := metricindex.NewDataset(space, objs)
+
+	// One shared pivot set, selected with HFI (the strategy the paper
+	// uses for every index).
+	pivots, err := metricindex.SelectPivots(ds, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pivots: %v\n", pivots)
+
+	laesa, err := metricindex.NewLAESA(ds, pivots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mvpt, err := metricindex.NewMVPT(ds, pivots, metricindex.TreeOptions{LeafCapacity: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := metricindex.Vector{5, 3}
+	const r = 2.0
+	const k = 3
+
+	for _, idx := range []metricindex.Index{laesa, mvpt} {
+		space.ResetCompDists()
+		ids, err := idx.RangeSearch(q, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rangeCost := space.CompDists()
+
+		space.ResetCompDists()
+		nns, err := idx.KNNSearch(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		knnCost := space.CompDists()
+
+		fmt.Printf("\n%s:\n", idx.Name())
+		fmt.Printf("  MRQ(q, %.0f)  -> objects %v   (%d distance computations; linear scan needs %d)\n",
+			r, ids, rangeCost, len(objs))
+		fmt.Printf("  MkNNQ(q, %d) ->", k)
+		for _, nb := range nns {
+			fmt.Printf(" o%d@%.2f", nb.ID+1, nb.Dist)
+		}
+		fmt.Printf("   (%d distance computations)\n", knnCost)
+	}
+}

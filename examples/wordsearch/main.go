@@ -1,0 +1,82 @@
+// Wordsearch: fuzzy dictionary lookup under edit distance — the paper's
+// introductory example ("defoliate" and friends, §2.1) — served by the
+// discrete-metric pivot trees BKT and FQT.
+//
+// The program indexes a small dictionary, then answers spelling-style
+// queries: all words within edit distance 1 or 2 (MRQ) and the closest
+// suggestions (MkNNQ), reporting the distance computations each tree
+// spent versus a full scan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metricindex"
+)
+
+func main() {
+	dict := []string{
+		"defoliates", "defoliation", "defoliating", "defoliated", "citrate",
+		"defoliant", "citrine", "citron", "citrus", "citadel", "citation",
+		"defamation", "deflation", "delegation", "derivation", "defiant",
+		"define", "defined", "definite", "definition", "deflate", "deflated",
+		"relate", "related", "relation", "dilate", "dilated", "dilation",
+		"violate", "violated", "violation", "isolate", "isolated", "isolation",
+		"percolate", "chocolate", "desolate", "oscillate", "legislate",
+		"stipulate", "simulate", "stimulate", "populate", "regulate",
+	}
+	objs := make([]metricindex.Object, len(dict))
+	for i, w := range dict {
+		objs[i] = metricindex.Word(w)
+	}
+	space := metricindex.NewSpace(metricindex.Edit{})
+	ds := metricindex.NewDataset(space, objs)
+
+	pivots, err := metricindex.SelectPivots(ds, 3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bkt, err := metricindex.NewBKT(ds, metricindex.TreeOptions{MaxDistance: 16, LeafCapacity: 4, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fqt, err := metricindex.NewFQT(ds, pivots, metricindex.TreeOptions{MaxDistance: 16, LeafCapacity: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{"defoliate", "citron", "regulat", "chocolte"}
+	for _, idx := range []metricindex.Index{bkt, fqt} {
+		fmt.Printf("=== %s ===\n", idx.Name())
+		for _, qs := range queries {
+			q := metricindex.Word(qs)
+			space.ResetCompDists()
+			within1, err := idx.RangeSearch(q, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cost := space.CompDists()
+			fmt.Printf("%-11q  edit<=1:", qs)
+			if len(within1) == 0 {
+				fmt.Print(" (none)")
+			}
+			for _, id := range within1 {
+				fmt.Printf(" %s", dict[id])
+			}
+			fmt.Printf("   [%d/%d distances]\n", cost, len(dict))
+
+			space.ResetCompDists()
+			nns, err := idx.KNNSearch(q, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print("             suggest:")
+			for _, nb := range nns {
+				fmt.Printf(" %s(%.0f)", dict[nb.ID], nb.Dist)
+			}
+			fmt.Printf("   [%d distances]\n", space.CompDists())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,264 @@
+package metricindex
+
+import (
+	"metricindex/internal/bkt"
+	"metricindex/internal/cpt"
+	"metricindex/internal/ept"
+	"metricindex/internal/fqt"
+	"metricindex/internal/mindex"
+	"metricindex/internal/mvpt"
+	"metricindex/internal/omni"
+	"metricindex/internal/pivot"
+	"metricindex/internal/pmtree"
+	"metricindex/internal/spb"
+	"metricindex/internal/store"
+	"metricindex/internal/table"
+)
+
+// DiskOptions configures the simulated disk behind a disk-based index.
+type DiskOptions struct {
+	// PageSize in bytes; 4096 when zero (the paper's default). The paper
+	// uses 40960 for CPT and the PM-tree on high-dimensional data (§6.1).
+	PageSize int
+	// CacheBytes sizes the LRU buffer cache; 0 disables it. The paper
+	// enables a 128 KB cache for MkNNQ processing.
+	CacheBytes int
+}
+
+// DefaultCacheBytes is the paper's 128 KB MkNNQ cache size.
+const DefaultCacheBytes = store.DefaultCacheBytes
+
+// LargePageSize is the 40 KB page the paper uses for CPT and the PM-tree
+// on high-dimensional datasets.
+const LargePageSize = store.LargePageSize
+
+func (o DiskOptions) pager() *store.Pager {
+	p := store.NewPager(o.PageSize)
+	if o.CacheBytes > 0 {
+		p.SetCacheBytes(o.CacheBytes)
+	}
+	return p
+}
+
+// DiskIndex is an Index bound to its simulated disk, exposing cache
+// control (the paper toggles the 128 KB cache between experiments).
+type DiskIndex struct {
+	Index
+	pager *store.Pager
+}
+
+// SetCacheBytes resizes the index's LRU buffer cache (0 disables it).
+func (d *DiskIndex) SetCacheBytes(n int) { d.pager.SetCacheBytes(n) }
+
+// DropCache empties the cache so a measurement starts cold.
+func (d *DiskIndex) DropCache() { d.pager.DropCache() }
+
+// NewAESA builds the O(n²) AESA table (§3.1) — exact but only viable for
+// small datasets.
+func NewAESA(ds *Dataset) (Index, error) { return table.NewAESA(ds) }
+
+// NewLAESA builds the LAESA pivot table (§3.1) over the given pivots.
+func NewLAESA(ds *Dataset, pivots []int) (Index, error) {
+	return table.NewLAESA(ds, pivots)
+}
+
+// EPTOptions configures the extreme pivot tables.
+type EPTOptions struct {
+	// L is the number of pivots per object.
+	L int
+	// M is the EPT group size (0 = estimate from Equation (1)).
+	M int
+	// Radius is a typical query radius used by the group-size estimate.
+	Radius float64
+	// Seed drives sampling.
+	Seed int64
+}
+
+// NewEPT builds the original Extreme Pivot Table [24] (§3.2).
+func NewEPT(ds *Dataset, opts EPTOptions) (Index, error) {
+	return ept.New(ds, ept.Original, ept.Options{
+		L: opts.L, M: opts.M, Radius: opts.Radius,
+		Sel: pivot.Options{Seed: opts.Seed},
+	})
+}
+
+// NewEPTStar builds EPT* — EPT with the paper's PSA pivot selection
+// (Algorithm 1), trading construction cost for query compdists (§3.2).
+func NewEPTStar(ds *Dataset, opts EPTOptions) (Index, error) {
+	return ept.New(ds, ept.Star, ept.Options{
+		L: opts.L, Sel: pivot.Options{Seed: opts.Seed},
+	})
+}
+
+// NewDiskEPTStar builds the disk-based EPT* — the extension the paper's
+// conclusion (§7) names as a promising direction: EPT*'s per-object PSA
+// pivots with the table on sequential disk pages and objects in a RAF,
+// removing the in-memory table's dataset-size limit.
+func NewDiskEPTStar(ds *Dataset, opts EPTOptions, disk DiskOptions) (*DiskIndex, error) {
+	p := disk.pager()
+	idx, err := ept.NewDisk(ds, p, ept.Options{
+		L: opts.L, Sel: pivot.Options{Seed: opts.Seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
+}
+
+// NewCPT builds the Clustered Pivot Table (§3.3): in-memory distance
+// table plus a disk M-tree clustering the objects.
+func NewCPT(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, error) {
+	p := opts.pager()
+	idx, err := cpt.New(ds, p, pivots, cpt.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
+}
+
+// TreeOptions configures the in-memory pivot trees.
+type TreeOptions struct {
+	// LeafCapacity is the bucket size (16 when zero).
+	LeafCapacity int
+	// MaxChildren caps BKT/FQT fanout (64 when zero).
+	MaxChildren int
+	// Arity is the MVPT fanout m (5 when zero, per §4.3).
+	Arity int
+	// MaxDistance is the distance-domain bound d+ (required by BKT/FQT).
+	MaxDistance float64
+	// Seed drives BKT's random pivot choice.
+	Seed int64
+}
+
+// NewBKT builds the Burkhard-Keller tree (§4.1); the metric must be
+// discrete.
+func NewBKT(ds *Dataset, opts TreeOptions) (Index, error) {
+	return bkt.New(ds, bkt.Options{
+		LeafCapacity: opts.LeafCapacity, MaxChildren: opts.MaxChildren,
+		Seed: opts.Seed, MaxDistance: opts.MaxDistance,
+	})
+}
+
+// NewFQT builds the Fixed Queries Tree (§4.2); the metric must be
+// discrete.
+func NewFQT(ds *Dataset, pivots []int, opts TreeOptions) (Index, error) {
+	return fqt.New(ds, pivots, fqt.Options{
+		LeafCapacity: opts.LeafCapacity, MaxChildren: opts.MaxChildren,
+		MaxDistance: opts.MaxDistance,
+	})
+}
+
+// NewFQA builds the Fixed Queries Array [11], the compact form of FQT.
+func NewFQA(ds *Dataset, pivots []int) (Index, error) {
+	return fqt.NewFQA(ds, pivots)
+}
+
+// NewMVPT builds the multi-vantage-point tree (§4.3) with the configured
+// arity (5 by default; 2 yields the classic VPT).
+func NewMVPT(ds *Dataset, pivots []int, opts TreeOptions) (Index, error) {
+	return mvpt.New(ds, pivots, mvpt.Options{
+		Arity: opts.Arity, LeafCapacity: opts.LeafCapacity,
+	})
+}
+
+// NewPMTree builds the PM-tree (§5.1): an M-tree with per-entry pivot
+// rings. Objects live inside the tree pages, so high-dimensional data
+// needs LargePageSize.
+func NewPMTree(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, error) {
+	p := opts.pager()
+	idx, err := pmtree.New(ds, p, pivots, pmtree.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
+}
+
+// OmniOptions configures the Omni-family.
+type OmniOptions struct {
+	DiskOptions
+	// MaxDistance is d+, used to quantize the R-tree bulk-load ordering.
+	MaxDistance float64
+}
+
+// NewOmniRTree builds the OmniR-tree (§5.2), the family's best performer.
+func NewOmniRTree(ds *Dataset, pivots []int, opts OmniOptions) (*DiskIndex, error) {
+	p := opts.pager()
+	idx, err := omni.NewRTree(ds, p, pivots, omni.Options{MaxDistance: opts.MaxDistance})
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
+}
+
+// NewOmniSeqFile builds the Omni-sequential-file (§5.2).
+func NewOmniSeqFile(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, error) {
+	p := opts.pager()
+	idx, err := omni.NewSeqFile(ds, p, pivots)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
+}
+
+// NewOmniBPlus builds the OmniB+-tree (§5.2): one B+-tree per pivot.
+func NewOmniBPlus(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, error) {
+	p := opts.pager()
+	idx, err := omni.NewBPlus(ds, p, pivots)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
+}
+
+// MIndexOptions configures the M-index.
+type MIndexOptions struct {
+	DiskOptions
+	// MaxDistance is d+, the key stride. Required.
+	MaxDistance float64
+	// MaxNum is the cluster split threshold (1600 when zero, per §5.3).
+	MaxNum int
+}
+
+// NewMIndex builds the plain M-index (§5.3).
+func NewMIndex(ds *Dataset, pivots []int, opts MIndexOptions) (*DiskIndex, error) {
+	return newMIndex(ds, pivots, opts, false)
+}
+
+// NewMIndexStar builds the paper's improved M-index* — cluster MBBs,
+// best-first MkNNQ, Lemma 4 validation (§5.3).
+func NewMIndexStar(ds *Dataset, pivots []int, opts MIndexOptions) (*DiskIndex, error) {
+	return newMIndex(ds, pivots, opts, true)
+}
+
+func newMIndex(ds *Dataset, pivots []int, opts MIndexOptions, star bool) (*DiskIndex, error) {
+	p := opts.pager()
+	idx, err := mindex.New(ds, p, pivots, mindex.Options{
+		Star: star, MaxNum: opts.MaxNum, MaxDistance: opts.MaxDistance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
+}
+
+// SPBOptions configures the SPB-tree.
+type SPBOptions struct {
+	DiskOptions
+	// MaxDistance is d+, the discretization range. Required.
+	MaxDistance float64
+	// Bits per dimension (0 = as many as fit in a 64-bit key).
+	Bits int
+}
+
+// NewSPBTree builds the SPB-tree (§5.4): Hilbert-mapped distance vectors
+// in an augmented B+-tree plus an SFC-ordered RAF.
+func NewSPBTree(ds *Dataset, pivots []int, opts SPBOptions) (*DiskIndex, error) {
+	p := opts.pager()
+	idx, err := spb.New(ds, p, pivots, spb.Options{
+		MaxDistance: opts.MaxDistance, Bits: opts.Bits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
+}

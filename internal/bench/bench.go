@@ -1,0 +1,357 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§6) at configurable scale: the
+// construction-cost table (Table 4), the update-cost table (Table 6), the
+// EPT/EPT* and M-index/M-index* comparisons (Figs 14-15), the MRQ radius
+// sweep (Fig 16), the MkNNQ k sweep (Fig 17), the pivot-count sweep
+// (Fig 18), and the library's ablation studies.
+//
+// Methodology mirrors §6.1: one HFI pivot set per (dataset, |P|) shared
+// by every index (except EPT/EPT* and BKT, which choose their own pivots
+// by design); 4 KB pages, except 40 KB for CPT and the PM-tree on
+// high-dimensional data; a 128 KB LRU cache enabled for MkNNQ on the
+// disk-based indexes; costs averaged over random query objects.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"metricindex/internal/bkt"
+	"metricindex/internal/core"
+	"metricindex/internal/cpt"
+	"metricindex/internal/dataset"
+	"metricindex/internal/ept"
+	"metricindex/internal/fqt"
+	"metricindex/internal/mindex"
+	"metricindex/internal/mvpt"
+	"metricindex/internal/omni"
+	"metricindex/internal/pivot"
+	"metricindex/internal/pmtree"
+	"metricindex/internal/spb"
+	"metricindex/internal/store"
+	"metricindex/internal/table"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// N is the dataset cardinality (the paper uses ~1M; the default
+	// 20,000 keeps a full run laptop-sized with identical trends).
+	N int
+	// Queries is the number of random query objects averaged per
+	// measurement (paper: 100).
+	Queries int
+	// Pivots is the default |P| (paper default: 5).
+	Pivots int
+	// Seed drives all generation and sampling.
+	Seed int64
+	// Datasets restricts the run (nil = all four).
+	Datasets []dataset.Kind
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.N <= 0 {
+		c.N = 20000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 20
+	}
+	if c.Pivots <= 0 {
+		c.Pivots = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = dataset.AllKinds
+	}
+	return c
+}
+
+// Env is one prepared dataset: generated objects, query workload, shared
+// pivots, and calibrated radii.
+type Env struct {
+	Cfg    Config
+	Gen    *dataset.Generated
+	Pivots []int // HFI pivots, |P| = Cfg.Pivots
+}
+
+// NewEnv generates a dataset and selects its shared pivot set.
+func NewEnv(kind dataset.Kind, cfg Config) (*Env, error) {
+	cfg = cfg.WithDefaults()
+	gen, err := dataset.Generate(kind, dataset.Config{N: cfg.N, Queries: cfg.Queries, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pv, err := pivot.HFI(gen.Dataset, cfg.Pivots, pivot.Options{Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Cfg: cfg, Gen: gen, Pivots: pv}, nil
+}
+
+// Radius returns the query radius whose selectivity matches the given
+// fraction (the paper's r axis is expressed as a result-set percentage).
+func (e *Env) Radius(selectivity float64) float64 {
+	return dataset.CalibrateRadius(e.Gen, selectivity)
+}
+
+// Discrete reports whether the dataset's metric supports BKT/FQT.
+func (e *Env) Discrete() bool {
+	return e.Gen.Dataset.Space().Metric().Discrete()
+}
+
+// bigObjects reports whether CPT/PM-tree need the 40 KB page (§6.1: used
+// on Color and Synthetic).
+func (e *Env) bigObjects() bool {
+	return e.Gen.Kind == dataset.Color || e.Gen.Kind == dataset.Synthetic
+}
+
+// Built is an index plus its pager (nil for in-memory indexes).
+type Built struct {
+	Name  string
+	Index core.Index
+	Pager *store.Pager
+}
+
+// SetCacheBytes adjusts the buffer cache for disk indexes; no-op for
+// in-memory structures.
+func (b *Built) SetCacheBytes(n int) {
+	if b.Pager != nil {
+		b.Pager.SetCacheBytes(n)
+	}
+}
+
+// Builder constructs one index over an environment.
+type Builder struct {
+	Name string
+	// DiscreteOnly marks BKT/FQT, skipped on continuous metrics.
+	DiscreteOnly bool
+	Build        func(e *Env) (*Built, error)
+}
+
+// pagerFor allocates the per-index pager with the §6.1 page-size rule.
+func pagerFor(e *Env, large bool) *store.Pager {
+	size := store.DefaultPageSize
+	if large && e.bigObjects() {
+		size = store.LargePageSize
+	}
+	return store.NewPager(size)
+}
+
+// Builders returns the paper's index lineup keyed by name.
+func Builders() []Builder {
+	return []Builder{
+		{Name: "LAESA", Build: func(e *Env) (*Built, error) {
+			idx, err := table.NewLAESA(e.Gen.Dataset, e.Pivots)
+			return &Built{Name: "LAESA", Index: idx}, err
+		}},
+		{Name: "EPT", Build: func(e *Env) (*Built, error) {
+			idx, err := ept.New(e.Gen.Dataset, ept.Original, ept.Options{
+				L: e.Cfg.Pivots, Radius: e.Radius(0.16),
+				Sel: pivot.Options{Seed: e.Cfg.Seed + 2},
+			})
+			return &Built{Name: "EPT", Index: idx}, err
+		}},
+		{Name: "EPT*", Build: func(e *Env) (*Built, error) {
+			idx, err := ept.New(e.Gen.Dataset, ept.Star, ept.Options{
+				L: e.Cfg.Pivots, Sel: pivot.Options{Seed: e.Cfg.Seed + 2},
+			})
+			return &Built{Name: "EPT*", Index: idx}, err
+		}},
+		{Name: "CPT", Build: func(e *Env) (*Built, error) {
+			p := pagerFor(e, true)
+			idx, err := cpt.New(e.Gen.Dataset, p, e.Pivots, cpt.Options{Seed: e.Cfg.Seed})
+			return &Built{Name: "CPT", Index: idx, Pager: p}, err
+		}},
+		{Name: "BKT", DiscreteOnly: true, Build: func(e *Env) (*Built, error) {
+			idx, err := bkt.New(e.Gen.Dataset, bkt.Options{
+				Seed: e.Cfg.Seed, MaxDistance: e.Gen.MaxDistance,
+			})
+			return &Built{Name: "BKT", Index: idx}, err
+		}},
+		{Name: "FQT", DiscreteOnly: true, Build: func(e *Env) (*Built, error) {
+			idx, err := fqt.New(e.Gen.Dataset, e.Pivots, fqt.Options{MaxDistance: e.Gen.MaxDistance})
+			return &Built{Name: "FQT", Index: idx}, err
+		}},
+		{Name: "MVPT", Build: func(e *Env) (*Built, error) {
+			idx, err := mvpt.New(e.Gen.Dataset, e.Pivots, mvpt.Options{})
+			return &Built{Name: "MVPT", Index: idx}, err
+		}},
+		{Name: "PM-tree", Build: func(e *Env) (*Built, error) {
+			p := pagerFor(e, true)
+			idx, err := pmtree.New(e.Gen.Dataset, p, e.Pivots, pmtree.Options{Seed: e.Cfg.Seed})
+			return &Built{Name: "PM-tree", Index: idx, Pager: p}, err
+		}},
+		{Name: "OmniR-tree", Build: func(e *Env) (*Built, error) {
+			p := pagerFor(e, false)
+			idx, err := omni.NewRTree(e.Gen.Dataset, p, e.Pivots, omni.Options{MaxDistance: e.Gen.MaxDistance})
+			return &Built{Name: "OmniR-tree", Index: idx, Pager: p}, err
+		}},
+		{Name: "M-index", Build: func(e *Env) (*Built, error) {
+			p := pagerFor(e, false)
+			idx, err := mindex.New(e.Gen.Dataset, p, e.Pivots, mindex.Options{
+				MaxDistance: e.Gen.MaxDistance,
+			})
+			return &Built{Name: "M-index", Index: idx, Pager: p}, err
+		}},
+		{Name: "M-index*", Build: func(e *Env) (*Built, error) {
+			p := pagerFor(e, false)
+			idx, err := mindex.New(e.Gen.Dataset, p, e.Pivots, mindex.Options{
+				Star: true, MaxDistance: e.Gen.MaxDistance,
+			})
+			return &Built{Name: "M-index*", Index: idx, Pager: p}, err
+		}},
+		{Name: "SPB-tree", Build: func(e *Env) (*Built, error) {
+			p := pagerFor(e, false)
+			idx, err := spb.New(e.Gen.Dataset, p, e.Pivots, spb.Options{MaxDistance: e.Gen.MaxDistance})
+			return &Built{Name: "SPB-tree", Index: idx, Pager: p}, err
+		}},
+	}
+}
+
+// QueryLineup is the nine-index lineup of Figs 16-18.
+var QueryLineup = []string{
+	"EPT*", "CPT", "BKT", "FQT", "MVPT", "SPB-tree", "M-index*", "PM-tree", "OmniR-tree",
+}
+
+// BuilderByName finds a builder.
+func BuilderByName(name string) (Builder, error) {
+	for _, b := range Builders() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Builder{}, fmt.Errorf("bench: unknown index %q", name)
+}
+
+// QueryCost aggregates per-query averages.
+type QueryCost struct {
+	CompDists float64
+	PA        float64
+	CPU       time.Duration
+}
+
+// MeasureRange averages MRQ(q, r) costs over the environment's queries.
+func MeasureRange(e *Env, b *Built, r float64) (QueryCost, error) {
+	sp := e.Gen.Dataset.Space()
+	sp.ResetCompDists()
+	b.Index.ResetStats()
+	start := time.Now()
+	for _, q := range e.Gen.Queries {
+		if _, err := b.Index.RangeSearch(q, r); err != nil {
+			return QueryCost{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	n := float64(len(e.Gen.Queries))
+	return QueryCost{
+		CompDists: float64(sp.CompDists()) / n,
+		PA:        float64(b.Index.PageAccesses()) / n,
+		CPU:       time.Duration(float64(elapsed) / n),
+	}, nil
+}
+
+// MeasureKNN averages MkNNQ(q, k) costs over the environment's queries,
+// with the paper's 128 KB cache enabled on disk indexes.
+func MeasureKNN(e *Env, b *Built, k int) (QueryCost, error) {
+	b.SetCacheBytes(store.DefaultCacheBytes)
+	defer b.SetCacheBytes(0)
+	sp := e.Gen.Dataset.Space()
+	sp.ResetCompDists()
+	b.Index.ResetStats()
+	start := time.Now()
+	for _, q := range e.Gen.Queries {
+		if _, err := b.Index.KNNSearch(q, k); err != nil {
+			return QueryCost{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	n := float64(len(e.Gen.Queries))
+	return QueryCost{
+		CompDists: float64(sp.CompDists()) / n,
+		PA:        float64(b.Index.PageAccesses()) / n,
+		CPU:       time.Duration(float64(elapsed) / n),
+	}, nil
+}
+
+// BuildCost captures Table 4's columns.
+type BuildCost struct {
+	PA        int64
+	CompDists int64
+	Time      time.Duration
+	MemBytes  int64
+	DiskBytes int64
+}
+
+// MeasureBuild constructs an index and records its cost.
+func MeasureBuild(e *Env, builder Builder) (*Built, BuildCost, error) {
+	sp := e.Gen.Dataset.Space()
+	sp.ResetCompDists()
+	start := time.Now()
+	b, err := builder.Build(e)
+	if err != nil {
+		return nil, BuildCost{}, err
+	}
+	cost := BuildCost{
+		CompDists: sp.CompDists(),
+		Time:      time.Since(start),
+		MemBytes:  b.Index.MemBytes(),
+		DiskBytes: b.Index.DiskBytes(),
+	}
+	cost.PA = b.Index.PageAccesses()
+	b.Index.ResetStats()
+	return b, cost, nil
+}
+
+// UpdateCost captures Table 6's columns (delete + reinsert, averaged).
+type UpdateCost struct {
+	PA        float64
+	CompDists float64
+	Time      time.Duration
+}
+
+// MeasureUpdate deletes and reinserts `rounds` random objects (§6.3).
+func MeasureUpdate(e *Env, b *Built, rounds int) (UpdateCost, error) {
+	ds := e.Gen.Dataset
+	sp := ds.Space()
+	ids := ds.LiveIDs()
+	step := len(ids)/rounds + 1
+	sp.ResetCompDists()
+	b.Index.ResetStats()
+	start := time.Now()
+	count := 0
+	for i := 0; i < len(ids) && count < rounds; i += step {
+		id := ids[i]
+		if err := b.Index.Delete(id); err != nil {
+			return UpdateCost{}, fmt.Errorf("update delete %d: %w", id, err)
+		}
+		o := ds.Object(id)
+		if err := ds.Delete(id); err != nil {
+			return UpdateCost{}, err
+		}
+		newID := ds.Insert(o)
+		if err := b.Index.Insert(newID); err != nil {
+			return UpdateCost{}, fmt.Errorf("update insert %d: %w", newID, err)
+		}
+		count++
+	}
+	elapsed := time.Since(start)
+	n := float64(count)
+	return UpdateCost{
+		PA:        float64(b.Index.PageAccesses()) / n,
+		CompDists: float64(sp.CompDists()) / n,
+		Time:      time.Duration(float64(elapsed) / n),
+	}, nil
+}
+
+// Rounding units for report output.
+const (
+	usec = time.Microsecond
+	msec = time.Millisecond
+)
+
+// SelectHFI exposes the harness's pivot selection for external tools.
+func SelectHFI(ds *core.Dataset, k int, seed int64) ([]int, error) {
+	return pivot.HFI(ds, k, pivot.Options{Seed: seed})
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"metricindex/internal/dataset"
+)
+
+func tinyCfg(kinds ...dataset.Kind) Config {
+	if len(kinds) == 0 {
+		kinds = []dataset.Kind{dataset.Words}
+	}
+	return Config{N: 600, Queries: 3, Pivots: 4, Seed: 7, Datasets: kinds}
+}
+
+func TestEnvSetup(t *testing.T) {
+	e, err := NewEnv(dataset.LA, tinyCfg(dataset.LA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Pivots) != 4 {
+		t.Fatalf("pivots: %v", e.Pivots)
+	}
+	if e.Discrete() {
+		t.Fatal("LA must be continuous")
+	}
+	r1, r2 := e.Radius(0.04), e.Radius(0.32)
+	if r1 >= r2 {
+		t.Fatalf("radii not monotone: %v %v", r1, r2)
+	}
+}
+
+func TestBuildersCoverPaperLineup(t *testing.T) {
+	names := map[string]bool{}
+	for _, b := range Builders() {
+		names[b.Name] = true
+	}
+	for _, want := range []string{
+		"LAESA", "EPT", "EPT*", "CPT", "BKT", "FQT", "MVPT",
+		"PM-tree", "OmniR-tree", "M-index", "M-index*", "SPB-tree",
+	} {
+		if !names[want] {
+			t.Errorf("missing builder %q", want)
+		}
+	}
+	if _, err := BuilderByName("SPB-tree"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuilderByName("nope"); err == nil {
+		t.Fatal("unknown builder must fail")
+	}
+}
+
+func TestMeasureBuildAndQueries(t *testing.T) {
+	e, err := NewEnv(dataset.Words, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cost, err := MeasureBuild(e, mustBuilder(t, "SPB-tree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.CompDists <= 0 || cost.DiskBytes <= 0 {
+		t.Fatalf("implausible build cost: %+v", cost)
+	}
+	rc, err := MeasureRange(e, b, e.Radius(0.16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.CompDists <= 0 || rc.PA <= 0 {
+		t.Fatalf("implausible range cost: %+v", rc)
+	}
+	kc, err := MeasureKNN(e, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc.CompDists <= 0 {
+		t.Fatalf("implausible knn cost: %+v", kc)
+	}
+	uc, err := MeasureUpdate(e, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uc.CompDists <= 0 {
+		t.Fatalf("implausible update cost: %+v", uc)
+	}
+}
+
+func mustBuilder(t *testing.T, name string) Builder {
+	t.Helper()
+	b, err := BuilderByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Every experiment must run end to end at tiny scale and produce output
+// mentioning each lineup index.
+func TestExperimentsRunEndToEnd(t *testing.T) {
+	runs := []struct {
+		name string
+		fn   func(io.Writer, Config) error
+		cfg  Config
+	}{
+		{"table4", Table4, tinyCfg()},
+		{"table6", Table6, tinyCfg()},
+		{"fig14", Fig14, tinyCfg(dataset.LA)},
+		{"fig15", Fig15, tinyCfg(dataset.LA)},
+		{"fig16", Fig16, tinyCfg()},
+		{"fig17", Fig17, tinyCfg()},
+		{"fig18", Fig18, tinyCfg(dataset.LA)},
+		{"ablation-pivots", AblationPivotSelection, tinyCfg(dataset.LA)},
+		{"ablation-arity", AblationMVPTArity, tinyCfg(dataset.LA)},
+		{"ablation-sfc", AblationSFC, tinyCfg(dataset.LA)},
+	}
+	for _, r := range runs {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := r.fn(&buf, r.cfg); err != nil {
+				t.Fatalf("%s: %v", r.name, err)
+			}
+			out := buf.String()
+			if len(out) < 100 {
+				t.Fatalf("%s produced almost no output:\n%s", r.name, out)
+			}
+			if r.name == "table4" && !strings.Contains(out, "SPB-tree") {
+				t.Fatalf("table4 output missing SPB-tree:\n%s", out)
+			}
+		})
+	}
+}
+
+// Fig 18's core claim: compdists decreases as |P| grows.
+func TestMoreBPivotsFewerCompdists(t *testing.T) {
+	cost := func(np int) float64 {
+		cfg := tinyCfg(dataset.LA)
+		cfg.N = 1500
+		cfg.Pivots = np
+		e, err := NewEnv(dataset.LA, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := MeasureBuild(e, mustBuilder(t, "LAESA"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := MeasureKNN(e, b, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.CompDists
+	}
+	if c1, c9 := cost(1), cost(9); c9 >= c1 {
+		t.Fatalf("|P|=9 compdists (%v) should beat |P|=1 (%v)", c9, c1)
+	}
+}

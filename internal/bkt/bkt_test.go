@@ -1,0 +1,133 @@
+package bkt
+
+import (
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/testutil"
+)
+
+func newIntBKT(t *testing.T, n int) (*BKT, *core.Dataset) {
+	t.Helper()
+	ds := testutil.IntVectorDataset(n, 4, 100, 7)
+	idx, err := New(ds, Options{Seed: 3, MaxDistance: 100})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return idx, ds
+}
+
+func TestBKTRejectsContinuousMetric(t *testing.T) {
+	ds := testutil.VectorDataset(20, 2, 10, core.L2{}, 1)
+	if _, err := New(ds, Options{MaxDistance: 10}); err == nil {
+		t.Fatal("BKT must reject continuous metrics")
+	}
+}
+
+func TestBKTRangeMatchesBruteForce(t *testing.T) {
+	idx, ds := newIntBKT(t, 400)
+	for qs := int64(0); qs < 5; qs++ {
+		q := testutil.RandomQuery(ds, qs)
+		for _, r := range []float64{0, 2, 10, 35, 120} {
+			testutil.CheckRange(t, idx, ds, q, r)
+		}
+	}
+}
+
+func TestBKTKNNMatchesBruteForce(t *testing.T) {
+	idx, ds := newIntBKT(t, 400)
+	for qs := int64(0); qs < 5; qs++ {
+		q := testutil.RandomQuery(ds, qs)
+		for _, k := range []int{1, 4, 25, 400} {
+			testutil.CheckKNN(t, idx, ds, q, k)
+		}
+	}
+}
+
+func TestBKTWordsDataset(t *testing.T) {
+	ds := testutil.WordDataset(300, 11)
+	idx, err := New(ds, Options{Seed: 5, MaxDistance: 12})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for qs := int64(0); qs < 4; qs++ {
+		q := testutil.RandomQuery(ds, qs)
+		for _, r := range []float64{0, 1, 2, 4} {
+			testutil.CheckRange(t, idx, ds, q, r)
+		}
+		testutil.CheckKNN(t, idx, ds, q, 6)
+	}
+}
+
+func TestBKTInsertDelete(t *testing.T) {
+	idx, ds := newIntBKT(t, 200)
+	for id := 0; id < 200; id += 4 {
+		if err := idx.Delete(id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+		if err := ds.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		id := ds.Insert(core.IntVector{int32(i), 50, 50, 50})
+		if err := idx.Insert(id); err != nil {
+			t.Fatalf("Insert(%d): %v", id, err)
+		}
+	}
+	q := testutil.RandomQuery(ds, 2)
+	for _, r := range []float64{0, 5, 20, 120} {
+		testutil.CheckRange(t, idx, ds, q, r)
+	}
+	testutil.CheckKNN(t, idx, ds, q, 17)
+	if idx.Len() != ds.Count() {
+		t.Fatalf("Len = %d, want %d", idx.Len(), ds.Count())
+	}
+}
+
+func TestBKTDeletePivotKeepsRouting(t *testing.T) {
+	idx, ds := newIntBKT(t, 150)
+	// Delete every object in turn until half are gone, including pivots.
+	for id := 0; id < 75; id++ {
+		if err := idx.Delete(id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+		if err := ds.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := testutil.RandomQuery(ds, 8)
+	for _, r := range []float64{0, 10, 40} {
+		testutil.CheckRange(t, idx, ds, q, r)
+	}
+	testutil.CheckKNN(t, idx, ds, q, 10)
+}
+
+func TestBKTDuplicateObjects(t *testing.T) {
+	objs := make([]core.Object, 100)
+	for i := range objs {
+		objs[i] = core.IntVector{int32(i % 3), 1} // heavy duplication
+	}
+	ds := core.NewDataset(core.NewSpace(core.IntLInf{}), objs)
+	idx, err := New(ds, Options{Seed: 1, MaxDistance: 3, LeafCapacity: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	q := core.IntVector{0, 1}
+	testutil.CheckRange(t, idx, ds, q, 0)
+	testutil.CheckRange(t, idx, ds, q, 1)
+	testutil.CheckKNN(t, idx, ds, q, 50)
+}
+
+func TestBKTStats(t *testing.T) {
+	idx, _ := newIntBKT(t, 100)
+	if idx.PageAccesses() != 0 || idx.DiskBytes() != 0 {
+		t.Fatal("BKT must report zero disk activity")
+	}
+	if idx.MemBytes() <= 0 {
+		t.Fatal("BKT must report positive memory")
+	}
+	if idx.Name() != "BKT" {
+		t.Fatalf("Name = %q", idx.Name())
+	}
+}

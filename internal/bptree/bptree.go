@@ -1,0 +1,444 @@
+// Package bptree implements a disk-resident B+-tree over the simulated
+// page store. It is the substrate of the M-index (which keys objects by
+// iDistance-style mapped values, §5.3), the SPB-tree (which keys objects
+// by Hilbert SFC values and stores MBB corners in non-leaf entries, §5.4),
+// and the OmniB+-tree.
+//
+// Keys and values are uint64. Duplicate keys are allowed. Non-leaf entries
+// optionally carry a client-maintained augmentation pair (two uint64) —
+// the SPB-tree stores its packed MBB corners there. Every node touch goes
+// through the pager, so page-access counts are comparable across indexes.
+package bptree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"metricindex/internal/store"
+)
+
+// Augmenter maintains the per-entry augmentation of non-leaf entries.
+// Implementations must be monotone under Merge (merging can only widen),
+// because deletions do not recompute augmentations — they stay
+// conservative, which keeps pruning traversals correct.
+type Augmenter interface {
+	// Leaf returns the augmentation of a single record.
+	Leaf(key, val uint64) (lo, hi uint64)
+	// Merge combines two augmentations.
+	Merge(lo1, hi1, lo2, hi2 uint64) (lo, hi uint64)
+}
+
+// Node is the decoded form of a B+-tree page, exposed so indexes can run
+// custom pruning traversals (the SPB-tree walks nodes best-first by MBB
+// distance).
+type Node struct {
+	Leaf bool
+	// Keys holds record keys (leaf) or per-child max keys (internal).
+	Keys []uint64
+	// Vals holds record values (leaf only).
+	Vals []uint64
+	// Children holds child page ids (internal only).
+	Children []store.PageID
+	// AuxLo/AuxHi hold per-child augmentations (internal only).
+	AuxLo, AuxHi []uint64
+	// Next links leaves left-to-right.
+	Next store.PageID
+}
+
+const (
+	leafHeader     = 1 + 2 + 4 // kind, count, next
+	internalHeader = 1 + 2
+	leafEntrySize  = 16 // key + val
+	intEntrySize   = 8 + 4 + 16
+)
+
+// Tree is the B+-tree handle.
+type Tree struct {
+	pager *store.Pager
+	aug   Augmenter
+	root  store.PageID
+	size  int
+	// capacity per node kind, derived from the page size
+	leafCap, intCap int
+}
+
+// New creates an empty tree on the pager.
+func New(p *store.Pager, aug Augmenter) *Tree {
+	t := &Tree{
+		pager:   p,
+		aug:     aug,
+		leafCap: (p.PageSize() - leafHeader) / leafEntrySize,
+		intCap:  (p.PageSize() - internalHeader) / intEntrySize,
+	}
+	if t.leafCap < 4 || t.intCap < 4 {
+		panic(fmt.Sprintf("bptree: page size %d too small", p.PageSize()))
+	}
+	t.root = p.Alloc()
+	t.writeNode(t.root, &Node{Leaf: true, Next: store.InvalidPage})
+	return t
+}
+
+// Root returns the root page id.
+func (t *Tree) Root() store.PageID { return t.root }
+
+// Len returns the number of records.
+func (t *Tree) Len() int { return t.size }
+
+// ReadNode fetches and decodes a node (one page access, modulo cache).
+func (t *Tree) ReadNode(pid store.PageID) (*Node, error) {
+	buf, err := t.pager.Read(pid)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{}
+	kind := buf[0]
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	if kind == 0 {
+		n.Leaf = true
+		n.Next = store.PageID(binary.LittleEndian.Uint32(buf[3:7]))
+		off := leafHeader
+		n.Keys = make([]uint64, count)
+		n.Vals = make([]uint64, count)
+		for i := 0; i < count; i++ {
+			n.Keys[i] = binary.LittleEndian.Uint64(buf[off:])
+			n.Vals[i] = binary.LittleEndian.Uint64(buf[off+8:])
+			off += leafEntrySize
+		}
+		return n, nil
+	}
+	off := internalHeader
+	n.Keys = make([]uint64, count)
+	n.Children = make([]store.PageID, count)
+	n.AuxLo = make([]uint64, count)
+	n.AuxHi = make([]uint64, count)
+	for i := 0; i < count; i++ {
+		n.Keys[i] = binary.LittleEndian.Uint64(buf[off:])
+		n.Children[i] = store.PageID(binary.LittleEndian.Uint32(buf[off+8:]))
+		n.AuxLo[i] = binary.LittleEndian.Uint64(buf[off+12:])
+		n.AuxHi[i] = binary.LittleEndian.Uint64(buf[off+20:])
+		off += intEntrySize
+	}
+	return n, nil
+}
+
+// writeNode encodes and stores a node (one page access).
+func (t *Tree) writeNode(pid store.PageID, n *Node) {
+	buf := make([]byte, 0, t.pager.PageSize())
+	if n.Leaf {
+		buf = append(buf, 0)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.Keys)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Next))
+		for i := range n.Keys {
+			buf = binary.LittleEndian.AppendUint64(buf, n.Keys[i])
+			buf = binary.LittleEndian.AppendUint64(buf, n.Vals[i])
+		}
+	} else {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.Keys)))
+		for i := range n.Keys {
+			buf = binary.LittleEndian.AppendUint64(buf, n.Keys[i])
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Children[i]))
+			buf = binary.LittleEndian.AppendUint64(buf, n.AuxLo[i])
+			buf = binary.LittleEndian.AppendUint64(buf, n.AuxHi[i])
+		}
+	}
+	if err := t.pager.Write(pid, buf); err != nil {
+		panic(fmt.Sprintf("bptree: node write: %v", err)) // pages are pre-allocated; cannot fail
+	}
+}
+
+// auxOf computes a node's augmentation from its entries.
+func (t *Tree) auxOf(n *Node) (uint64, uint64) {
+	if t.aug == nil {
+		return 0, 0
+	}
+	var lo, hi uint64
+	first := true
+	if n.Leaf {
+		for i := range n.Keys {
+			l, h := t.aug.Leaf(n.Keys[i], n.Vals[i])
+			if first {
+				lo, hi = l, h
+				first = false
+			} else {
+				lo, hi = t.aug.Merge(lo, hi, l, h)
+			}
+		}
+	} else {
+		for i := range n.Keys {
+			if first {
+				lo, hi = n.AuxLo[i], n.AuxHi[i]
+				first = false
+			} else {
+				lo, hi = t.aug.Merge(lo, hi, n.AuxLo[i], n.AuxHi[i])
+			}
+		}
+	}
+	return lo, hi
+}
+
+// splitResult reports an insert-induced split to the parent.
+type splitResult struct {
+	split    bool
+	rightPID store.PageID
+	rightKey uint64 // max key of new right node
+	rightLo  uint64
+	rightHi  uint64
+	// updated left summary
+	leftKey uint64
+	leftLo  uint64
+	leftHi  uint64
+}
+
+// Insert adds a (key, value) record.
+func (t *Tree) Insert(key, val uint64) error {
+	res, err := t.insert(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	t.size++
+	if res.split {
+		newRoot := t.pager.Alloc()
+		n := &Node{
+			Leaf:     false,
+			Keys:     []uint64{res.leftKey, res.rightKey},
+			Children: []store.PageID{t.root, res.rightPID},
+			AuxLo:    []uint64{res.leftLo, res.rightLo},
+			AuxHi:    []uint64{res.leftHi, res.rightHi},
+		}
+		t.writeNode(newRoot, n)
+		t.root = newRoot
+	}
+	return nil
+}
+
+func (t *Tree) insert(pid store.PageID, key, val uint64) (splitResult, error) {
+	n, err := t.ReadNode(pid)
+	if err != nil {
+		return splitResult{}, err
+	}
+	if n.Leaf {
+		// Insert in sorted position (stable after equal keys).
+		pos := upperBound(n.Keys, key)
+		n.Keys = insertU64(n.Keys, pos, key)
+		n.Vals = insertU64(n.Vals, pos, val)
+		if len(n.Keys) <= t.leafCap {
+			t.writeNode(pid, n)
+			lo, hi := t.auxOf(n)
+			return splitResult{leftKey: n.Keys[len(n.Keys)-1], leftLo: lo, leftHi: hi}, nil
+		}
+		// Split.
+		mid := len(n.Keys) / 2
+		right := &Node{
+			Leaf: true,
+			Keys: append([]uint64(nil), n.Keys[mid:]...),
+			Vals: append([]uint64(nil), n.Vals[mid:]...),
+			Next: n.Next,
+		}
+		rightPID := t.pager.Alloc()
+		n.Keys = n.Keys[:mid]
+		n.Vals = n.Vals[:mid]
+		n.Next = rightPID
+		t.writeNode(pid, n)
+		t.writeNode(rightPID, right)
+		llo, lhi := t.auxOf(n)
+		rlo, rhi := t.auxOf(right)
+		return splitResult{
+			split:    true,
+			rightPID: rightPID,
+			rightKey: right.Keys[len(right.Keys)-1],
+			rightLo:  rlo, rightHi: rhi,
+			leftKey: n.Keys[len(n.Keys)-1],
+			leftLo:  llo, leftHi: lhi,
+		}, nil
+	}
+
+	// Internal: descend into the first child whose max key >= key, or the
+	// last child.
+	ci := len(n.Keys) - 1
+	for i, mk := range n.Keys {
+		if key <= mk {
+			ci = i
+			break
+		}
+	}
+	res, err := t.insert(n.Children[ci], key, val)
+	if err != nil {
+		return splitResult{}, err
+	}
+	n.Keys[ci] = res.leftKey
+	n.AuxLo[ci], n.AuxHi[ci] = res.leftLo, res.leftHi
+	if res.split {
+		n.Keys = insertU64(n.Keys, ci+1, res.rightKey)
+		n.Children = insertPID(n.Children, ci+1, res.rightPID)
+		n.AuxLo = insertU64(n.AuxLo, ci+1, res.rightLo)
+		n.AuxHi = insertU64(n.AuxHi, ci+1, res.rightHi)
+	}
+	if len(n.Keys) <= t.intCap {
+		t.writeNode(pid, n)
+		lo, hi := t.auxOf(n)
+		return splitResult{leftKey: n.Keys[len(n.Keys)-1], leftLo: lo, leftHi: hi}, nil
+	}
+	// Split internal node.
+	mid := len(n.Keys) / 2
+	right := &Node{
+		Keys:     append([]uint64(nil), n.Keys[mid:]...),
+		Children: append([]store.PageID(nil), n.Children[mid:]...),
+		AuxLo:    append([]uint64(nil), n.AuxLo[mid:]...),
+		AuxHi:    append([]uint64(nil), n.AuxHi[mid:]...),
+	}
+	rightPID := t.pager.Alloc()
+	n.Keys = n.Keys[:mid]
+	n.Children = n.Children[:mid]
+	n.AuxLo = n.AuxLo[:mid]
+	n.AuxHi = n.AuxHi[:mid]
+	t.writeNode(pid, n)
+	t.writeNode(rightPID, right)
+	llo, lhi := t.auxOf(n)
+	rlo, rhi := t.auxOf(right)
+	return splitResult{
+		split:    true,
+		rightPID: rightPID,
+		rightKey: right.Keys[len(right.Keys)-1],
+		rightLo:  rlo, rightHi: rhi,
+		leftKey: n.Keys[len(n.Keys)-1],
+		leftLo:  llo, leftHi: lhi,
+	}, nil
+}
+
+// Delete removes one record matching (key, val). Nodes are allowed to
+// underflow (no rebalancing): search correctness is unaffected and the
+// paper's update experiment measures delete+reinsert, not compaction.
+func (t *Tree) Delete(key, val uint64) error {
+	pid, err := t.leafFor(key)
+	if err != nil {
+		return err
+	}
+	for pid != store.InvalidPage {
+		n, err := t.ReadNode(pid)
+		if err != nil {
+			return err
+		}
+		for i := range n.Keys {
+			if n.Keys[i] == key && n.Vals[i] == val {
+				n.Keys = append(n.Keys[:i], n.Keys[i+1:]...)
+				n.Vals = append(n.Vals[:i], n.Vals[i+1:]...)
+				t.writeNode(pid, n)
+				t.size--
+				return nil
+			}
+			if n.Keys[i] > key {
+				return fmt.Errorf("bptree: record (%d,%d) not found", key, val)
+			}
+		}
+		pid = n.Next
+	}
+	return fmt.Errorf("bptree: record (%d,%d) not found", key, val)
+}
+
+// leafFor descends to the first leaf that may contain key.
+func (t *Tree) leafFor(key uint64) (store.PageID, error) {
+	pid := t.root
+	for {
+		n, err := t.ReadNode(pid)
+		if err != nil {
+			return store.InvalidPage, err
+		}
+		if n.Leaf {
+			return pid, nil
+		}
+		ci := len(n.Keys) - 1
+		for i, mk := range n.Keys {
+			if key <= mk {
+				ci = i
+				break
+			}
+		}
+		pid = n.Children[ci]
+	}
+}
+
+// RangeScan invokes fn for every record with lo <= key <= hi, in key
+// order, until fn returns false.
+func (t *Tree) RangeScan(lo, hi uint64, fn func(key, val uint64) bool) error {
+	pid, err := t.leafFor(lo)
+	if err != nil {
+		return err
+	}
+	for pid != store.InvalidPage {
+		n, err := t.ReadNode(pid)
+		if err != nil {
+			return err
+		}
+		for i := range n.Keys {
+			if n.Keys[i] < lo {
+				continue
+			}
+			if n.Keys[i] > hi {
+				return nil
+			}
+			if !fn(n.Keys[i], n.Vals[i]) {
+				return nil
+			}
+		}
+		pid = n.Next
+	}
+	return nil
+}
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() (int, error) {
+	h := 1
+	pid := t.root
+	for {
+		n, err := t.ReadNode(pid)
+		if err != nil {
+			return 0, err
+		}
+		if n.Leaf {
+			return h, nil
+		}
+		h++
+		pid = n.Children[0]
+	}
+}
+
+// KeyFromFloat maps a non-negative float64 to a uint64 preserving order
+// (IEEE-754 bit patterns of non-negative floats sort numerically).
+func KeyFromFloat(f float64) uint64 {
+	if f < 0 || math.IsNaN(f) {
+		panic(fmt.Sprintf("bptree: key %v must be a non-negative number", f))
+	}
+	return math.Float64bits(f)
+}
+
+// FloatFromKey inverts KeyFromFloat.
+func FloatFromKey(k uint64) float64 { return math.Float64frombits(k) }
+
+func upperBound(xs []uint64, key uint64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func insertU64(xs []uint64, pos int, v uint64) []uint64 {
+	xs = append(xs, 0)
+	copy(xs[pos+1:], xs[pos:])
+	xs[pos] = v
+	return xs
+}
+
+func insertPID(xs []store.PageID, pos int, v store.PageID) []store.PageID {
+	xs = append(xs, 0)
+	copy(xs[pos+1:], xs[pos:])
+	xs[pos] = v
+	return xs
+}

@@ -1,0 +1,188 @@
+package core
+
+import "math"
+
+// This file implements the pivot-filtering machinery of paper §2.3 as
+// reusable primitives. All functions operate on pivot-space coordinates:
+// qd[i] = d(q, p_i) for the query and od[i] = d(o, p_i) for an object.
+
+// PivotLowerBound returns max_i |d(q,p_i) - d(o,p_i)|, the tightest lower
+// bound of d(q, o) available from the pivots (the quantity D(q,o) of §3.2).
+func PivotLowerBound(qd, od []float64) float64 {
+	var m float64
+	for i := range qd {
+		d := math.Abs(qd[i] - od[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PivotUpperBound returns min_i d(q,p_i) + d(o,p_i), an upper bound of
+// d(q, o) by the triangle inequality.
+func PivotUpperBound(qd, od []float64) float64 {
+	m := math.Inf(1)
+	for i := range qd {
+		if s := qd[i] + od[i]; s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// PruneObject implements Lemma 1 (pivot filtering) for a single object:
+// it reports true when the object provably lies outside MRQ(q, r), i.e.
+// when its pivot-space image falls outside the search region SR(q).
+func PruneObject(qd, od []float64, r float64) bool {
+	for i := range qd {
+		if od[i] > qd[i]+r || od[i] < qd[i]-r {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateObject implements Lemma 4 (pivot validation): it reports true
+// when the object is provably inside MRQ(q, r) — some pivot satisfies
+// d(o,p_i) <= r - d(q,p_i) — so the actual distance computation can be
+// skipped for result membership (not for result distance).
+func ValidateObject(qd, od []float64, r float64) bool {
+	for i := range qd {
+		if od[i] <= r-qd[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// MBB is a minimum bounding box in pivot space: for each pivot i it bounds
+// the pre-computed distances of the contained objects to that pivot within
+// [Lo[i], Hi[i]]. The zero-value MBB is empty (Lo=+Inf > Hi=-Inf per
+// dimension after Reset).
+type MBB struct {
+	Lo []float64
+	Hi []float64
+}
+
+// NewMBB returns an empty MBB over l pivots.
+func NewMBB(l int) MBB {
+	m := MBB{Lo: make([]float64, l), Hi: make([]float64, l)}
+	m.Reset()
+	return m
+}
+
+// Reset empties the box.
+func (m MBB) Reset() {
+	for i := range m.Lo {
+		m.Lo[i] = math.Inf(1)
+		m.Hi[i] = math.Inf(-1)
+	}
+}
+
+// Empty reports whether the box contains no points.
+func (m MBB) Empty() bool { return len(m.Lo) == 0 || m.Lo[0] > m.Hi[0] }
+
+// Clone deep-copies the box.
+func (m MBB) Clone() MBB {
+	c := MBB{Lo: make([]float64, len(m.Lo)), Hi: make([]float64, len(m.Hi))}
+	copy(c.Lo, m.Lo)
+	copy(c.Hi, m.Hi)
+	return c
+}
+
+// Extend grows the box to cover the pivot-space point od.
+func (m MBB) Extend(od []float64) {
+	for i, v := range od {
+		if v < m.Lo[i] {
+			m.Lo[i] = v
+		}
+		if v > m.Hi[i] {
+			m.Hi[i] = v
+		}
+	}
+}
+
+// ExtendMBB grows the box to cover another box.
+func (m MBB) ExtendMBB(o MBB) {
+	for i := range m.Lo {
+		if o.Lo[i] < m.Lo[i] {
+			m.Lo[i] = o.Lo[i]
+		}
+		if o.Hi[i] > m.Hi[i] {
+			m.Hi[i] = o.Hi[i]
+		}
+	}
+}
+
+// PruneMBB implements Lemma 1 on a whole region: it reports true when the
+// box provably contains no result of MRQ(q, r), i.e. when it does not
+// intersect the search region SR(q).
+func (m MBB) PruneMBB(qd []float64, r float64) bool {
+	if m.Empty() {
+		return true
+	}
+	for i := range qd {
+		if m.Lo[i] > qd[i]+r || m.Hi[i] < qd[i]-r {
+			return true
+		}
+	}
+	return false
+}
+
+// MinDist returns a lower bound of d(q, o) for every object o inside the
+// box: the L∞ distance from the query's pivot-space image to the box. It
+// drives best-first kNN traversal over MBBs.
+func (m MBB) MinDist(qd []float64) float64 {
+	if m.Empty() {
+		return math.Inf(1)
+	}
+	var best float64
+	for i := range qd {
+		var d float64
+		switch {
+		case qd[i] < m.Lo[i]:
+			d = m.Lo[i] - qd[i]
+		case qd[i] > m.Hi[i]:
+			d = qd[i] - m.Hi[i]
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// PruneBall implements Lemma 2 (range-pivot filtering) for ball regions:
+// a ball with center-distance dqp = d(q, R.p) and radius rad can be pruned
+// when d(q, R.p) > R.r + r.
+func PruneBall(dqp, rad, r float64) bool {
+	return dqp > rad+r
+}
+
+// BallMinDist returns max(0, d(q,p) - R.r), the lower bound of d(q, o) for
+// objects inside a ball region.
+func BallMinDist(dqp, rad float64) float64 {
+	if d := dqp - rad; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// PruneHyperplane implements Lemma 3 (double-pivot filtering): the
+// partition of pivot p_i can be pruned when d(q,p_i) - d(q,p_j) > 2r for
+// some other pivot p_j. Given dqi = d(q,p_i) and the minimum distance
+// dqmin = min_j d(q,p_j), the check reduces to dqi - dqmin > 2r.
+func PruneHyperplane(dqi, dqmin, r float64) bool {
+	return dqi-dqmin > 2*r
+}
+
+// HyperplaneMinDist returns the Lemma 3 lower bound (d(q,p_i)-d(q,p_j))/2
+// maximized over j, clamped at zero, for best-first traversal of
+// hyperplane partitions.
+func HyperplaneMinDist(dqi, dqmin float64) float64 {
+	if d := (dqi - dqmin) / 2; d > 0 {
+		return d
+	}
+	return 0
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric is a distance function over Objects. Implementations must satisfy
+// the four metric axioms (symmetry, non-negativity, identity, triangle
+// inequality) for the pivot-filtering lemmas to be correct.
+type Metric interface {
+	// Distance returns d(a, b). It panics if the objects have a type the
+	// metric does not understand; that is a programming error, not a
+	// runtime condition.
+	Distance(a, b Object) float64
+	// Name identifies the metric in logs and experiment output.
+	Name() string
+	// Discrete reports whether the metric only returns integer-valued
+	// distances. BKT and FQT require a discrete metric.
+	Discrete() bool
+}
+
+// L1 is the Manhattan distance over Vector objects (the paper uses it for
+// the Color dataset).
+type L1 struct{}
+
+// Distance returns the L1-norm distance between two Vectors.
+func (L1) Distance(a, b Object) float64 {
+	x, y := a.(Vector), b.(Vector)
+	checkDim(len(x), len(y))
+	var s float64
+	for i := range x {
+		s += math.Abs(x[i] - y[i])
+	}
+	return s
+}
+
+// Name returns "L1".
+func (L1) Name() string { return "L1" }
+
+// Discrete reports false: L1 over float coordinates is continuous.
+func (L1) Discrete() bool { return false }
+
+// L2 is the Euclidean distance over Vector objects (the paper uses it for
+// the LA dataset).
+type L2 struct{}
+
+// Distance returns the Euclidean distance between two Vectors.
+func (L2) Distance(a, b Object) float64 {
+	x, y := a.(Vector), b.(Vector)
+	checkDim(len(x), len(y))
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name returns "L2".
+func (L2) Name() string { return "L2" }
+
+// Discrete reports false.
+func (L2) Discrete() bool { return false }
+
+// LInf is the Chebyshev (L∞) distance over Vector objects.
+type LInf struct{}
+
+// Distance returns the maximum per-coordinate difference.
+func (LInf) Distance(a, b Object) float64 {
+	x, y := a.(Vector), b.(Vector)
+	checkDim(len(x), len(y))
+	var m float64
+	for i := range x {
+		d := math.Abs(x[i] - y[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Name returns "Linf".
+func (LInf) Name() string { return "Linf" }
+
+// Discrete reports false.
+func (LInf) Discrete() bool { return false }
+
+// Lp is the general Minkowski distance of order P (P >= 1) over Vectors.
+type Lp struct {
+	// P is the norm order; P=1 and P=2 behave like L1 and L2.
+	P float64
+}
+
+// Distance returns the Lp-norm distance between two Vectors.
+func (m Lp) Distance(a, b Object) float64 {
+	x, y := a.(Vector), b.(Vector)
+	checkDim(len(x), len(y))
+	var s float64
+	for i := range x {
+		s += math.Pow(math.Abs(x[i]-y[i]), m.P)
+	}
+	return math.Pow(s, 1/m.P)
+}
+
+// Name returns "Lp" annotated with the order.
+func (m Lp) Name() string { return fmt.Sprintf("L%.3g", m.P) }
+
+// Discrete reports false.
+func (Lp) Discrete() bool { return false }
+
+// IntLInf is the Chebyshev distance over IntVector objects. It is
+// integer-valued, so it qualifies as a discrete metric for BKT and FQT
+// (the paper's Synthetic dataset uses it).
+type IntLInf struct{}
+
+// Distance returns the maximum per-coordinate absolute difference.
+func (IntLInf) Distance(a, b Object) float64 {
+	x, y := a.(IntVector), b.(IntVector)
+	checkDim(len(x), len(y))
+	var m int32
+	for i := range x {
+		d := x[i] - y[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return float64(m)
+}
+
+// Name returns "IntLinf".
+func (IntLInf) Name() string { return "IntLinf" }
+
+// Discrete reports true.
+func (IntLInf) Discrete() bool { return true }
+
+// Edit is the Levenshtein edit distance over Word objects (the paper uses
+// it for the Words dataset). It is integer-valued and therefore discrete.
+type Edit struct{}
+
+// Distance returns the minimum number of single-character insertions,
+// deletions, and substitutions transforming one word into the other.
+func (Edit) Distance(a, b Object) float64 {
+	s, t := string(a.(Word)), string(b.(Word))
+	return float64(editDistance(s, t))
+}
+
+// Name returns "edit".
+func (Edit) Name() string { return "edit" }
+
+// Discrete reports true.
+func (Edit) Discrete() bool { return true }
+
+// editDistance is a two-row dynamic program with an early-exit fast path
+// for equal strings.
+func editDistance(s, t string) int {
+	if s == t {
+		return 0
+	}
+	if len(s) == 0 {
+		return len(t)
+	}
+	if len(t) == 0 {
+		return len(s)
+	}
+	// Keep the shorter string as the row to bound memory.
+	if len(s) < len(t) {
+		s, t = t, s
+	}
+	prev := make([]int, len(t)+1)
+	cur := make([]int, len(t)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(s); i++ {
+		cur[0] = i
+		si := s[i-1]
+		for j := 1; j <= len(t); j++ {
+			cost := 1
+			if si == t[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost // substitution
+			if d := prev[j] + 1; d < m {
+				m = d // deletion
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d // insertion
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(t)]
+}
+
+func checkDim(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("core: dimensionality mismatch %d vs %d", a, b))
+	}
+}

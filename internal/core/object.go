@@ -1,0 +1,76 @@
+// Package core defines the metric-space model shared by every pivot-based
+// index in this repository: objects, distance metrics, the instrumented
+// Space that counts distance computations, datasets, query result types,
+// and the triangle-inequality filtering lemmas (Lemmas 1-4 of the paper).
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Object is any value a Metric can compare. The concrete types used by the
+// library are Vector (continuous coordinates), IntVector (integer
+// coordinates, for discrete metrics), and Word (strings under edit
+// distance), but user-defined types work with user-defined metrics.
+type Object interface{}
+
+// Vector is a point in R^d compared with an Lp-norm.
+type Vector []float64
+
+// Clone returns a deep copy of the vector.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// String renders the vector compactly, eliding long tails.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i == 8 {
+			fmt.Fprintf(&b, ", …%d more", len(v)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g", x)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// IntVector is a point with integer coordinates, used with discrete
+// distance functions (the paper's Synthetic dataset under L∞).
+type IntVector []int32
+
+// Clone returns a deep copy of the vector.
+func (v IntVector) Clone() IntVector {
+	c := make(IntVector, len(v))
+	copy(c, v)
+	return c
+}
+
+// String renders the vector compactly.
+func (v IntVector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i == 8 {
+			fmt.Fprintf(&b, ", …%d more", len(v)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Word is a string object compared with edit distance.
+type Word string

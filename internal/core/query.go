@@ -1,0 +1,128 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Neighbor is one element of a k-nearest-neighbor answer.
+type Neighbor struct {
+	// ID is the dataset identifier of the answer object.
+	ID int
+	// Dist is its distance to the query object.
+	Dist float64
+}
+
+// SortNeighbors orders neighbors by ascending distance, breaking ties by
+// ascending identifier so answers are deterministic and comparable across
+// indexes.
+func SortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// KNNHeap maintains the k best candidates seen so far during a kNN search.
+// It is a bounded max-heap: Radius() is the distance of the current k-th
+// nearest neighbor (the search radius that verification tightens), or +Inf
+// while fewer than k candidates have been collected.
+type KNNHeap struct {
+	k     int
+	items knnItems
+}
+
+type knnItems []Neighbor
+
+func (h knnItems) Len() int      { return len(h) }
+func (h knnItems) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h knnItems) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist // max-heap on distance
+	}
+	return h[i].ID > h[j].ID // evict larger id first among ties
+}
+func (h *knnItems) Push(x any) { *h = append(*h, x.(Neighbor)) }
+func (h *knnItems) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewKNNHeap creates a heap that retains the k nearest candidates.
+func NewKNNHeap(k int) *KNNHeap {
+	if k < 1 {
+		k = 1
+	}
+	return &KNNHeap{k: k, items: make(knnItems, 0, k+1)}
+}
+
+// K returns the heap capacity.
+func (h *KNNHeap) K() int { return h.k }
+
+// Radius returns the current pruning radius: the k-th best distance, or
+// +Inf while the heap is not yet full.
+func (h *KNNHeap) Radius() float64 {
+	if len(h.items) < h.k {
+		return math.Inf(1)
+	}
+	return h.items[0].Dist
+}
+
+// Push offers a candidate; it is kept only if it improves the answer.
+func (h *KNNHeap) Push(id int, dist float64) {
+	if len(h.items) < h.k {
+		heap.Push(&h.items, Neighbor{ID: id, Dist: dist})
+		return
+	}
+	top := h.items[0]
+	if dist < top.Dist || (dist == top.Dist && id < top.ID) {
+		h.items[0] = Neighbor{ID: id, Dist: dist}
+		heap.Fix(&h.items, 0)
+	}
+}
+
+// Len returns the number of candidates currently held.
+func (h *KNNHeap) Len() int { return len(h.items) }
+
+// Result extracts the k nearest neighbors sorted by ascending distance.
+// The heap is consumed.
+func (h *KNNHeap) Result() []Neighbor {
+	res := make([]Neighbor, len(h.items))
+	copy(res, h.items)
+	SortNeighbors(res)
+	return res
+}
+
+// BruteForceRange answers MRQ(q, r) by exhaustive scan; it is the
+// correctness baseline for every index. The result is sorted by id.
+func BruteForceRange(ds *Dataset, q Object, r float64) []int {
+	var res []int
+	for id, o := range ds.Objects() {
+		if o == nil {
+			continue
+		}
+		if ds.space.Distance(q, o) <= r {
+			res = append(res, id)
+		}
+	}
+	return res
+}
+
+// BruteForceKNN answers MkNNQ(q, k) by exhaustive scan; it is the
+// correctness baseline for every index.
+func BruteForceKNN(ds *Dataset, q Object, k int) []Neighbor {
+	h := NewKNNHeap(k)
+	for id, o := range ds.Objects() {
+		if o == nil {
+			continue
+		}
+		h.Push(id, ds.space.Distance(q, o))
+	}
+	return h.Result()
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Space is a metric space (M, d) instrumented with a distance-computation
+// counter. Every index performs its distance computations through a Space
+// so that the "compdists" performance metric of the paper is counted
+// identically for all competitors. Space is safe for concurrent use.
+type Space struct {
+	metric Metric
+	count  atomic.Int64
+}
+
+// NewSpace wraps a metric into an instrumented space.
+func NewSpace(m Metric) *Space {
+	return &Space{metric: m}
+}
+
+// Distance computes d(a, b) and increments the computation counter.
+func (s *Space) Distance(a, b Object) float64 {
+	s.count.Add(1)
+	return s.metric.Distance(a, b)
+}
+
+// Metric returns the underlying metric.
+func (s *Space) Metric() Metric { return s.metric }
+
+// CompDists returns the number of distance computations since the last
+// ResetCompDists.
+func (s *Space) CompDists() int64 { return s.count.Load() }
+
+// ResetCompDists zeroes the distance-computation counter.
+func (s *Space) ResetCompDists() { s.count.Store(0) }
+
+// Dataset is an object collection in a metric space. Objects are addressed
+// by dense integer identifiers (their position in Objects). Deleted
+// positions hold a nil Object and are skipped by queries; Insert reuses the
+// lowest free slot so that identifiers stay stable and compact.
+type Dataset struct {
+	space   *Space
+	objects []Object
+	free    []int // stack of deleted slots available for reuse
+	live    int   // number of non-nil objects
+}
+
+// NewDataset builds a dataset over the given objects. The slice is owned by
+// the dataset afterwards.
+func NewDataset(space *Space, objects []Object) *Dataset {
+	return &Dataset{space: space, objects: objects, live: len(objects)}
+}
+
+// Space returns the instrumented metric space of the dataset.
+func (ds *Dataset) Space() *Space { return ds.space }
+
+// Len returns the number of identifier slots (including deleted ones);
+// valid identifiers are 0..Len()-1.
+func (ds *Dataset) Len() int { return len(ds.objects) }
+
+// Count returns the number of live (non-deleted) objects.
+func (ds *Dataset) Count() int { return ds.live }
+
+// Object returns the object with the given identifier, or nil if the
+// identifier is out of range or the object was deleted.
+func (ds *Dataset) Object(id int) Object {
+	if id < 0 || id >= len(ds.objects) {
+		return nil
+	}
+	return ds.objects[id]
+}
+
+// Objects exposes the raw object slice. Callers must not mutate it.
+func (ds *Dataset) Objects() []Object { return ds.objects }
+
+// Distance computes the counted distance between two stored objects.
+func (ds *Dataset) Distance(i, j int) float64 {
+	return ds.space.Distance(ds.objects[i], ds.objects[j])
+}
+
+// DistanceTo computes the counted distance between a query object and a
+// stored object.
+func (ds *Dataset) DistanceTo(q Object, id int) float64 {
+	return ds.space.Distance(q, ds.objects[id])
+}
+
+// Insert adds an object, reusing a free slot when one exists, and returns
+// its identifier.
+func (ds *Dataset) Insert(o Object) int {
+	if o == nil {
+		panic("core: inserting nil object")
+	}
+	ds.live++
+	if n := len(ds.free); n > 0 {
+		id := ds.free[n-1]
+		ds.free = ds.free[:n-1]
+		ds.objects[id] = o
+		return id
+	}
+	ds.objects = append(ds.objects, o)
+	return len(ds.objects) - 1
+}
+
+// Delete removes the object with the given identifier. It returns an error
+// if the identifier is out of range or already deleted.
+func (ds *Dataset) Delete(id int) error {
+	if id < 0 || id >= len(ds.objects) {
+		return fmt.Errorf("core: delete of invalid id %d (len %d)", id, len(ds.objects))
+	}
+	if ds.objects[id] == nil {
+		return fmt.Errorf("core: delete of already-deleted id %d", id)
+	}
+	ds.objects[id] = nil
+	ds.free = append(ds.free, id)
+	ds.live--
+	return nil
+}
+
+// Live reports whether the identifier refers to a non-deleted object.
+func (ds *Dataset) Live(id int) bool {
+	return id >= 0 && id < len(ds.objects) && ds.objects[id] != nil
+}
+
+// LiveIDs returns the identifiers of all live objects in increasing order.
+func (ds *Dataset) LiveIDs() []int {
+	ids := make([]int, 0, ds.live)
+	for id, o := range ds.objects {
+		if o != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

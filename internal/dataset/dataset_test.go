@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metricindex/internal/core"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range AllKinds {
+		g, err := Generate(kind, Config{N: 500, Queries: 10, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.Dataset.Count() != 500 {
+			t.Fatalf("%s: count=%d", kind, g.Dataset.Count())
+		}
+		if len(g.Queries) != 10 {
+			t.Fatalf("%s: queries=%d", kind, len(g.Queries))
+		}
+		if g.MaxDistance <= 0 {
+			t.Fatalf("%s: d+=%v", kind, g.MaxDistance)
+		}
+		// Every pairwise sample must respect the estimated d+ (it is
+		// padded, so strictly larger samples indicate a bug).
+		m := g.Dataset.Space().Metric()
+		objs := g.Dataset.Objects()
+		for i := 0; i < 200; i++ {
+			d := m.Distance(objs[i], objs[(i*7+3)%500])
+			if d > g.MaxDistance {
+				t.Fatalf("%s: sampled distance %v exceeds d+ %v", kind, d, g.MaxDistance)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(LA, Config{N: 100, Queries: 2, Seed: 9})
+	b, _ := Generate(LA, Config{N: 100, Queries: 2, Seed: 9})
+	m := a.Dataset.Space().Metric()
+	for i := 0; i < 100; i++ {
+		if m.Distance(a.Dataset.Object(i), b.Dataset.Object(i)) != 0 {
+			t.Fatalf("object %d differs across identical seeds", i)
+		}
+	}
+	c, _ := Generate(LA, Config{N: 100, Queries: 2, Seed: 10})
+	same := 0
+	for i := 0; i < 100; i++ {
+		if m.Distance(a.Dataset.Object(i), c.Dataset.Object(i)) == 0 {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("different seeds produced %d identical objects", same)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	la, _ := Generate(LA, Config{N: 50, Queries: 1, Seed: 1})
+	if v := la.Dataset.Object(0).(core.Vector); len(v) != 2 {
+		t.Fatalf("LA dim=%d", len(v))
+	}
+	color, _ := Generate(Color, Config{N: 20, Queries: 1, Seed: 1})
+	if v := color.Dataset.Object(0).(core.Vector); len(v) != 282 {
+		t.Fatalf("Color dim=%d", len(v))
+	}
+	for _, x := range color.Dataset.Object(0).(core.Vector) {
+		if x < -255 || x > 255 {
+			t.Fatalf("Color value %v outside [-255,255]", x)
+		}
+	}
+	syn, _ := Generate(Synthetic, Config{N: 50, Queries: 1, Seed: 1})
+	v := syn.Dataset.Object(0).(core.IntVector)
+	if len(v) != 20 {
+		t.Fatalf("Synthetic dim=%d", len(v))
+	}
+	for _, x := range v {
+		if x < 0 || x > 10000 {
+			t.Fatalf("Synthetic value %d outside [0,10000]", x)
+		}
+	}
+	words, _ := Generate(Words, Config{N: 200, Queries: 1, Seed: 1})
+	for _, id := range words.Dataset.LiveIDs() {
+		w := string(words.Dataset.Object(id).(core.Word))
+		if len(w) < 1 || len(w) > 34 {
+			t.Fatalf("word length %d outside 1..34", len(w))
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate("Bogus", Config{N: 10}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if _, err := Generate(LA, Config{N: 0}); err == nil {
+		t.Fatal("N=0 must fail")
+	}
+	if _, err := Generate(LA, Config{N: 5, Queries: -1}); err == nil {
+		t.Fatal("negative queries must fail")
+	}
+}
+
+func TestCalibrateRadiusMonotone(t *testing.T) {
+	g, _ := Generate(LA, Config{N: 2000, Queries: 8, Seed: 3})
+	r4 := CalibrateRadius(g, 0.04)
+	r16 := CalibrateRadius(g, 0.16)
+	r64 := CalibrateRadius(g, 0.64)
+	if !(r4 < r16 && r16 < r64) {
+		t.Fatalf("radii not monotone: %v %v %v", r4, r16, r64)
+	}
+	// The 16% radius must actually return roughly 16% of the dataset.
+	got := len(core.BruteForceRange(g.Dataset, g.Queries[0], r16))
+	frac := float64(got) / float64(g.Dataset.Count())
+	if frac < 0.02 || frac > 0.6 {
+		t.Fatalf("16%% radius returned %.1f%% of objects", frac*100)
+	}
+}
+
+func TestIntrinsicDimensionalityOrdering(t *testing.T) {
+	words, _ := Generate(Words, Config{N: 1500, Queries: 1, Seed: 5})
+	la, _ := Generate(LA, Config{N: 1500, Queries: 1, Seed: 5})
+	wID := IntrinsicDimensionality(words)
+	laID := IntrinsicDimensionality(la)
+	// Table 2: Words has by far the lowest intrinsic dimensionality.
+	if wID >= laID {
+		t.Fatalf("Words intrinsic dim %.2f should be below LA %.2f", wID, laID)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range AllKinds {
+		g, err := Generate(kind, Config{N: 120, Queries: 5, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, string(kind)+".midx")
+		if err := Save(path, g); err != nil {
+			t.Fatalf("Save(%s): %v", kind, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", kind, err)
+		}
+		if got.Kind != kind || got.Dataset.Count() != 120 || len(got.Queries) != 5 {
+			t.Fatalf("%s: loaded %s/%d/%d", kind, got.Kind, got.Dataset.Count(), len(got.Queries))
+		}
+		if got.MaxDistance != g.MaxDistance {
+			t.Fatalf("%s: d+ %v != %v", kind, got.MaxDistance, g.MaxDistance)
+		}
+		m := g.Dataset.Space().Metric()
+		for i := 0; i < 120; i++ {
+			if m.Distance(g.Dataset.Object(i), got.Dataset.Object(i)) != 0 {
+				t.Fatalf("%s: object %d changed in round trip", kind, i)
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.midx")
+	os.WriteFile(bad, []byte("not a midx file"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.midx")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"metricindex/internal/core"
+	"metricindex/internal/store"
+)
+
+// File format (little endian):
+//
+//	magic "MIDX1" | kindLen u8, kind | maxDistance f64 |
+//	nObjects u32, objects... | nQueries u32, queries...
+//
+// Objects use the store codec. The metric is implied by the kind.
+const magic = "MIDX1"
+
+// Save writes a generated dataset (objects + query workload) to a file.
+func Save(path string, g *Generated) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(magic); err != nil {
+		return err
+	}
+	if err := w.WriteByte(byte(len(g.Kind))); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(string(g.Kind)); err != nil {
+		return err
+	}
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(g.MaxDistance))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Dataset.Count()))
+	for _, id := range g.Dataset.LiveIDs() {
+		buf = store.EncodeObject(buf, g.Dataset.Object(id))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.Queries)))
+	for _, q := range g.Queries {
+		buf = store.EncodeObject(buf, q)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// MetricFor returns the distance function of a dataset kind (Table 2).
+func MetricFor(kind Kind) (core.Metric, error) {
+	switch kind {
+	case LA:
+		return core.L2{}, nil
+	case Words:
+		return core.Edit{}, nil
+	case Color:
+		return core.L1{}, nil
+	case Synthetic:
+		return core.IntLInf{}, nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown kind %q", kind)
+	}
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Generated, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(magic)+1 || string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("dataset: %s is not a %s file", path, magic)
+	}
+	raw = raw[len(magic):]
+	kindLen := int(raw[0])
+	if len(raw) < 1+kindLen+12 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	kind := Kind(raw[1 : 1+kindLen])
+	raw = raw[1+kindLen:]
+	m, err := MetricFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	maxD := math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	n := int(binary.LittleEndian.Uint32(raw[8:]))
+	raw = raw[12:]
+	objs := make([]core.Object, 0, n)
+	for i := 0; i < n; i++ {
+		o, used, err := store.DecodeObject(raw)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: object %d: %w", i, err)
+		}
+		objs = append(objs, o)
+		raw = raw[used:]
+	}
+	if len(raw) < 4 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	nq := int(binary.LittleEndian.Uint32(raw))
+	raw = raw[4:]
+	qs := make([]core.Object, 0, nq)
+	for i := 0; i < nq; i++ {
+		q, used, err := store.DecodeObject(raw)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: query %d: %w", i, err)
+		}
+		qs = append(qs, q)
+		raw = raw[used:]
+	}
+	return &Generated{
+		Kind:        kind,
+		Dataset:     core.NewDataset(core.NewSpace(m), objs),
+		Queries:     qs,
+		MaxDistance: maxD,
+	}, nil
+}

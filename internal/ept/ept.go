@@ -1,0 +1,264 @@
+// Package ept implements the Extreme Pivot Table of [24] (§3.2) and the
+// paper's improved EPT*, which replaces the group-based extreme-pivot
+// assignment with the PSA pivot-selection algorithm (Algorithm 1). Both
+// are in-memory tables like LAESA, but each object carries its *own* l
+// pivots, so every row stores (pivot id, distance) pairs (Fig 5).
+package ept
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"metricindex/internal/core"
+	"metricindex/internal/pivot"
+)
+
+// Variant selects between the original EPT and the paper's EPT*.
+type Variant int
+
+// The two variants of §3.2.
+const (
+	// Original is EPT [24]: l random groups of m pivots; every object
+	// takes the group member maximizing |d(o,p) − μ_p|.
+	Original Variant = iota
+	// Star is EPT*: per-object pivots chosen by PSA to maximize the
+	// lower-bound/true-distance ratio. Much more expensive to build,
+	// fewest compdists at query time (Fig 14).
+	Star
+)
+
+// Options configures construction.
+type Options struct {
+	// L is the number of pivots per object (matches |P| of the other
+	// indexes so comparisons are fair).
+	L int
+	// M is the EPT group size; 0 lets EstimateGroupSize pick it from
+	// Equation (1) using Radius.
+	M int
+	// Radius feeds the group-size estimate (a typical query radius).
+	Radius float64
+	// Sel tunes pivot sampling.
+	Sel pivot.Options
+}
+
+// EPT is the extreme pivot table index.
+type EPT struct {
+	ds      *core.Dataset
+	variant Variant
+	l       int
+
+	ids   []int32   // row -> object id
+	pids  []int32   // row-major rows × l pivot ids
+	dists []float64 // row-major rows × l distances
+	rowOf map[int]int
+
+	// pivotVal snapshots pivot object values so queries keep working if a
+	// pivot object is later deleted from the dataset.
+	pivotVal map[int32]core.Object
+
+	groups *pivot.Groups   // Original: assignment state for inserts
+	psa    *pivot.PSAState // Star: assignment state for inserts
+}
+
+// New builds an EPT or EPT* over all live objects.
+func New(ds *core.Dataset, variant Variant, opts Options) (*EPT, error) {
+	if opts.L <= 0 {
+		return nil, fmt.Errorf("ept: non-positive L %d", opts.L)
+	}
+	e := &EPT{
+		ds:       ds,
+		variant:  variant,
+		l:        opts.L,
+		rowOf:    make(map[int]int),
+		pivotVal: make(map[int32]core.Object),
+	}
+	switch variant {
+	case Original:
+		m := opts.M
+		if m <= 0 {
+			r := opts.Radius
+			if r <= 0 {
+				r = 1
+			}
+			m = pivot.EstimateGroupSize(ds, opts.L, r, opts.Sel)
+		}
+		g, err := pivot.SelectGroups(ds, opts.L, m, opts.Sel)
+		if err != nil {
+			return nil, err
+		}
+		e.groups = g
+		for gi := range g.IDs {
+			for j := range g.IDs[gi] {
+				e.pivotVal[g.IDs[gi][j]] = g.Vals[gi][j]
+			}
+		}
+		sp := ds.Space()
+		for _, id := range ds.LiveIDs() {
+			pv, dv := g.AssignExtreme(sp, ds.Object(id))
+			e.appendRow(id, pv, dv)
+		}
+	case Star:
+		po, st, err := pivot.PSA(ds, opts.L, opts.Sel)
+		if err != nil {
+			return nil, err
+		}
+		e.l = po.L
+		e.psa = st
+		for ci := range st.CandIDs {
+			e.pivotVal[st.CandIDs[ci]] = st.CandVals[ci]
+		}
+		for _, id := range ds.LiveIDs() {
+			e.appendRow(id, po.Pivots[id], po.Dists[id])
+		}
+	default:
+		return nil, fmt.Errorf("ept: unknown variant %d", variant)
+	}
+	return e, nil
+}
+
+func (e *EPT) appendRow(id int, pv []int32, dv []float64) {
+	e.rowOf[id] = len(e.ids)
+	e.ids = append(e.ids, int32(id))
+	e.pids = append(e.pids, pv...)
+	e.dists = append(e.dists, dv...)
+	for len(e.pids) < len(e.ids)*e.l { // defensive padding for short rows
+		e.pids = append(e.pids, pv[len(pv)-1])
+		e.dists = append(e.dists, dv[len(dv)-1])
+	}
+}
+
+// Name returns "EPT" or "EPT*".
+func (e *EPT) Name() string {
+	if e.variant == Star {
+		return "EPT*"
+	}
+	return "EPT"
+}
+
+// Len returns the number of indexed objects.
+func (e *EPT) Len() int { return len(e.ids) }
+
+// queryState memoizes d(q, p) per distinct pivot: the m·l term of the
+// query cost (each pivot in the pool is computed at most once per query).
+type queryState struct {
+	e  *EPT
+	q  core.Object
+	qd map[int32]float64
+}
+
+func (s *queryState) dist(p int32) float64 {
+	if d, ok := s.qd[p]; ok {
+		return d
+	}
+	d := s.e.ds.Space().Distance(s.q, s.e.pivotVal[p])
+	s.qd[p] = d
+	return d
+}
+
+// prune applies Lemma 1 with the object's private pivots.
+func (s *queryState) prune(row int, r float64) bool {
+	l := s.e.l
+	for i := row * l; i < row*l+l; i++ {
+		if math.Abs(s.dist(s.e.pids[i])-s.e.dists[i]) > r {
+			return true
+		}
+	}
+	return false
+}
+
+// RangeSearch answers MRQ(q, r) by a filtered table scan (same procedure
+// as LAESA, §3.2).
+func (e *EPT) RangeSearch(q core.Object, r float64) ([]int, error) {
+	st := &queryState{e: e, q: q, qd: make(map[int32]float64, 2*e.l)}
+	var res []int
+	for row, id := range e.ids {
+		if st.prune(row, r) {
+			continue
+		}
+		if e.ds.DistanceTo(q, int(id)) <= r {
+			res = append(res, int(id))
+		}
+	}
+	sort.Ints(res)
+	return res, nil
+}
+
+// KNNSearch answers MkNNQ(q, k) with an infinite start radius tightened by
+// verification, in storage order.
+func (e *EPT) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	st := &queryState{e: e, q: q, qd: make(map[int32]float64, 2*e.l)}
+	h := core.NewKNNHeap(k)
+	for row, id := range e.ids {
+		r := h.Radius()
+		if !math.IsInf(r, 1) && st.prune(row, r) {
+			continue
+		}
+		h.Push(int(id), e.ds.DistanceTo(q, int(id)))
+	}
+	return h.Result(), nil
+}
+
+// Insert assigns pivots to the new object (group-extreme for EPT, PSA for
+// EPT*) and appends its row. The assignment distances make EPT updates
+// expensive, as Table 6 reports.
+func (e *EPT) Insert(id int) error {
+	if _, dup := e.rowOf[id]; dup {
+		return fmt.Errorf("ept: duplicate insert of %d", id)
+	}
+	var pv []int32
+	var dv []float64
+	if e.variant == Original {
+		// The original EPT re-estimates the group μ values before
+		// assigning pivots to the new object — the dominant update cost
+		// of Table 6.
+		e.groups.ReestimateMu(e.ds, pivot.Options{Seed: int64(id)})
+		pv, dv = e.groups.AssignExtreme(e.ds.Space(), e.ds.Object(id))
+	} else {
+		pv, dv = e.psa.Assign(e.ds.Space(), e.ds.Object(id), e.l)
+	}
+	e.appendRow(id, pv, dv)
+	return nil
+}
+
+// Delete locates the row by sequential scan (as §6.3 describes) and
+// removes it.
+func (e *EPT) Delete(id int) error {
+	row := -1
+	for i, rid := range e.ids {
+		if int(rid) == id {
+			row = i
+			break
+		}
+	}
+	if row < 0 {
+		return fmt.Errorf("ept: delete of unindexed object %d", id)
+	}
+	l := e.l
+	last := len(e.ids) - 1
+	lastID := e.ids[last]
+	e.ids[row] = lastID
+	copy(e.pids[row*l:row*l+l], e.pids[last*l:last*l+l])
+	copy(e.dists[row*l:row*l+l], e.dists[last*l:last*l+l])
+	e.ids = e.ids[:last]
+	e.pids = e.pids[:last*l]
+	e.dists = e.dists[:last*l]
+	e.rowOf[int(lastID)] = row
+	delete(e.rowOf, id)
+	return nil
+}
+
+// PageAccesses returns 0: EPT is an in-memory index.
+func (e *EPT) PageAccesses() int64 { return 0 }
+
+// ResetStats is a no-op.
+func (e *EPT) ResetStats() {}
+
+// MemBytes reports the table size: EPT stores a pivot id next to every
+// distance, so it is larger than LAESA's table (Table 4).
+func (e *EPT) MemBytes() int64 {
+	return int64(len(e.dists))*8 + int64(len(e.pids))*4 + int64(len(e.ids))*4
+}
+
+// DiskBytes returns 0.
+func (e *EPT) DiskBytes() int64 { return 0 }

@@ -1,0 +1,183 @@
+package ept
+
+import (
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/pivot"
+	"metricindex/internal/store"
+	"metricindex/internal/testutil"
+)
+
+func build(t *testing.T, ds *core.Dataset, v Variant) *EPT {
+	t.Helper()
+	idx, err := New(ds, v, Options{L: 4, Radius: 10, Sel: pivot.Options{Seed: 3, SampleSize: 128}})
+	if err != nil {
+		t.Fatalf("New(%v): %v", v, err)
+	}
+	return idx
+}
+
+func TestEPTVariantsMatchBruteForce(t *testing.T) {
+	for _, v := range []Variant{Original, Star} {
+		ds := testutil.VectorDataset(250, 4, 100, core.L2{}, 7)
+		idx := build(t, ds, v)
+		for qs := int64(0); qs < 4; qs++ {
+			q := testutil.RandomQuery(ds, qs)
+			for _, r := range testutil.Radii(ds, q) {
+				testutil.CheckRange(t, idx, ds, q, r)
+			}
+			for _, k := range []int{1, 7, 40} {
+				testutil.CheckKNN(t, idx, ds, q, k)
+			}
+		}
+	}
+}
+
+func TestEPTNames(t *testing.T) {
+	ds := testutil.VectorDataset(60, 3, 100, core.L2{}, 7)
+	if got := build(t, ds, Original).Name(); got != "EPT" {
+		t.Fatalf("Name = %q, want EPT", got)
+	}
+	if got := build(t, ds, Star).Name(); got != "EPT*" {
+		t.Fatalf("Name = %q, want EPT*", got)
+	}
+}
+
+func TestEPTInsertDelete(t *testing.T) {
+	for _, v := range []Variant{Original, Star} {
+		ds := testutil.VectorDataset(150, 4, 100, core.L2{}, 9)
+		idx := build(t, ds, v)
+		for id := 0; id < 150; id += 5 {
+			if err := idx.Delete(id); err != nil {
+				t.Fatalf("Delete(%d): %v", id, err)
+			}
+			if err := ds.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			id := ds.Insert(core.Vector{float64(i), 50, 50, 50})
+			if err := idx.Insert(id); err != nil {
+				t.Fatalf("Insert(%d): %v", id, err)
+			}
+		}
+		q := testutil.RandomQuery(ds, 2)
+		for _, r := range testutil.Radii(ds, q) {
+			testutil.CheckRange(t, idx, ds, q, r)
+		}
+		testutil.CheckKNN(t, idx, ds, q, 15)
+	}
+}
+
+func TestEPTStarBuildCostExceedsEPT(t *testing.T) {
+	mk := func(v Variant) int64 {
+		ds := testutil.VectorDataset(200, 4, 100, core.L2{}, 7)
+		ds.Space().ResetCompDists()
+		build(t, ds, v)
+		return ds.Space().CompDists()
+	}
+	eptCost, starCost := mk(Original), mk(Star)
+	if starCost <= eptCost {
+		t.Fatalf("EPT* construction (%d compdists) should exceed EPT (%d), per Table 4", starCost, eptCost)
+	}
+}
+
+func TestEPTErrors(t *testing.T) {
+	ds := testutil.VectorDataset(50, 3, 100, core.L2{}, 7)
+	if _, err := New(ds, Star, Options{L: 0}); err == nil {
+		t.Fatal("L=0 must fail")
+	}
+	idx := build(t, ds, Star)
+	if err := idx.Delete(999); err == nil {
+		t.Fatal("Delete(999) should fail")
+	}
+	if err := idx.Insert(3); err == nil {
+		t.Fatal("duplicate Insert should fail")
+	}
+}
+
+func TestEPTWordsDataset(t *testing.T) {
+	ds := testutil.WordDataset(200, 5)
+	idx := build(t, ds, Star)
+	q := testutil.RandomQuery(ds, 3)
+	for _, r := range []float64{0, 1, 3} {
+		testutil.CheckRange(t, idx, ds, q, r)
+	}
+	testutil.CheckKNN(t, idx, ds, q, 9)
+}
+
+func TestDiskEPTMatchesBruteForce(t *testing.T) {
+	ds := testutil.VectorDataset(300, 4, 100, core.L2{}, 7)
+	p := store.NewPager(512)
+	idx, err := NewDisk(ds, p, Options{L: 4, Sel: pivot.Options{Seed: 3}})
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	for qs := int64(0); qs < 4; qs++ {
+		q := testutil.RandomQuery(ds, qs)
+		for _, r := range testutil.Radii(ds, q) {
+			testutil.CheckRange(t, idx, ds, q, r)
+		}
+		for _, k := range []int{1, 9, 50, 300} {
+			testutil.CheckKNN(t, idx, ds, q, k)
+		}
+	}
+	if idx.Name() != "DiskEPT*" {
+		t.Fatalf("Name = %q", idx.Name())
+	}
+	if idx.DiskBytes() == 0 || idx.PageAccesses() == 0 {
+		t.Fatal("DiskEPT* must live on disk")
+	}
+}
+
+func TestDiskEPTInsertDelete(t *testing.T) {
+	ds := testutil.VectorDataset(180, 4, 100, core.L2{}, 9)
+	p := store.NewPager(512)
+	idx, err := NewDisk(ds, p, Options{L: 3, Sel: pivot.Options{Seed: 5}})
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	for id := 0; id < 180; id += 4 {
+		if err := idx.Delete(id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+		if err := ds.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		id := ds.Insert(core.Vector{float64(i), 50, 50, 50})
+		if err := idx.Insert(id); err != nil {
+			t.Fatalf("Insert(%d): %v", id, err)
+		}
+	}
+	q := testutil.RandomQuery(ds, 2)
+	for _, r := range testutil.Radii(ds, q) {
+		testutil.CheckRange(t, idx, ds, q, r)
+	}
+	testutil.CheckKNN(t, idx, ds, q, 13)
+	if idx.Len() != ds.Count() {
+		t.Fatalf("Len=%d want %d", idx.Len(), ds.Count())
+	}
+}
+
+func TestDiskEPTFewerCompdistsThanOmniStyleScan(t *testing.T) {
+	// The point of the extension: EPT*'s per-object pivots prune better
+	// than a shared pivot set of the same size on a disk table.
+	ds := testutil.VectorDataset(500, 8, 100, core.L2{}, 21)
+	p := store.NewPager(1024)
+	idx, err := NewDisk(ds, p, Options{L: 5, Sel: pivot.Options{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testutil.RandomQuery(ds, 5)
+	ds.Space().ResetCompDists()
+	if _, err := idx.RangeSearch(q, 10); err != nil {
+		t.Fatal(err)
+	}
+	cost := ds.Space().CompDists()
+	if cost >= int64(ds.Count()) {
+		t.Fatalf("DiskEPT* spent %d compdists, no better than a scan of %d", cost, ds.Count())
+	}
+}

@@ -1,0 +1,156 @@
+package mindex
+
+import (
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/pivot"
+	"metricindex/internal/store"
+	"metricindex/internal/testutil"
+)
+
+func build(t *testing.T, ds *core.Dataset, star bool, maxNum int) (*MIndex, *store.Pager) {
+	t.Helper()
+	p := store.NewPager(512)
+	pv, err := pivot.HFI(ds, 4, pivot.Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("HFI: %v", err)
+	}
+	idx, err := New(ds, p, pv, Options{Star: star, MaxNum: maxNum, MaxDistance: 300})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return idx, p
+}
+
+func TestMIndexMatchesBruteForce(t *testing.T) {
+	for _, star := range []bool{false, true} {
+		ds := testutil.VectorDataset(400, 4, 100, core.L2{}, 7)
+		idx, _ := build(t, ds, star, 64) // small maxnum exercises splits
+		for qs := int64(0); qs < 4; qs++ {
+			q := testutil.RandomQuery(ds, qs)
+			for _, r := range testutil.Radii(ds, q) {
+				testutil.CheckRange(t, idx, ds, q, r)
+			}
+			for _, k := range []int{1, 7, 40, 400} {
+				testutil.CheckKNN(t, idx, ds, q, k)
+			}
+		}
+	}
+}
+
+func TestMIndexWords(t *testing.T) {
+	for _, star := range []bool{false, true} {
+		ds := testutil.WordDataset(250, 11)
+		p := store.NewPager(512)
+		pv, _ := pivot.HFI(ds, 3, pivot.Options{Seed: 5})
+		idx, err := New(ds, p, pv, Options{Star: star, MaxNum: 64, MaxDistance: 40})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		q := testutil.RandomQuery(ds, 3)
+		for _, r := range []float64{0, 1, 2, 4} {
+			testutil.CheckRange(t, idx, ds, q, r)
+		}
+		testutil.CheckKNN(t, idx, ds, q, 9)
+	}
+}
+
+func TestMIndexNames(t *testing.T) {
+	ds := testutil.VectorDataset(60, 3, 100, core.L2{}, 1)
+	plain, _ := build(t, ds, false, 0)
+	if plain.Name() != "M-index" {
+		t.Fatalf("Name = %q", plain.Name())
+	}
+	ds2 := testutil.VectorDataset(60, 3, 100, core.L2{}, 1)
+	star, _ := build(t, ds2, true, 0)
+	if star.Name() != "M-index*" {
+		t.Fatalf("Name = %q", star.Name())
+	}
+}
+
+func TestMIndexInsertDelete(t *testing.T) {
+	for _, star := range []bool{false, true} {
+		ds := testutil.VectorDataset(200, 4, 100, core.L2{}, 13)
+		idx, _ := build(t, ds, star, 32)
+		for id := 0; id < 200; id += 4 {
+			if err := idx.Delete(id); err != nil {
+				t.Fatalf("Delete(%d): %v", id, err)
+			}
+			if err := ds.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			id := ds.Insert(core.Vector{float64(i), 50, 50, 50})
+			if err := idx.Insert(id); err != nil {
+				t.Fatalf("Insert(%d): %v", id, err)
+			}
+		}
+		q := testutil.RandomQuery(ds, 2)
+		for _, r := range testutil.Radii(ds, q) {
+			testutil.CheckRange(t, idx, ds, q, r)
+		}
+		testutil.CheckKNN(t, idx, ds, q, 15)
+		if idx.Len() != ds.Count() {
+			t.Fatalf("Len=%d want %d", idx.Len(), ds.Count())
+		}
+	}
+}
+
+func TestMIndexStarFewerPAOnKNN(t *testing.T) {
+	// Fig 15: MkNNQ via the plain M-index re-traverses the index per
+	// radius step, so M-index* should cost no more page accesses.
+	mk := func(star bool) int64 {
+		ds := testutil.VectorDataset(600, 4, 100, core.L2{}, 17)
+		idx, p := build(t, ds, star, 64)
+		q := testutil.RandomQuery(ds, 9)
+		p.ResetStats()
+		if _, err := idx.KNNSearch(q, 10); err != nil {
+			t.Fatal(err)
+		}
+		return idx.PageAccesses()
+	}
+	plain, star := mk(false), mk(true)
+	if star > plain {
+		t.Fatalf("M-index* kNN PA (%d) should not exceed M-index (%d)", star, plain)
+	}
+}
+
+func TestMIndexValidation(t *testing.T) {
+	// M-index* validation must not change range results, only costs.
+	dsA := testutil.VectorDataset(300, 4, 100, core.L2{}, 19)
+	a, _ := build(t, dsA, false, 64)
+	dsB := testutil.VectorDataset(300, 4, 100, core.L2{}, 19)
+	b, _ := build(t, dsB, true, 64)
+	q := testutil.RandomQuery(dsA, 4)
+	for _, r := range []float64{5, 20, 60} {
+		ra, err := a.RangeSearch(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.RangeSearch(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("r=%v: plain %d results, star %d", r, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("r=%v: result %d differs (%d vs %d)", r, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestMIndexRequiresTwoPivots(t *testing.T) {
+	ds := testutil.VectorDataset(50, 3, 100, core.L2{}, 1)
+	p := store.NewPager(512)
+	if _, err := New(ds, p, []int{0}, Options{MaxDistance: 100}); err == nil {
+		t.Fatal("one pivot must be rejected (hyperplane partitioning needs two)")
+	}
+	if _, err := New(ds, p, []int{0, 1}, Options{}); err == nil {
+		t.Fatal("missing MaxDistance must be rejected")
+	}
+}

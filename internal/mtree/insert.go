@@ -1,0 +1,347 @@
+package mtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"metricindex/internal/core"
+	"metricindex/internal/store"
+)
+
+// Insert adds the dataset object with the given id to the tree: descend
+// along the subtree whose covering ball needs the least enlargement,
+// append to the reached leaf, and split bottom-up on page overflow
+// (promotion: far-pair sampling; partition: generalized hyperplane).
+func (t *Tree) Insert(id int) error {
+	o := t.ds.Object(id)
+	if o == nil {
+		return fmt.Errorf("mtree: insert of deleted object %d", id)
+	}
+	pdists := t.pivotDists(o)
+	sp, err := t.insert(t.root, o, id, pdists, math.Inf(1))
+	if err != nil {
+		return err
+	}
+	if sp != nil {
+		// Root split: grow the tree by one level.
+		for i := range sp.entries {
+			sp.entries[i].pd = math.Inf(1)
+		}
+		root := &node{leaf: false, entries: sp.entries}
+		if t.nodeSize(root) > t.pager.PageSize() {
+			return fmt.Errorf("mtree: two routing entries (%d bytes) exceed the %d-byte page; increase the page size (§6.1 uses 40KB for high-dimensional data)",
+				t.nodeSize(root), t.pager.PageSize())
+		}
+		newRoot := t.pager.Alloc()
+		t.writeNode(newRoot, root)
+		t.root = newRoot
+	}
+	t.size++
+	return nil
+}
+
+// splitOut carries the two routing entries that replace an overflowed
+// child in its parent.
+type splitOut struct {
+	entries []entry // exactly two routing entries (pd unset)
+}
+
+// insert descends recursively. dFromParent is d(newObject, parent routing
+// object) — the new entry's parent distance at the level it lands.
+func (t *Tree) insert(pid store.PageID, o core.Object, id int, pdists []float64, dFromParent float64) (*splitOut, error) {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return nil, err
+	}
+	if n.leaf {
+		n.entries = append(n.entries, entry{obj: o, pd: dFromParent, id: int32(id), pdists: pdists})
+		t.leafOf[id] = pid
+		if t.nodeSize(n) <= t.pager.PageSize() {
+			t.writeNode(pid, n)
+			return nil, nil
+		}
+		return t.split(pid, n)
+	}
+
+	// Choose the child: among covering entries the closest routing
+	// object; otherwise the one with minimal radius enlargement (the
+	// classic M-tree heuristic).
+	sp := t.ds.Space()
+	bestIdx, bestD := -1, math.Inf(1)
+	bestEnl := math.Inf(1)
+	dists := make([]float64, len(n.entries))
+	covered := false
+	for i := range n.entries {
+		e := &n.entries[i]
+		d := sp.Distance(o, e.obj)
+		dists[i] = d
+		if d <= e.radius {
+			if !covered || d < bestD {
+				covered = true
+				bestIdx, bestD = i, d
+			}
+		} else if !covered {
+			if enl := d - e.radius; enl < bestEnl {
+				bestEnl = enl
+				bestIdx, bestD = i, d
+			}
+		}
+	}
+	e := &n.entries[bestIdx]
+	if bestD > e.radius {
+		e.radius = bestD
+	}
+	if t.opts.NumPivots > 0 {
+		mergeRingPoint(e.rings, pdists)
+	}
+	childSplit, err := t.insert(e.child, o, id, pdists, bestD)
+	if err != nil {
+		return nil, err
+	}
+	if childSplit == nil {
+		t.writeNode(pid, n)
+		return nil, nil
+	}
+	// Replace entry bestIdx with the two promoted routing entries,
+	// computing their parent distances lazily at the caller level (set
+	// below via this node's own parent; here pd is the distance to this
+	// node's routing object, which the caller knows — so we compute it
+	// when the caller writes us. Instead we compute pd now against the
+	// parent object by convention: the caller passes it via recursion, so
+	// at this level the new entries' pd must be distance to *our* parent
+	// object; we do not know it here. We therefore recompute pd for the
+	// two new entries when they are placed: at this node they are
+	// children, and their pd is the distance to this node's own routing
+	// object in the parent — not stored in the node. The M-tree handles
+	// this by computing pd against the routing object of the parent
+	// *entry*; since we replace in place, we approximate pd with ∞, which
+	// disables (never breaks) the parent-distance filter for these two
+	// entries.
+	for i := range childSplit.entries {
+		childSplit.entries[i].pd = math.Inf(1)
+	}
+	n.entries[bestIdx] = childSplit.entries[0]
+	n.entries = append(n.entries, entry{})
+	copy(n.entries[bestIdx+2:], n.entries[bestIdx+1:])
+	n.entries[bestIdx+1] = childSplit.entries[1]
+	if t.nodeSize(n) <= t.pager.PageSize() {
+		t.writeNode(pid, n)
+		return nil, nil
+	}
+	return t.split(pid, n)
+}
+
+// split divides an overflowed node into two, reusing pid for the first
+// half, and returns the two promoted routing entries.
+func (t *Tree) split(pid store.PageID, n *node) (*splitOut, error) {
+	if len(n.entries) < 2 {
+		return nil, fmt.Errorf("mtree: node overflows page size %d with %d entries; increase the page size (paper §6.1 uses 40KB for high-dimensional data)",
+			t.pager.PageSize(), len(n.entries))
+	}
+	sp := t.ds.Space()
+	// Promotion: pick a far pair with two linear passes (random anchor →
+	// farthest a; farthest from a → b). O(3·c) distance computations.
+	anchor := t.rng.Intn(len(n.entries))
+	ai, ad := anchor, -1.0
+	for i := range n.entries {
+		if i == anchor {
+			continue
+		}
+		if d := sp.Distance(n.entries[anchor].obj, n.entries[i].obj); d > ad {
+			ai, ad = i, d
+		}
+	}
+	bi, bd := anchor, -1.0
+	for i := range n.entries {
+		if i == ai {
+			continue
+		}
+		if d := sp.Distance(n.entries[ai].obj, n.entries[i].obj); d > bd {
+			bi, bd = i, d
+		}
+	}
+	if ai == bi {
+		bi = (ai + 1) % len(n.entries)
+	}
+
+	// Partition: generalized hyperplane (nearer promoted object wins),
+	// with a balance fallback so neither side is empty.
+	aObj, bObj := n.entries[ai].obj, n.entries[bi].obj
+	var aEnt, bEnt []entry
+	for i := range n.entries {
+		e := n.entries[i]
+		var da, db float64
+		switch i {
+		case ai:
+			da, db = 0, bd
+		case bi:
+			da, db = bd, 0
+		default:
+			da = sp.Distance(aObj, e.obj)
+			db = sp.Distance(bObj, e.obj)
+		}
+		if da <= db {
+			e.pd = da
+			aEnt = append(aEnt, e)
+		} else {
+			e.pd = db
+			bEnt = append(bEnt, e)
+		}
+	}
+	if len(aEnt) == 0 || len(bEnt) == 0 {
+		// Degenerate metric (all ties): split by position.
+		aEnt, bEnt = nil, nil
+		mid := len(n.entries) / 2
+		for i, e := range n.entries {
+			if i < mid {
+				e.pd = sp.Distance(aObj, e.obj)
+				aEnt = append(aEnt, e)
+			} else {
+				e.pd = sp.Distance(bObj, e.obj)
+				bEnt = append(bEnt, e)
+			}
+		}
+	}
+
+	left := &node{leaf: n.leaf, entries: aEnt}
+	right := &node{leaf: n.leaf, entries: bEnt}
+	rightPID := t.pager.Alloc()
+	// Verify both halves fit; objects bigger than half a page can defeat
+	// the hyperplane partition, so rebalance by moving entries if needed.
+	if t.nodeSize(left) > t.pager.PageSize() || t.nodeSize(right) > t.pager.PageSize() {
+		if err := t.rebalance(left, right); err != nil {
+			return nil, err
+		}
+	}
+	// Covering radii from the (now final) membership: parent distances of
+	// moved entries are recomputed on demand.
+	finalRadius := func(promoted core.Object, nd *node) float64 {
+		var r float64
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if math.IsInf(e.pd, 1) {
+				e.pd = sp.Distance(promoted, e.obj)
+			}
+			d := e.pd
+			if !nd.leaf {
+				d += e.radius
+			}
+			if d > r {
+				r = d
+			}
+		}
+		return r
+	}
+	leftRadius := finalRadius(aObj, left)
+	rightRadius := finalRadius(bObj, right)
+	t.writeNode(pid, left)
+	t.writeNode(rightPID, right)
+	if n.leaf {
+		for i := range left.entries {
+			t.leafOf[int(left.entries[i].id)] = pid
+		}
+		for i := range right.entries {
+			t.leafOf[int(right.entries[i].id)] = rightPID
+		}
+	}
+
+	var leftRings, rightRings []float64
+	if t.opts.NumPivots > 0 {
+		if n.leaf {
+			leftRings = ringsOfLeaf(t.opts.NumPivots, left.entries)
+			rightRings = ringsOfLeaf(t.opts.NumPivots, right.entries)
+		} else {
+			leftRings = ringsOfRouting(t.opts.NumPivots, left.entries)
+			rightRings = ringsOfRouting(t.opts.NumPivots, right.entries)
+		}
+	}
+	return &splitOut{entries: []entry{
+		{obj: aObj, child: pid, radius: leftRadius, rings: leftRings},
+		{obj: bObj, child: rightPID, radius: rightRadius, rings: rightRings},
+	}}, nil
+}
+
+// rebalance moves entries between halves until both fit, recomputing
+// parent distances of moved entries lazily as ∞ (filter-safe).
+func (t *Tree) rebalance(a, b *node) error {
+	for t.nodeSize(a) > t.pager.PageSize() {
+		if len(a.entries) <= 1 {
+			return fmt.Errorf("mtree: entry larger than page (%d bytes); increase the page size", t.nodeSize(a))
+		}
+		e := a.entries[len(a.entries)-1]
+		e.pd = math.Inf(1)
+		a.entries = a.entries[:len(a.entries)-1]
+		b.entries = append(b.entries, e)
+	}
+	for t.nodeSize(b) > t.pager.PageSize() {
+		if len(b.entries) <= 1 {
+			return fmt.Errorf("mtree: entry larger than page (%d bytes); increase the page size", t.nodeSize(b))
+		}
+		e := b.entries[len(b.entries)-1]
+		e.pd = math.Inf(1)
+		b.entries = b.entries[:len(b.entries)-1]
+		a.entries = append(a.entries, e)
+	}
+	return nil
+}
+
+// Delete removes the object from its leaf (located via the directory).
+// Covering radii and rings stay conservative, which preserves search
+// correctness; no rebalancing is performed (§6.3 measures delete+reinsert).
+func (t *Tree) Delete(id int) error {
+	pid, ok := t.leafOf[id]
+	if !ok {
+		return fmt.Errorf("mtree: delete of unindexed object %d", id)
+	}
+	n, err := t.readNode(pid)
+	if err != nil {
+		return err
+	}
+	for i := range n.entries {
+		if int(n.entries[i].id) == id {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			t.writeNode(pid, n)
+			delete(t.leafOf, id)
+			t.size--
+			return nil
+		}
+	}
+	return fmt.Errorf("mtree: directory points to leaf %d but object %d is missing", pid, id)
+}
+
+// ReadObject fetches the stored object by id, paying the leaf page access
+// (this is how CPT loads candidates for verification, §3.3). Only the
+// matching entry is decoded — the equivalent of the paper's direct
+// pointers from CPT's distance table into the M-tree leaves.
+func (t *Tree) ReadObject(id int) (core.Object, error) {
+	pid, ok := t.leafOf[id]
+	if !ok {
+		return nil, fmt.Errorf("mtree: no object %d", id)
+	}
+	buf, err := t.pager.Read(pid)
+	if err != nil {
+		return nil, err
+	}
+	if buf[0] != 0 {
+		return nil, fmt.Errorf("mtree: directory points to non-leaf page %d", pid)
+	}
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	off := 3
+	l := t.opts.NumPivots
+	for i := 0; i < count; i++ {
+		eid := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 12 + 8*l // id, parent distance, pivot distances
+		objLen := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if eid == id {
+			obj, _, err := store.DecodeObject(buf[off : off+objLen])
+			return obj, err
+		}
+		off += objLen
+	}
+	return nil, fmt.Errorf("mtree: directory points to leaf %d but object %d is missing", pid, id)
+}
+
+// rebalanceRings is unused for plain M-trees; kept for symmetry.
+var _ = mergeRings

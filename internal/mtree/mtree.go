@@ -1,0 +1,281 @@
+// Package mtree implements a disk-resident M-tree [13] over the simulated
+// page store, with optional per-entry pivot rings that turn it into the
+// PM-tree of [26] (§5.1).
+//
+// Nodes store entries with the *actual objects* inside (routing objects in
+// internal nodes, data objects in leaves) — the design property the paper
+// repeatedly calls out: it forces large pages for high-dimensional data
+// and inflates storage (Table 4) but saves a separate object file.
+//
+// With NumPivots = 0 the tree is a plain M-tree: CPT (§3.3) uses it to
+// cluster objects on disk. With NumPivots = l > 0 every entry additionally
+// carries hyper-ring intervals [min,max] of the subtree's distances to
+// each of the l shared pivots, and leaf entries carry their objects' pivot
+// distances — the PM-tree, pruned by Lemma 1 (rings) and Lemma 2 (covering
+// radii) plus the classic parent-distance filter.
+package mtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"metricindex/internal/core"
+	"metricindex/internal/store"
+)
+
+// Options tunes the tree.
+type Options struct {
+	// NumPivots enables PM-tree rings when > 0.
+	NumPivots int
+	// Seed drives split promotion sampling.
+	Seed int64
+}
+
+// entry is a decoded node entry. Exactly one of the leaf/routing field
+// groups is meaningful depending on the owning node's kind.
+type entry struct {
+	obj core.Object
+	pd  float64 // parent distance (∞ at root level)
+
+	// leaf
+	id     int32
+	pdists []float64 // distances to the l shared pivots
+
+	// routing
+	child  store.PageID
+	radius float64
+	rings  []float64 // 2l values: lo/hi interleaved per pivot
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is the (P)M-tree handle.
+type Tree struct {
+	ds     *core.Dataset
+	pager  *store.Pager
+	opts   Options
+	pivots []core.Object // values of the l shared pivots (nil when plain)
+	root   store.PageID
+	size   int
+	rng    *rand.Rand
+	leafOf map[int]store.PageID // object id -> leaf page (CPT's pointers)
+}
+
+// New creates an empty tree. For the PM-tree variant, pivotIDs supplies
+// the shared pivot set whose values are snapshotted.
+func New(ds *core.Dataset, pager *store.Pager, pivotIDs []int, opts Options) (*Tree, error) {
+	if opts.NumPivots > 0 && len(pivotIDs) < opts.NumPivots {
+		return nil, fmt.Errorf("mtree: need %d pivots, got %d", opts.NumPivots, len(pivotIDs))
+	}
+	t := &Tree{
+		ds:     ds,
+		pager:  pager,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		leafOf: make(map[int]store.PageID),
+	}
+	for i := 0; i < opts.NumPivots; i++ {
+		v := ds.Object(pivotIDs[i])
+		if v == nil {
+			return nil, fmt.Errorf("mtree: pivot %d is not a live object", pivotIDs[i])
+		}
+		t.pivots = append(t.pivots, v)
+	}
+	t.root = pager.Alloc()
+	t.writeNode(t.root, &node{leaf: true})
+	return t, nil
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.size }
+
+// NumPivots returns l (0 for a plain M-tree).
+func (t *Tree) NumPivots() int { return t.opts.NumPivots }
+
+// PivotValues returns the snapshotted pivot objects.
+func (t *Tree) PivotValues() []core.Object { return t.pivots }
+
+// ---- serialization ----
+
+func (t *Tree) entrySize(leaf bool, e *entry) int {
+	objLen := store.EncodedObjectSize(e.obj)
+	if leaf {
+		return 4 + 8 + 8*t.opts.NumPivots + 4 + objLen
+	}
+	return 4 + 8 + 8 + 16*t.opts.NumPivots + 4 + objLen
+}
+
+func (t *Tree) nodeSize(n *node) int {
+	sz := 3
+	for i := range n.entries {
+		sz += t.entrySize(n.leaf, &n.entries[i])
+	}
+	return sz
+}
+
+func (t *Tree) writeNode(pid store.PageID, n *node) {
+	buf := make([]byte, 0, t.pager.PageSize())
+	kind := byte(1)
+	if n.leaf {
+		kind = 0
+	}
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.entries)))
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.leaf {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.id))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.pd))
+			buf = store.EncodeFloats(buf, e.pdists)
+		} else {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.child))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.radius))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.pd))
+			buf = store.EncodeFloats(buf, e.rings)
+		}
+		objBytes := store.EncodeObject(nil, e.obj)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(objBytes)))
+		buf = append(buf, objBytes...)
+	}
+	if err := t.pager.Write(pid, buf); err != nil {
+		panic(fmt.Sprintf("mtree: node write overflow: %v (size %d)", err, len(buf)))
+	}
+}
+
+func (t *Tree) readNode(pid store.PageID) (*node, error) {
+	buf, err := t.pager.Read(pid)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{leaf: buf[0] == 0}
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	off := 3
+	l := t.opts.NumPivots
+	n.entries = make([]entry, count)
+	for i := 0; i < count; i++ {
+		e := &n.entries[i]
+		if n.leaf {
+			e.id = int32(binary.LittleEndian.Uint32(buf[off:]))
+			e.pd = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+			off += 12
+			if l > 0 {
+				e.pdists, _, err = store.DecodeFloats(buf[off:], l)
+				if err != nil {
+					return nil, fmt.Errorf("mtree: leaf entry decode: %w", err)
+				}
+				off += 8 * l
+			}
+		} else {
+			e.child = store.PageID(binary.LittleEndian.Uint32(buf[off:]))
+			e.radius = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+			e.pd = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+12:]))
+			off += 20
+			if l > 0 {
+				e.rings, _, err = store.DecodeFloats(buf[off:], 2*l)
+				if err != nil {
+					return nil, fmt.Errorf("mtree: routing entry decode: %w", err)
+				}
+				off += 16 * l
+			}
+		}
+		objLen := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		obj, n2, err := store.DecodeObject(buf[off : off+objLen])
+		if err != nil {
+			return nil, fmt.Errorf("mtree: object decode: %w", err)
+		}
+		e.obj = obj
+		off += n2
+		_ = n2
+	}
+	return n, nil
+}
+
+// pivotDists computes the l shared-pivot distances of an object through
+// the counted space.
+func (t *Tree) pivotDists(o core.Object) []float64 {
+	if t.opts.NumPivots == 0 {
+		return nil
+	}
+	sp := t.ds.Space()
+	pd := make([]float64, len(t.pivots))
+	for i, p := range t.pivots {
+		pd[i] = sp.Distance(o, p)
+	}
+	return pd
+}
+
+// ringsOfLeaf builds the ring intervals covering a set of leaf pivot
+// distances.
+func ringsOfLeaf(l int, entries []entry) []float64 {
+	if l == 0 {
+		return nil
+	}
+	rings := make([]float64, 2*l)
+	for i := 0; i < l; i++ {
+		rings[2*i] = math.Inf(1)
+		rings[2*i+1] = math.Inf(-1)
+	}
+	for _, e := range entries {
+		for i := 0; i < l; i++ {
+			if e.pdists[i] < rings[2*i] {
+				rings[2*i] = e.pdists[i]
+			}
+			if e.pdists[i] > rings[2*i+1] {
+				rings[2*i+1] = e.pdists[i]
+			}
+		}
+	}
+	return rings
+}
+
+// ringsOfRouting merges child ring intervals.
+func ringsOfRouting(l int, entries []entry) []float64 {
+	if l == 0 {
+		return nil
+	}
+	rings := make([]float64, 2*l)
+	for i := 0; i < l; i++ {
+		rings[2*i] = math.Inf(1)
+		rings[2*i+1] = math.Inf(-1)
+	}
+	for _, e := range entries {
+		for i := 0; i < l; i++ {
+			if e.rings[2*i] < rings[2*i] {
+				rings[2*i] = e.rings[2*i]
+			}
+			if e.rings[2*i+1] > rings[2*i+1] {
+				rings[2*i+1] = e.rings[2*i+1]
+			}
+		}
+	}
+	return rings
+}
+
+// mergeRingsInto widens dst to cover src (either rings or point dists).
+func mergeRingPoint(rings, pdists []float64) {
+	for i := 0; i < len(pdists); i++ {
+		if pdists[i] < rings[2*i] {
+			rings[2*i] = pdists[i]
+		}
+		if pdists[i] > rings[2*i+1] {
+			rings[2*i+1] = pdists[i]
+		}
+	}
+}
+
+func mergeRings(dst, src []float64) {
+	for i := 0; i*2 < len(dst); i++ {
+		if src[2*i] < dst[2*i] {
+			dst[2*i] = src[2*i]
+		}
+		if src[2*i+1] > dst[2*i+1] {
+			dst[2*i+1] = src[2*i+1]
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package mtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"metricindex/internal/core"
+	"metricindex/internal/store"
+)
+
+// ringsPrune applies Lemma 1 to a ring set (PM-tree): true when the rings
+// cannot intersect the search region.
+func ringsPrune(rings, qd []float64, r float64) bool {
+	for i := range qd {
+		if rings[2*i] > qd[i]+r || rings[2*i+1] < qd[i]-r {
+			return true
+		}
+	}
+	return false
+}
+
+// ringsMinDist is the L∞ lower bound from the query's pivot image to the
+// rings, for best-first ordering.
+func ringsMinDist(rings, qd []float64) float64 {
+	var m float64
+	for i := range qd {
+		var d float64
+		switch {
+		case qd[i] < rings[2*i]:
+			d = rings[2*i] - qd[i]
+		case qd[i] > rings[2*i+1]:
+			d = qd[i] - rings[2*i+1]
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// pdistPrune applies Lemma 1 to a leaf entry's exact pivot distances.
+func pdistPrune(pdists, qd []float64, r float64) bool {
+	for i := range qd {
+		if d := math.Abs(qd[i] - pdists[i]); d > r {
+			return true
+		}
+	}
+	return false
+}
+
+// QueryDists computes d(q, p_i) for the shared pivots (nil for a plain
+// M-tree). Call once per query and pass to the searches.
+func (t *Tree) QueryDists(q core.Object) []float64 {
+	if t.opts.NumPivots == 0 {
+		return nil
+	}
+	sp := t.ds.Space()
+	qd := make([]float64, len(t.pivots))
+	for i, p := range t.pivots {
+		qd[i] = sp.Distance(q, p)
+	}
+	return qd
+}
+
+// RangeSearch answers MRQ(q, r) with depth-first traversal: the
+// parent-distance filter skips entries without computing d(q, RO); rings
+// (Lemma 1) and covering radii (Lemma 2) prune subtrees; leaf entries are
+// verified on their decoded objects.
+func (t *Tree) RangeSearch(q core.Object, r float64, qd []float64) ([]int, error) {
+	sp := t.ds.Space()
+	var res []int
+	var walk func(pid store.PageID, dParent float64) error
+	walk = func(pid store.PageID, dParent float64) error {
+		n, err := t.readNode(pid)
+		if err != nil {
+			return err
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if n.leaf {
+				// Parent-distance filter: |d(q,par) − d(o,par)| > r.
+				if !math.IsInf(dParent, 1) && !math.IsInf(e.pd, 1) &&
+					math.Abs(dParent-e.pd) > r {
+					continue
+				}
+				if qd != nil && pdistPrune(e.pdists, qd, r) {
+					continue
+				}
+				if sp.Distance(q, e.obj) <= r {
+					res = append(res, int(e.id))
+				}
+				continue
+			}
+			// Routing entry: parent-distance filter on the ball.
+			if !math.IsInf(dParent, 1) && !math.IsInf(e.pd, 1) &&
+				math.Abs(dParent-e.pd) > r+e.radius {
+				continue
+			}
+			if qd != nil && ringsPrune(e.rings, qd, r) {
+				continue
+			}
+			d := sp.Distance(q, e.obj)
+			if core.PruneBall(d, e.radius, r) { // Lemma 2
+				continue
+			}
+			if err := walk(e.child, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, math.Inf(1)); err != nil {
+		return nil, err
+	}
+	sort.Ints(res)
+	return res, nil
+}
+
+// knnItem is a prioritized subtree for best-first traversal.
+type knnItem struct {
+	pid store.PageID
+	lb  float64
+	dp  float64 // d(q, routing object) of the entry leading here
+}
+
+type knnPQ []knnItem
+
+func (p knnPQ) Len() int           { return len(p) }
+func (p knnPQ) Less(i, j int) bool { return p[i].lb < p[j].lb }
+func (p knnPQ) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *knnPQ) Push(x any)        { *p = append(*p, x.(knnItem)) }
+func (p *knnPQ) Pop() any {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}
+
+// KNNSearch answers MkNNQ(q, k) best-first: subtrees are visited in
+// ascending lower-bound order (the maximum of the ball bound and the ring
+// bound), with the radius tightened by verified objects (§5.1).
+func (t *Tree) KNNSearch(q core.Object, k int, qd []float64) ([]core.Neighbor, error) {
+	sp := t.ds.Space()
+	h := core.NewKNNHeap(k)
+	pq := &knnPQ{}
+	heap.Push(pq, knnItem{pid: t.root, lb: 0, dp: math.Inf(1)})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(knnItem)
+		if it.lb > h.Radius() {
+			break
+		}
+		n, err := t.readNode(it.pid)
+		if err != nil {
+			return nil, err
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			r := h.Radius()
+			if n.leaf {
+				if !math.IsInf(r, 1) {
+					if !math.IsInf(it.dp, 1) && !math.IsInf(e.pd, 1) &&
+						math.Abs(it.dp-e.pd) > r {
+						continue
+					}
+					if qd != nil && pdistPrune(e.pdists, qd, r) {
+						continue
+					}
+				}
+				h.Push(int(e.id), sp.Distance(q, e.obj))
+				continue
+			}
+			if !math.IsInf(r, 1) {
+				if !math.IsInf(it.dp, 1) && !math.IsInf(e.pd, 1) &&
+					math.Abs(it.dp-e.pd) > r+e.radius {
+					continue
+				}
+				if qd != nil && ringsPrune(e.rings, qd, r) {
+					continue
+				}
+			}
+			d := sp.Distance(q, e.obj)
+			lb := core.BallMinDist(d, e.radius)
+			if qd != nil {
+				if rb := ringsMinDist(e.rings, qd); rb > lb {
+					lb = rb
+				}
+			}
+			if lb < it.lb {
+				lb = it.lb
+			}
+			if lb <= h.Radius() {
+				heap.Push(pq, knnItem{pid: e.child, lb: lb, dp: d})
+			}
+		}
+	}
+	return h.Result(), nil
+}

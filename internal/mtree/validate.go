@@ -1,0 +1,91 @@
+package mtree
+
+import (
+	"fmt"
+	"math"
+
+	"metricindex/internal/core"
+	"metricindex/internal/store"
+)
+
+// Validate checks the M-tree's structural invariants, used by the test
+// suite and available to callers debugging a corrupted volume:
+//
+//  1. every covering radius bounds the distance from the routing object
+//     to every object in its subtree (plus child radii),
+//  2. every stored parent distance matches the actual distance to the
+//     parent routing object (when finite),
+//  3. every ring interval covers the subtree's pivot distances (PM-tree),
+//  4. the leaf directory points at the leaf that holds each object.
+func (t *Tree) Validate() error {
+	seen := make(map[int]store.PageID)
+	if _, err := t.validate(t.root, nil, seen); err != nil {
+		return err
+	}
+	for id, pid := range t.leafOf {
+		if got, ok := seen[id]; !ok || got != pid {
+			return fmt.Errorf("mtree: directory says object %d lives in leaf %d, tree says %v", id, pid, got)
+		}
+	}
+	if len(seen) != len(t.leafOf) {
+		return fmt.Errorf("mtree: tree holds %d objects, directory %d", len(seen), len(t.leafOf))
+	}
+	return nil
+}
+
+// validate walks the subtree, checking every entry. The covering-radius
+// invariant is checked against the *actual objects* of each subtree
+// (d(RO, object) <= radius for every leaf object), which is the M-tree's
+// real contract — routing-entry chains only upper-bound it.
+func (t *Tree) validate(pid store.PageID, parent *entry, seen map[int]store.PageID) ([]core.Object, error) {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return nil, err
+	}
+	sp := t.ds.Space()
+	const eps = 1e-9
+	var objs []core.Object
+	for i := range n.entries {
+		e := &n.entries[i]
+		if parent != nil && !math.IsInf(e.pd, 1) {
+			want := sp.Distance(e.obj, parent.obj)
+			if math.Abs(want-e.pd) > eps {
+				return nil, fmt.Errorf("mtree: page %d entry %d parent distance %v, actual %v", pid, i, e.pd, want)
+			}
+		}
+		if n.leaf {
+			if prev, dup := seen[int(e.id)]; dup {
+				return nil, fmt.Errorf("mtree: object %d appears in leaves %d and %d", e.id, prev, pid)
+			}
+			seen[int(e.id)] = pid
+			objs = append(objs, e.obj)
+			if parent != nil && t.opts.NumPivots > 0 && parent.rings != nil {
+				for pi := 0; pi < t.opts.NumPivots; pi++ {
+					if e.pdists[pi] < parent.rings[2*pi]-eps || e.pdists[pi] > parent.rings[2*pi+1]+eps {
+						return nil, fmt.Errorf("mtree: page %d object %d pivot %d distance %v outside ring [%v,%v]",
+							pid, e.id, pi, e.pdists[pi], parent.rings[2*pi], parent.rings[2*pi+1])
+					}
+				}
+			}
+			continue
+		}
+		sub, err := t.validate(e.child, e, seen)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range sub {
+			if d := sp.Distance(e.obj, o); d > e.radius+eps {
+				return nil, fmt.Errorf("mtree: page %d entry %d radius %v below object distance %v", pid, i, e.radius, d)
+			}
+		}
+		if parent != nil && t.opts.NumPivots > 0 && parent.rings != nil {
+			for pi := 0; pi < t.opts.NumPivots; pi++ {
+				if e.rings[2*pi] < parent.rings[2*pi]-eps || e.rings[2*pi+1] > parent.rings[2*pi+1]+eps {
+					return nil, fmt.Errorf("mtree: page %d entry %d rings exceed parent rings at pivot %d", pid, i, pi)
+				}
+			}
+		}
+		objs = append(objs, sub...)
+	}
+	return objs, nil
+}

@@ -1,0 +1,93 @@
+// Package omni implements the Omni-family of [17] (§5.2): pivot-space
+// coordinates ("Omni-coordinates") of every object indexed by an existing
+// access method, with the objects themselves in a separate random-access
+// file so object size never bloats the index. Three members are provided,
+// as in the paper: the Omni-sequential-file, the OmniB+-tree (one B+-tree
+// per pivot), and the OmniR-tree (one R-tree over all coordinates — the
+// best performer of the family and the one benchmarked in §6).
+package omni
+
+import (
+	"fmt"
+
+	"metricindex/internal/core"
+	"metricindex/internal/store"
+)
+
+// base carries what all family members share: the pivot table and the RAF.
+type base struct {
+	ds        *core.Dataset
+	pager     *store.Pager
+	raf       *store.RAF
+	pivotIDs  []int
+	pivotVals []core.Object
+}
+
+func newBase(ds *core.Dataset, pager *store.Pager, pivots []int) (*base, error) {
+	if len(pivots) == 0 {
+		return nil, fmt.Errorf("omni: no pivots")
+	}
+	b := &base{
+		ds:       ds,
+		pager:    pager,
+		raf:      store.NewRAF(pager),
+		pivotIDs: append([]int(nil), pivots...),
+	}
+	for _, p := range pivots {
+		v := ds.Object(p)
+		if v == nil {
+			return nil, fmt.Errorf("omni: pivot %d is not a live object", p)
+		}
+		b.pivotVals = append(b.pivotVals, v)
+	}
+	return b, nil
+}
+
+// point computes the Omni-coordinates of an object (l counted distances).
+func (b *base) point(o core.Object) []float64 {
+	sp := b.ds.Space()
+	pt := make([]float64, len(b.pivotVals))
+	for i, p := range b.pivotVals {
+		pt[i] = sp.Distance(o, p)
+	}
+	return pt
+}
+
+// appendRAF stores the object bytes and returns the record offset.
+func (b *base) appendRAF(id int) (int64, error) {
+	return b.raf.Append(id, store.EncodeObject(nil, b.ds.Object(id)))
+}
+
+// loadObject fetches and decodes the object from the RAF (paying the page
+// accesses its record spans).
+func (b *base) loadObject(id int) (core.Object, error) {
+	buf, err := b.raf.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	o, _, err := store.DecodeObject(buf)
+	return o, err
+}
+
+// verifyRange fetches a candidate and checks d(q, o) <= r.
+func (b *base) verifyRange(q core.Object, id int, r float64) (bool, error) {
+	o, err := b.loadObject(id)
+	if err != nil {
+		return false, err
+	}
+	return b.ds.Space().Distance(q, o) <= r, nil
+}
+
+// searchBox is the Lemma 1 search region SR(q) as a box in pivot space.
+func searchBox(qd []float64, r float64) (lo, hi []float64) {
+	lo = make([]float64, len(qd))
+	hi = make([]float64, len(qd))
+	for i := range qd {
+		lo[i] = qd[i] - r
+		if lo[i] < 0 {
+			lo[i] = 0
+		}
+		hi[i] = qd[i] + r
+	}
+	return lo, hi
+}

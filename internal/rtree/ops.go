@@ -1,0 +1,273 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"metricindex/internal/store"
+)
+
+// Insert adds one entry dynamically: descend by least perimeter
+// enlargement, split overflowing nodes by the widest-spread dimension.
+func (t *Tree) Insert(e Entry) error {
+	if len(e.Point) != t.dims {
+		return fmt.Errorf("rtree: point has %d dims, tree has %d", len(e.Point), t.dims)
+	}
+	sp, err := t.insert(t.root, e)
+	if err != nil {
+		return err
+	}
+	if sp != nil {
+		newRoot := t.pager.Alloc()
+		n := &Node{
+			Leaf:     false,
+			Children: []store.PageID{sp.leftPID, sp.rightPID},
+			Lo:       [][]float64{sp.leftLo, sp.rightLo},
+			Hi:       [][]float64{sp.leftHi, sp.rightHi},
+		}
+		t.writeNode(newRoot, n)
+		t.root = newRoot
+	}
+	t.size++
+	return nil
+}
+
+type rSplit struct {
+	leftPID, rightPID store.PageID
+	leftLo, leftHi    []float64
+	rightLo, rightHi  []float64
+}
+
+func (t *Tree) insert(pid store.PageID, e Entry) (*rSplit, error) {
+	n, err := t.ReadNode(pid)
+	if err != nil {
+		return nil, err
+	}
+	if n.Leaf {
+		n.Entries = append(n.Entries, e)
+		if len(n.Entries) <= t.leafCap {
+			t.writeNode(pid, n)
+			return nil, nil
+		}
+		return t.splitLeaf(pid, n)
+	}
+	// Least perimeter enlargement.
+	best, bestEnl, bestPer := -1, math.Inf(1), math.Inf(1)
+	for i := range n.Children {
+		var enl, per float64
+		for d := 0; d < t.dims; d++ {
+			lo, hi := n.Lo[i][d], n.Hi[i][d]
+			nlo, nhi := math.Min(lo, e.Point[d]), math.Max(hi, e.Point[d])
+			enl += (nhi - nlo) - (hi - lo)
+			per += nhi - nlo
+		}
+		if enl < bestEnl || (enl == bestEnl && per < bestPer) {
+			best, bestEnl, bestPer = i, enl, per
+		}
+	}
+	for d := 0; d < t.dims; d++ {
+		if e.Point[d] < n.Lo[best][d] {
+			n.Lo[best][d] = e.Point[d]
+		}
+		if e.Point[d] > n.Hi[best][d] {
+			n.Hi[best][d] = e.Point[d]
+		}
+	}
+	sp, err := t.insert(n.Children[best], e)
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		n.Children[best] = sp.leftPID
+		n.Lo[best], n.Hi[best] = sp.leftLo, sp.leftHi
+		n.Children = append(n.Children, sp.rightPID)
+		n.Lo = append(n.Lo, sp.rightLo)
+		n.Hi = append(n.Hi, sp.rightHi)
+		if len(n.Children) > t.intCap {
+			return t.splitInternal(pid, n)
+		}
+	}
+	t.writeNode(pid, n)
+	return nil, nil
+}
+
+// splitLeaf divides entries along the widest-spread dimension.
+func (t *Tree) splitLeaf(pid store.PageID, n *Node) (*rSplit, error) {
+	dim := t.widestDimLeaf(n)
+	sortEntriesByDim(n.Entries, dim)
+	mid := len(n.Entries) / 2
+	left := &Node{Leaf: true, Entries: append([]Entry(nil), n.Entries[:mid]...)}
+	right := &Node{Leaf: true, Entries: append([]Entry(nil), n.Entries[mid:]...)}
+	rightPID := t.pager.Alloc()
+	t.writeNode(pid, left)
+	t.writeNode(rightPID, right)
+	llo, lhi := t.nodeMBB(left)
+	rlo, rhi := t.nodeMBB(right)
+	return &rSplit{pid, rightPID, llo, lhi, rlo, rhi}, nil
+}
+
+func (t *Tree) splitInternal(pid store.PageID, n *Node) (*rSplit, error) {
+	dim := t.widestDimInternal(n)
+	idx := make([]int, len(n.Children))
+	for i := range idx {
+		idx[i] = i
+	}
+	centers := make([]float64, len(n.Children))
+	for i := range centers {
+		centers[i] = (n.Lo[i][dim] + n.Hi[i][dim]) / 2
+	}
+	sortIdxBy(idx, centers)
+	mid := len(idx) / 2
+	pick := func(sel []int) *Node {
+		out := &Node{Leaf: false}
+		for _, i := range sel {
+			out.Children = append(out.Children, n.Children[i])
+			out.Lo = append(out.Lo, n.Lo[i])
+			out.Hi = append(out.Hi, n.Hi[i])
+		}
+		return out
+	}
+	left := pick(idx[:mid])
+	right := pick(idx[mid:])
+	rightPID := t.pager.Alloc()
+	t.writeNode(pid, left)
+	t.writeNode(rightPID, right)
+	llo, lhi := t.nodeMBB(left)
+	rlo, rhi := t.nodeMBB(right)
+	return &rSplit{pid, rightPID, llo, lhi, rlo, rhi}, nil
+}
+
+func (t *Tree) widestDimLeaf(n *Node) int {
+	best, spread := 0, -1.0
+	for d := 0; d < t.dims; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range n.Entries {
+			v := n.Entries[i].Point[d]
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		if s := hi - lo; s > spread {
+			best, spread = d, s
+		}
+	}
+	return best
+}
+
+func (t *Tree) widestDimInternal(n *Node) int {
+	best, spread := 0, -1.0
+	for d := 0; d < t.dims; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range n.Children {
+			lo, hi = math.Min(lo, n.Lo[i][d]), math.Max(hi, n.Hi[i][d])
+		}
+		if s := hi - lo; s > spread {
+			best, spread = d, s
+		}
+	}
+	return best
+}
+
+// Delete removes the entry with the given id, descending only into boxes
+// containing its point. MBBs are not shrunk (conservative), matching the
+// library's other delete paths.
+func (t *Tree) Delete(id int, point []float64) error {
+	found, err := t.delete(t.root, id, point)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("rtree: delete of absent entry %d", id)
+	}
+	t.size--
+	return nil
+}
+
+func (t *Tree) delete(pid store.PageID, id int, point []float64) (bool, error) {
+	n, err := t.ReadNode(pid)
+	if err != nil {
+		return false, err
+	}
+	if n.Leaf {
+		for i := range n.Entries {
+			if int(n.Entries[i].ID) == id {
+				n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+				t.writeNode(pid, n)
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for i := range n.Children {
+		if !boxContains(n.Lo[i], n.Hi[i], point) {
+			continue
+		}
+		found, err := t.delete(n.Children[i], id, point)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func boxContains(lo, hi, p []float64) bool {
+	for d := range p {
+		if p[d] < lo[d] || p[d] > hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Search invokes fn for every leaf entry whose point lies inside the
+// query box [lo, hi], until fn returns false.
+func (t *Tree) Search(lo, hi []float64, fn func(e *Entry) bool) error {
+	var walk func(pid store.PageID) (bool, error)
+	walk = func(pid store.PageID) (bool, error) {
+		n, err := t.ReadNode(pid)
+		if err != nil {
+			return false, err
+		}
+		if n.Leaf {
+			for i := range n.Entries {
+				if boxContains(lo, hi, n.Entries[i].Point) {
+					if !fn(&n.Entries[i]) {
+						return false, nil
+					}
+				}
+			}
+			return true, nil
+		}
+		for i := range n.Children {
+			if !boxIntersects(n.Lo[i], n.Hi[i], lo, hi) {
+				continue
+			}
+			cont, err := walk(n.Children[i])
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := walk(t.root)
+	return err
+}
+
+func boxIntersects(alo, ahi, blo, bhi []float64) bool {
+	for d := range alo {
+		if alo[d] > bhi[d] || ahi[d] < blo[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortEntriesByDim(es []Entry, dim int) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Point[dim] < es[j].Point[dim] })
+}
+
+func sortIdxBy(idx []int, key []float64) {
+	sort.Slice(idx, func(i, j int) bool { return key[idx[i]] < key[idx[j]] })
+}

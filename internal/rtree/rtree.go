@@ -1,0 +1,289 @@
+// Package rtree implements a disk-resident R-tree over l-dimensional
+// points — the pivot-space images ⟨d(o,p₁),…,d(o,p_l)⟩ that the OmniR-tree
+// indexes (§5.2). Leaf entries carry the point, the object id, and the
+// object's RAF offset; internal entries carry child MBBs.
+//
+// Construction bulk-loads with a Hilbert-sort packing (sorted leaf runs,
+// grouped bottom-up), and supports dynamic insert (least-enlargement
+// descent, spread-based splits) and delete for the update workload.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"metricindex/internal/sfc"
+	"metricindex/internal/store"
+)
+
+// Entry is a leaf record: a point in pivot space plus the object's
+// identity and RAF offset.
+type Entry struct {
+	ID     int32
+	RAFOff uint64
+	Point  []float64
+}
+
+// Node is a decoded R-tree page.
+type Node struct {
+	Leaf     bool
+	Entries  []Entry     // leaf
+	Lo, Hi   [][]float64 // internal: child MBBs
+	Children []store.PageID
+}
+
+// Tree is the R-tree handle.
+type Tree struct {
+	pager *store.Pager
+	dims  int
+	root  store.PageID
+	size  int
+	// max coordinate for Hilbert quantization during bulk load
+	maxCoord float64
+
+	leafCap, intCap int
+}
+
+// New creates an empty tree over points of the given dimensionality.
+// maxCoord bounds coordinates (d+), used to quantize points for the
+// Hilbert bulk-load ordering.
+func New(p *store.Pager, dims int, maxCoord float64) (*Tree, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("rtree: dims must be positive, got %d", dims)
+	}
+	if maxCoord <= 0 {
+		maxCoord = 1
+	}
+	t := &Tree{
+		pager:    p,
+		dims:     dims,
+		maxCoord: maxCoord,
+		leafCap:  (p.PageSize() - 3) / (4 + 8 + 8*dims),
+		intCap:   (p.PageSize() - 3) / (4 + 16*dims),
+	}
+	if t.leafCap < 2 || t.intCap < 2 {
+		return nil, fmt.Errorf("rtree: page size %d too small for %d dims", p.PageSize(), dims)
+	}
+	t.root = p.Alloc()
+	t.writeNode(t.root, &Node{Leaf: true})
+	return t, nil
+}
+
+// Dims returns the point dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Root returns the root page id.
+func (t *Tree) Root() store.PageID { return t.root }
+
+// ---- serialization ----
+
+func (t *Tree) writeNode(pid store.PageID, n *Node) {
+	buf := make([]byte, 0, t.pager.PageSize())
+	kind := byte(1)
+	count := len(n.Children)
+	if n.Leaf {
+		kind = 0
+		count = len(n.Entries)
+	}
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(count))
+	if n.Leaf {
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.ID))
+			buf = binary.LittleEndian.AppendUint64(buf, e.RAFOff)
+			buf = store.EncodeFloats(buf, e.Point)
+		}
+	} else {
+		for i := range n.Children {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Children[i]))
+			buf = store.EncodeFloats(buf, n.Lo[i])
+			buf = store.EncodeFloats(buf, n.Hi[i])
+		}
+	}
+	if err := t.pager.Write(pid, buf); err != nil {
+		panic(fmt.Sprintf("rtree: node write: %v", err))
+	}
+}
+
+// ReadNode fetches and decodes a node (one page access, modulo cache).
+func (t *Tree) ReadNode(pid store.PageID) (*Node, error) {
+	buf, err := t.pager.Read(pid)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Leaf: buf[0] == 0}
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	off := 3
+	if n.Leaf {
+		n.Entries = make([]Entry, count)
+		for i := 0; i < count; i++ {
+			e := &n.Entries[i]
+			e.ID = int32(binary.LittleEndian.Uint32(buf[off:]))
+			e.RAFOff = binary.LittleEndian.Uint64(buf[off+4:])
+			off += 12
+			e.Point, _, err = store.DecodeFloats(buf[off:], t.dims)
+			if err != nil {
+				return nil, err
+			}
+			off += 8 * t.dims
+		}
+		return n, nil
+	}
+	n.Children = make([]store.PageID, count)
+	n.Lo = make([][]float64, count)
+	n.Hi = make([][]float64, count)
+	for i := 0; i < count; i++ {
+		n.Children[i] = store.PageID(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		n.Lo[i], _, err = store.DecodeFloats(buf[off:], t.dims)
+		if err != nil {
+			return nil, err
+		}
+		off += 8 * t.dims
+		n.Hi[i], _, err = store.DecodeFloats(buf[off:], t.dims)
+		if err != nil {
+			return nil, err
+		}
+		off += 8 * t.dims
+	}
+	return n, nil
+}
+
+// nodeMBB computes a node's bounding box.
+func (t *Tree) nodeMBB(n *Node) ([]float64, []float64) {
+	lo := make([]float64, t.dims)
+	hi := make([]float64, t.dims)
+	for d := 0; d < t.dims; d++ {
+		lo[d] = math.Inf(1)
+		hi[d] = math.Inf(-1)
+	}
+	if n.Leaf {
+		for i := range n.Entries {
+			for d, v := range n.Entries[i].Point {
+				if v < lo[d] {
+					lo[d] = v
+				}
+				if v > hi[d] {
+					hi[d] = v
+				}
+			}
+		}
+	} else {
+		for i := range n.Children {
+			for d := 0; d < t.dims; d++ {
+				if n.Lo[i][d] < lo[d] {
+					lo[d] = n.Lo[i][d]
+				}
+				if n.Hi[i][d] > hi[d] {
+					hi[d] = n.Hi[i][d]
+				}
+			}
+		}
+	}
+	return lo, hi
+}
+
+// BulkLoad replaces the tree contents with the given entries, packed in
+// Hilbert order for locality (construction's low PA in Table 4 comes from
+// bulk packing rather than repeated descents).
+func (t *Tree) BulkLoad(entries []Entry) error {
+	bits := 62 / t.dims
+	if bits > 16 {
+		bits = 16
+	}
+	if bits < 1 {
+		bits = 1
+	}
+	h, err := sfc.NewHilbert(t.dims, bits)
+	if err != nil {
+		return fmt.Errorf("rtree: bulk load curve: %w", err)
+	}
+	scale := float64(uint64(1)<<uint(bits)-1) / t.maxCoord
+	keyOf := func(e *Entry) uint64 {
+		pt := make([]uint32, t.dims)
+		for d, v := range e.Point {
+			x := v * scale
+			if x < 0 {
+				x = 0
+			}
+			if x > float64(uint64(1)<<uint(bits)-1) {
+				x = float64(uint64(1)<<uint(bits) - 1)
+			}
+			pt[d] = uint32(x)
+		}
+		return h.Encode(pt)
+	}
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	keys := make([]uint64, len(sorted))
+	for i := range sorted {
+		keys[i] = keyOf(&sorted[i])
+	}
+	sort.Sort(&byKey{keys, sorted})
+
+	// Pack leaves.
+	type packed struct {
+		pid    store.PageID
+		lo, hi []float64
+	}
+	var level []packed
+	for start := 0; start < len(sorted); start += t.leafCap {
+		end := start + t.leafCap
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		n := &Node{Leaf: true, Entries: sorted[start:end]}
+		pid := t.pager.Alloc()
+		t.writeNode(pid, n)
+		lo, hi := t.nodeMBB(n)
+		level = append(level, packed{pid, lo, hi})
+	}
+	if len(level) == 0 {
+		t.root = t.pager.Alloc()
+		t.writeNode(t.root, &Node{Leaf: true})
+		t.size = 0
+		return nil
+	}
+	// Group bottom-up.
+	for len(level) > 1 {
+		var next []packed
+		for start := 0; start < len(level); start += t.intCap {
+			end := start + t.intCap
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &Node{Leaf: false}
+			for _, c := range level[start:end] {
+				n.Children = append(n.Children, c.pid)
+				n.Lo = append(n.Lo, c.lo)
+				n.Hi = append(n.Hi, c.hi)
+			}
+			pid := t.pager.Alloc()
+			t.writeNode(pid, n)
+			lo, hi := t.nodeMBB(n)
+			next = append(next, packed{pid, lo, hi})
+		}
+		level = next
+	}
+	t.root = level[0].pid
+	t.size = len(entries)
+	return nil
+}
+
+type byKey struct {
+	keys []uint64
+	ents []Entry
+}
+
+func (b *byKey) Len() int           { return len(b.keys) }
+func (b *byKey) Less(i, j int) bool { return b.keys[i] < b.keys[j] }
+func (b *byKey) Swap(i, j int) {
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+	b.ents[i], b.ents[j] = b.ents[j], b.ents[i]
+}

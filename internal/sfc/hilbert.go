@@ -1,0 +1,220 @@
+// Package sfc implements space-filling curves over d-dimensional integer
+// grids: the Hilbert curve the SPB-tree uses to map pre-computed distance
+// vectors to single integer keys while preserving spatial proximity
+// (§5.4), and the Z-order (Morton) curve as the ablation baseline.
+//
+// Both curves operate on points with Dims coordinates of Bits bits each,
+// with Dims*Bits <= 64 so a key fits in uint64.
+package sfc
+
+import "fmt"
+
+// Curve maps grid points to one-dimensional keys and back.
+type Curve interface {
+	// Encode maps a point (one value per dimension, each < 2^Bits) to its
+	// curve key.
+	Encode(point []uint32) uint64
+	// Decode inverts Encode.
+	Decode(key uint64) []uint32
+	// Dims returns the dimensionality.
+	Dims() int
+	// Bits returns the bits per coordinate.
+	Bits() int
+	// Name identifies the curve ("hilbert" or "zorder").
+	Name() string
+}
+
+// Hilbert is the d-dimensional Hilbert curve (Skilling's transpose
+// algorithm, "Programming the Hilbert curve", 2004).
+type Hilbert struct {
+	dims, bits int
+}
+
+// NewHilbert validates the grid shape and returns the curve.
+func NewHilbert(dims, bits int) (*Hilbert, error) {
+	if err := validate(dims, bits); err != nil {
+		return nil, err
+	}
+	return &Hilbert{dims: dims, bits: bits}, nil
+}
+
+func validate(dims, bits int) error {
+	if dims < 1 {
+		return fmt.Errorf("sfc: need at least one dimension, got %d", dims)
+	}
+	if bits < 1 || dims*bits > 64 {
+		return fmt.Errorf("sfc: dims*bits = %d*%d must be in [1, 64]", dims, bits)
+	}
+	return nil
+}
+
+// Dims returns the dimensionality.
+func (h *Hilbert) Dims() int { return h.dims }
+
+// Bits returns the bits per coordinate.
+func (h *Hilbert) Bits() int { return h.bits }
+
+// Name returns "hilbert".
+func (h *Hilbert) Name() string { return "hilbert" }
+
+// Encode maps a point to its Hilbert index.
+func (h *Hilbert) Encode(point []uint32) uint64 {
+	x := make([]uint32, h.dims)
+	copy(x, point)
+	axesToTranspose(x, h.bits)
+	return interleave(x, h.bits)
+}
+
+// Decode maps a Hilbert index back to its point.
+func (h *Hilbert) Decode(key uint64) []uint32 {
+	x := deinterleave(key, h.dims, h.bits)
+	transposeToAxes(x, h.bits)
+	return x
+}
+
+// axesToTranspose converts coordinates into the "transposed" Hilbert form
+// in place (Skilling's AxestoTranspose).
+func axesToTranspose(x []uint32, bits int) {
+	n := len(x)
+	m := uint32(1) << (bits - 1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes inverts axesToTranspose in place (Skilling's
+// TransposetoAxes).
+func transposeToAxes(x []uint32, bits int) {
+	n := len(x)
+	top := uint32(2) << (bits - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != top; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				tt := (x[0] ^ x[i]) & p
+				x[0] ^= tt
+				x[i] ^= tt
+			}
+		}
+	}
+}
+
+// interleave packs the transposed form into a single key: bit (b-1-k) of
+// every dimension, most significant coordinate bit first.
+func interleave(x []uint32, bits int) uint64 {
+	var key uint64
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < len(x); i++ {
+			key = key<<1 | uint64((x[i]>>uint(b))&1)
+		}
+	}
+	return key
+}
+
+// deinterleave splits a key back into the transposed form.
+func deinterleave(key uint64, dims, bits int) []uint32 {
+	x := make([]uint32, dims)
+	pos := dims*bits - 1
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < dims; i++ {
+			x[i] |= uint32((key>>uint(pos))&1) << uint(b)
+			pos--
+		}
+	}
+	return x
+}
+
+// ZOrder is the Morton (bit-interleaving) curve, the simpler alternative
+// used by the SFC ablation benchmark.
+type ZOrder struct {
+	dims, bits int
+}
+
+// NewZOrder validates the grid shape and returns the curve.
+func NewZOrder(dims, bits int) (*ZOrder, error) {
+	if err := validate(dims, bits); err != nil {
+		return nil, err
+	}
+	return &ZOrder{dims: dims, bits: bits}, nil
+}
+
+// Dims returns the dimensionality.
+func (z *ZOrder) Dims() int { return z.dims }
+
+// Bits returns the bits per coordinate.
+func (z *ZOrder) Bits() int { return z.bits }
+
+// Name returns "zorder".
+func (z *ZOrder) Name() string { return "zorder" }
+
+// Encode interleaves the coordinate bits.
+func (z *ZOrder) Encode(point []uint32) uint64 {
+	var key uint64
+	for b := z.bits - 1; b >= 0; b-- {
+		for i := 0; i < z.dims; i++ {
+			key = key<<1 | uint64((point[i]>>uint(b))&1)
+		}
+	}
+	return key
+}
+
+// Decode de-interleaves the key.
+func (z *ZOrder) Decode(key uint64) []uint32 {
+	return deinterleave(key, z.dims, z.bits)
+}
+
+// PackCorner packs a coordinate vector into a uint64 by plain
+// concatenation (Bits bits per dimension). The SPB-tree stores MBB corners
+// of non-leaf entries as two such packed integers (§5.4 stores them as SFC
+// values; plain packing is an equivalent compact integer encoding whose
+// decode is exact and cheaper).
+func PackCorner(point []uint32, bits int) uint64 {
+	var key uint64
+	for _, c := range point {
+		key = key<<uint(bits) | uint64(c&((1<<uint(bits))-1))
+	}
+	return key
+}
+
+// UnpackCorner inverts PackCorner.
+func UnpackCorner(key uint64, dims, bits int) []uint32 {
+	out := make([]uint32, dims)
+	mask := uint64(1)<<uint(bits) - 1
+	for i := dims - 1; i >= 0; i-- {
+		out[i] = uint32(key & mask)
+		key >>= uint(bits)
+	}
+	return out
+}

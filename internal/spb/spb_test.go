@@ -1,0 +1,130 @@
+package spb
+
+import (
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/pivot"
+	"metricindex/internal/store"
+	"metricindex/internal/testutil"
+)
+
+func build(t *testing.T, ds *core.Dataset, maxD float64) (*SPB, *store.Pager) {
+	t.Helper()
+	p := store.NewPager(512)
+	pv, err := pivot.HFI(ds, 4, pivot.Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("HFI: %v", err)
+	}
+	idx, err := New(ds, p, pv, Options{MaxDistance: maxD})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return idx, p
+}
+
+func TestSPBMatchesBruteForce(t *testing.T) {
+	ds := testutil.VectorDataset(400, 4, 100, core.L2{}, 7)
+	idx, _ := build(t, ds, 300)
+	for qs := int64(0); qs < 4; qs++ {
+		q := testutil.RandomQuery(ds, qs)
+		for _, r := range testutil.Radii(ds, q) {
+			testutil.CheckRange(t, idx, ds, q, r)
+		}
+		for _, k := range []int{1, 7, 40, 400} {
+			testutil.CheckKNN(t, idx, ds, q, k)
+		}
+	}
+}
+
+func TestSPBWordsDiscrete(t *testing.T) {
+	ds := testutil.WordDataset(250, 11)
+	idx, _ := build(t, ds, 40)
+	for qs := int64(0); qs < 3; qs++ {
+		q := testutil.RandomQuery(ds, qs)
+		for _, r := range []float64{0, 1, 2, 4} {
+			testutil.CheckRange(t, idx, ds, q, r)
+		}
+		testutil.CheckKNN(t, idx, ds, q, 9)
+	}
+}
+
+func TestSPBCoarseGridStaysCorrect(t *testing.T) {
+	// Few bits per dimension = heavy discretization; results must still
+	// be exact (only pruning power degrades, §5.4).
+	ds := testutil.VectorDataset(300, 4, 100, core.L2{}, 9)
+	p := store.NewPager(512)
+	pv, _ := pivot.HFI(ds, 4, pivot.Options{Seed: 3})
+	idx, err := New(ds, p, pv, Options{MaxDistance: 300, Bits: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	q := testutil.RandomQuery(ds, 5)
+	for _, r := range testutil.Radii(ds, q) {
+		testutil.CheckRange(t, idx, ds, q, r)
+	}
+	testutil.CheckKNN(t, idx, ds, q, 20)
+}
+
+func TestSPBInsertDelete(t *testing.T) {
+	ds := testutil.VectorDataset(200, 4, 100, core.L2{}, 13)
+	idx, _ := build(t, ds, 300)
+	for id := 0; id < 200; id += 4 {
+		if err := idx.Delete(id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+		if err := ds.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		id := ds.Insert(core.Vector{float64(i), 50, 50, 50})
+		if err := idx.Insert(id); err != nil {
+			t.Fatalf("Insert(%d): %v", id, err)
+		}
+	}
+	q := testutil.RandomQuery(ds, 2)
+	for _, r := range testutil.Radii(ds, q) {
+		testutil.CheckRange(t, idx, ds, q, r)
+	}
+	testutil.CheckKNN(t, idx, ds, q, 15)
+	if idx.Len() != ds.Count() {
+		t.Fatalf("Len=%d want %d", idx.Len(), ds.Count())
+	}
+	if err := idx.Delete(99999); err == nil {
+		t.Fatal("delete of absent id should fail")
+	}
+}
+
+func TestSPBOptionsValidation(t *testing.T) {
+	ds := testutil.VectorDataset(50, 3, 100, core.L2{}, 1)
+	p := store.NewPager(512)
+	if _, err := New(ds, p, nil, Options{MaxDistance: 10}); err == nil {
+		t.Fatal("no pivots must fail")
+	}
+	if _, err := New(ds, p, []int{0, 1}, Options{}); err == nil {
+		t.Fatal("missing MaxDistance must fail")
+	}
+	if _, err := New(ds, p, []int{0, 1, 2, 3}, Options{MaxDistance: 10, Bits: 17}); err == nil {
+		t.Fatal("4 pivots x 17 bits must fail")
+	}
+}
+
+func TestSPBStats(t *testing.T) {
+	ds := testutil.VectorDataset(300, 4, 100, core.L2{}, 23)
+	idx, p := build(t, ds, 300)
+	p.ResetStats()
+	q := testutil.RandomQuery(ds, 1)
+	if _, err := idx.KNNSearch(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	if idx.PageAccesses() == 0 {
+		t.Fatal("SPB-tree queries must cost page accesses")
+	}
+	if idx.DiskBytes() == 0 {
+		t.Fatal("SPB-tree must report disk usage")
+	}
+	if idx.Name() != "SPB-tree" {
+		t.Fatalf("Name = %q", idx.Name())
+	}
+}

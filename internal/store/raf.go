@@ -1,0 +1,183 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// RAF is the random-access file of the Omni-family, M-index, and SPB-tree:
+// a sequential log of (id, payload) records laid out across pages of a
+// Pager, addressed by byte offset. Reading a record touches every page the
+// record spans, which is exactly how the paper charges RAF I/O (and why a
+// kNN search that revisits objects out of order benefits from the LRU
+// cache).
+//
+// Records are: uint32 id | uint32 payloadLen | payload bytes.
+type RAF struct {
+	mu    sync.Mutex
+	pager *Pager
+	pages []PageID // pages of the log in order
+	size  int64    // bytes appended so far
+	live  int64    // bytes not yet deleted
+	dir   map[int]rafRecord
+}
+
+type rafRecord struct {
+	off int64
+	n   int // payload length
+}
+
+const rafHeaderLen = 8
+
+// NewRAF creates an empty RAF on the given pager.
+func NewRAF(p *Pager) *RAF {
+	return &RAF{pager: p, dir: make(map[int]rafRecord)}
+}
+
+// Append writes a record for object id and returns its byte offset.
+func (r *RAF) Append(id int, payload []byte) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.dir[id]; dup {
+		return 0, fmt.Errorf("store: RAF already holds object %d", id)
+	}
+	var hdr [rafHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(id))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	off := r.size
+	if err := r.write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if err := r.write(payload); err != nil {
+		return 0, err
+	}
+	r.dir[id] = rafRecord{off: off, n: len(payload)}
+	r.live += int64(rafHeaderLen + len(payload))
+	return off, nil
+}
+
+// write appends bytes to the log, allocating pages as needed. Pages are
+// buffered whole, so appends that stay within the current page do not
+// repeatedly pay page accesses beyond the page's write. Caller holds mu.
+func (r *RAF) write(data []byte) error {
+	ps := int64(r.pager.PageSize())
+	for len(data) > 0 {
+		pageIdx := r.size / ps
+		inPage := int(r.size % ps)
+		if int(pageIdx) >= len(r.pages) {
+			r.pages = append(r.pages, r.pager.Alloc())
+		}
+		pid := r.pages[pageIdx]
+		page, err := r.pager.Read(pid)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, len(page))
+		copy(buf, page)
+		n := copy(buf[inPage:], data)
+		if err := r.pager.Write(pid, buf); err != nil {
+			return err
+		}
+		data = data[n:]
+		r.size += int64(n)
+	}
+	return nil
+}
+
+// Offset returns the byte offset of object id's record.
+func (r *RAF) Offset(id int) (int64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.dir[id]
+	return rec.off, ok
+}
+
+// Read fetches the payload of object id, touching every page its record
+// spans.
+func (r *RAF) Read(id int) ([]byte, error) {
+	r.mu.Lock()
+	rec, ok := r.dir[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: RAF has no object %d", id)
+	}
+	return r.ReadAt(rec.off)
+}
+
+// ReadAt fetches the record starting at the given byte offset and returns
+// its payload.
+func (r *RAF) ReadAt(off int64) ([]byte, error) {
+	hdr, err := r.readBytes(off, rafHeaderLen)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	return r.readBytes(off+rafHeaderLen, n)
+}
+
+// IDAt returns the object id of the record starting at the given offset.
+func (r *RAF) IDAt(off int64) (int, error) {
+	hdr, err := r.readBytes(off, rafHeaderLen)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(hdr[0:4])), nil
+}
+
+// readBytes copies n bytes starting at off, paying one page access per
+// covered page (modulo the cache).
+func (r *RAF) readBytes(off int64, n int) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off+int64(n) > r.size {
+		return nil, fmt.Errorf("store: RAF read [%d,%d) beyond size %d", off, off+int64(n), r.size)
+	}
+	ps := int64(r.pager.PageSize())
+	out := make([]byte, 0, n)
+	for n > 0 {
+		pageIdx := off / ps
+		inPage := int(off % ps)
+		page, err := r.pager.Read(r.pages[pageIdx])
+		if err != nil {
+			return nil, err
+		}
+		take := len(page) - inPage
+		if take > n {
+			take = n
+		}
+		out = append(out, page[inPage:inPage+take]...)
+		off += int64(take)
+		n -= take
+	}
+	return out, nil
+}
+
+// Delete drops object id from the directory. Log space is not reclaimed
+// (the paper's update experiment measures delete+reinsert cost, not
+// compaction), but the live-byte counter shrinks.
+func (r *RAF) Delete(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.dir[id]
+	if !ok {
+		return fmt.Errorf("store: RAF delete of absent object %d", id)
+	}
+	delete(r.dir, id)
+	r.live -= int64(rafHeaderLen + rec.n)
+	return nil
+}
+
+// Len returns the number of records currently in the directory.
+func (r *RAF) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.dir)
+}
+
+// SizeBytes returns the total bytes ever appended to the log.
+func (r *RAF) SizeBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}

@@ -1,0 +1,163 @@
+// Package table implements the pivot-based table indexes of paper §3:
+// AESA (the O(n²) theoretical baseline) and LAESA (the linear pivot
+// table). Both are main-memory structures; their storage is a flat
+// distance table scanned by every query with Lemma 1 filtering.
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"metricindex/internal/core"
+)
+
+// LAESA is the linear AESA of [19]: it stores d(o, p) for every object o
+// and every pivot p in a flat table (Fig 3). MRQ scans the table pruning
+// with Lemma 1; MkNNQ does the same with a radius tightened by
+// verification, visiting objects in storage order (which the paper notes
+// is suboptimal but is what LAESA does).
+type LAESA struct {
+	ds        *core.Dataset
+	pivotIDs  []int
+	pivotVals []core.Object // snapshotted so pivot deletion is safe
+	ids       []int32       // row -> object id
+	dists     []float64     // row-major rows × len(pivots)
+	rowOf     map[int]int
+}
+
+// NewLAESA builds the index over all live objects, computing the full
+// distance table through the counted space. The pivot object values are
+// snapshotted, so later deletion of a pivot from the dataset does not
+// invalidate the index.
+func NewLAESA(ds *core.Dataset, pivots []int) (*LAESA, error) {
+	if len(pivots) == 0 {
+		return nil, fmt.Errorf("laesa: no pivots")
+	}
+	t := &LAESA{ds: ds, pivotIDs: append([]int(nil), pivots...), rowOf: make(map[int]int)}
+	for _, p := range pivots {
+		v := ds.Object(p)
+		if v == nil {
+			return nil, fmt.Errorf("laesa: pivot %d is not a live object", p)
+		}
+		t.pivotVals = append(t.pivotVals, v)
+	}
+	for _, id := range ds.LiveIDs() {
+		if err := t.Insert(id); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Name returns "LAESA".
+func (t *LAESA) Name() string { return "LAESA" }
+
+// Pivots returns the pivot ids used by the table.
+func (t *LAESA) Pivots() []int { return t.pivotIDs }
+
+// Len returns the number of indexed objects.
+func (t *LAESA) Len() int { return len(t.ids) }
+
+// queryDists computes d(q, p) for every pivot (the m·l term of query
+// cost).
+func (t *LAESA) queryDists(q core.Object) []float64 {
+	qd := make([]float64, len(t.pivotVals))
+	sp := t.ds.Space()
+	for i, p := range t.pivotVals {
+		qd[i] = sp.Distance(q, p)
+	}
+	return qd
+}
+
+// RangeSearch answers MRQ(q, r) by a filtered scan of the table.
+func (t *LAESA) RangeSearch(q core.Object, r float64) ([]int, error) {
+	qd := t.queryDists(q)
+	l := len(t.pivotVals)
+	var res []int
+	for row, id := range t.ids {
+		od := t.dists[row*l : row*l+l]
+		if core.PruneObject(qd, od, r) {
+			continue
+		}
+		if t.ds.DistanceTo(q, int(id)) <= r {
+			res = append(res, int(id))
+		}
+	}
+	sortInts(res)
+	return res, nil
+}
+
+// KNNSearch answers MkNNQ(q, k): radius starts at infinity and is
+// tightened by each verified object (§2.1, second method).
+func (t *LAESA) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	qd := t.queryDists(q)
+	l := len(t.pivotVals)
+	h := core.NewKNNHeap(k)
+	for row, id := range t.ids {
+		r := h.Radius()
+		od := t.dists[row*l : row*l+l]
+		if !math.IsInf(r, 1) && core.PruneObject(qd, od, r) {
+			continue
+		}
+		h.Push(int(id), t.ds.DistanceTo(q, int(id)))
+	}
+	return h.Result(), nil
+}
+
+// Insert adds one object's row, computing its pivot distances.
+func (t *LAESA) Insert(id int) error {
+	if _, dup := t.rowOf[id]; dup {
+		return fmt.Errorf("laesa: duplicate insert of %d", id)
+	}
+	t.rowOf[id] = len(t.ids)
+	t.ids = append(t.ids, int32(id))
+	o := t.ds.Object(id)
+	sp := t.ds.Space()
+	for _, p := range t.pivotVals {
+		t.dists = append(t.dists, sp.Distance(o, p))
+	}
+	return nil
+}
+
+// Delete removes an object's row. Mirroring the paper (§6.3), the row is
+// located by a sequential scan of the table before removal.
+func (t *LAESA) Delete(id int) error {
+	// Sequential scan, as the paper's LAESA deletion does.
+	row := -1
+	for i, rid := range t.ids {
+		if int(rid) == id {
+			row = i
+			break
+		}
+	}
+	if row < 0 {
+		return fmt.Errorf("laesa: delete of unindexed object %d", id)
+	}
+	l := len(t.pivotVals)
+	last := len(t.ids) - 1
+	lastID := t.ids[last]
+	t.ids[row] = lastID
+	copy(t.dists[row*l:row*l+l], t.dists[last*l:last*l+l])
+	t.ids = t.ids[:last]
+	t.dists = t.dists[:last*l]
+	t.rowOf[int(lastID)] = row
+	delete(t.rowOf, id)
+	return nil
+}
+
+// PageAccesses returns 0: LAESA is an in-memory index.
+func (t *LAESA) PageAccesses() int64 { return 0 }
+
+// ResetStats is a no-op for the in-memory table.
+func (t *LAESA) ResetStats() {}
+
+// MemBytes reports the resident size of the pivot and distance tables.
+func (t *LAESA) MemBytes() int64 {
+	return int64(len(t.dists))*8 + int64(len(t.ids))*4 + int64(len(t.pivotIDs))*8
+}
+
+// DiskBytes returns 0: LAESA is an in-memory index.
+func (t *LAESA) DiskBytes() int64 { return 0 }
+
+func sortInts(xs []int) { sort.Ints(xs) }

@@ -1,0 +1,181 @@
+// Package testutil provides shared helpers for the index test suites:
+// deterministic small datasets of every object type and comparators that
+// check an index's answers against the brute-force baseline.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metricindex/internal/core"
+)
+
+// Searcher is the query subset of core.Index, satisfied by every index.
+type Searcher interface {
+	RangeSearch(q core.Object, r float64) ([]int, error)
+	KNNSearch(q core.Object, k int) ([]core.Neighbor, error)
+}
+
+// VectorDataset builds a deterministic dataset of n uniform d-dimensional
+// vectors in [0, span) under the given metric.
+func VectorDataset(n, dim int, span float64, m core.Metric, seed int64) *core.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]core.Object, n)
+	for i := range objs {
+		v := make(core.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64() * span
+		}
+		objs[i] = v
+	}
+	return core.NewDataset(core.NewSpace(m), objs)
+}
+
+// IntVectorDataset builds a deterministic dataset of n integer vectors in
+// [0, span) under the discrete L∞ metric.
+func IntVectorDataset(n, dim, span int, seed int64) *core.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]core.Object, n)
+	for i := range objs {
+		v := make(core.IntVector, dim)
+		for d := range v {
+			v[d] = int32(rng.Intn(span))
+		}
+		objs[i] = v
+	}
+	return core.NewDataset(core.NewSpace(core.IntLInf{}), objs)
+}
+
+// WordDataset builds a deterministic dataset of n short pseudo-words under
+// edit distance.
+func WordDataset(n int, seed int64) *core.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	letters := "abcdefgh"
+	objs := make([]core.Object, n)
+	for i := range objs {
+		l := 2 + rng.Intn(8)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = letters[rng.Intn(len(letters))]
+		}
+		objs[i] = core.Word(string(b))
+	}
+	return core.NewDataset(core.NewSpace(core.Edit{}), objs)
+}
+
+// RandomQuery synthesizes a query object resembling the dataset's objects.
+func RandomQuery(ds *core.Dataset, seed int64) core.Object {
+	rng := rand.New(rand.NewSource(seed))
+	proto := ds.Object(ds.LiveIDs()[rng.Intn(ds.Count())])
+	switch v := proto.(type) {
+	case core.Vector:
+		q := v.Clone()
+		for d := range q {
+			q[d] += rng.NormFloat64() * q[d] * 0.1
+		}
+		return q
+	case core.IntVector:
+		q := v.Clone()
+		for d := range q {
+			q[d] += int32(rng.Intn(11) - 5)
+			if q[d] < 0 {
+				q[d] = 0
+			}
+		}
+		return q
+	case core.Word:
+		s := []byte(string(v))
+		if len(s) > 1 {
+			s[rng.Intn(len(s))] = byte('a' + rng.Intn(8))
+		}
+		return core.Word(string(s))
+	default:
+		return proto
+	}
+}
+
+// CheckRange asserts the index's MRQ answer equals brute force.
+func CheckRange(t *testing.T, idx Searcher, ds *core.Dataset, q core.Object, r float64) {
+	t.Helper()
+	want := core.BruteForceRange(ds, q, r)
+	got, err := idx.RangeSearch(q, r)
+	if err != nil {
+		t.Fatalf("RangeSearch(r=%v): %v", r, err)
+	}
+	if !equalInts(got, want) {
+		t.Fatalf("RangeSearch(r=%v) mismatch:\n got %v\nwant %v", r, got, want)
+	}
+}
+
+// CheckKNN asserts the index's MkNNQ answer matches brute force in both
+// membership distance and count. Because distance ties can be broken
+// either way, it compares the multiset of distances, not ids.
+func CheckKNN(t *testing.T, idx Searcher, ds *core.Dataset, q core.Object, k int) {
+	t.Helper()
+	want := core.BruteForceKNN(ds, q, k)
+	got, err := idx.KNNSearch(q, k)
+	if err != nil {
+		t.Fatalf("KNNSearch(k=%d): %v", k, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("KNNSearch(k=%d) returned %d results, want %d\n got %v\nwant %v",
+			k, len(got), len(want), got, want)
+	}
+	const eps = 1e-9
+	for i := range got {
+		if diff := got[i].Dist - want[i].Dist; diff > eps || diff < -eps {
+			t.Fatalf("KNNSearch(k=%d) distance %d: got %v want %v\n got %v\nwant %v",
+				k, i, got[i].Dist, want[i].Dist, got, want)
+		}
+	}
+	// Every returned object must actually be at its claimed distance.
+	for _, nb := range got {
+		o := ds.Object(nb.ID)
+		if o == nil {
+			t.Fatalf("KNNSearch(k=%d) returned deleted object %d", k, nb.ID)
+		}
+		if d := ds.Space().Metric().Distance(q, o); d != nb.Dist {
+			t.Fatalf("KNNSearch(k=%d) object %d claims distance %v, actual %v", k, nb.ID, nb.Dist, d)
+		}
+	}
+}
+
+// Radii returns a spread of query radii from tiny to dataset-spanning,
+// derived from sampled distances.
+func Radii(ds *core.Dataset, q core.Object) []float64 {
+	m := ds.Space().Metric()
+	var maxD float64
+	ids := ds.LiveIDs()
+	for i := 0; i < len(ids); i += len(ids)/64 + 1 {
+		if d := m.Distance(q, ds.Object(ids[i])); d > maxD {
+			maxD = d
+		}
+	}
+	return []float64{0, maxD * 0.05, maxD * 0.2, maxD * 0.5, maxD * 1.1}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DescribeObjects formats a few objects for failure messages.
+func DescribeObjects(ds *core.Dataset, ids []int) string {
+	s := ""
+	for i, id := range ids {
+		if i == 8 {
+			s += " …"
+			break
+		}
+		s += fmt.Sprintf(" %d:%v", id, ds.Object(id))
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+// Package metricindex is a library of pivot-based metric index structures,
+// reproducing "Pivot-based Metric Indexing: Experiments and Analyses"
+// (Chen, Gao, Zheng, Jensen, Yang, Yang — PVLDB 10(10), 2017).
+//
+// It provides every index the paper studies — the pivot tables AESA,
+// LAESA, EPT, EPT* and CPT; the pivot trees BKT, FQT (plus FQA) and
+// VPT/MVPT; and the disk-based PM-tree, Omni-family, M-index, M-index*
+// and SPB-tree — behind one Index interface, together with the pivot
+// selection algorithms (HF, HFI, PSA), metric-space primitives, dataset
+// generators, and the instrumentation (distance-computation and
+// page-access counters) the paper's experiments measure.
+//
+// # Quick start
+//
+//	objs := []metricindex.Object{
+//		metricindex.Vector{0, 0}, metricindex.Vector{3, 4}, metricindex.Vector{6, 8},
+//	}
+//	ds := metricindex.NewDataset(metricindex.NewSpace(metricindex.L2{}), objs)
+//	pivots, _ := metricindex.SelectPivots(ds, 2, 1)
+//	idx, _ := metricindex.NewLAESA(ds, pivots)
+//	ids, _ := idx.RangeSearch(metricindex.Vector{1, 1}, 5)   // MRQ
+//	nns, _ := idx.KNNSearch(metricindex.Vector{1, 1}, 2)     // MkNNQ
+//
+// Disk-based indexes run against a simulated page store that counts page
+// accesses exactly as the paper reports them; see NewSPBTree and friends.
+package metricindex
+
+import (
+	"metricindex/internal/core"
+	"metricindex/internal/pivot"
+)
+
+// Object is any value a Metric can compare.
+type Object = core.Object
+
+// Vector is a point in R^d (use with L1, L2, LInf, Lp).
+type Vector = core.Vector
+
+// IntVector is an integer-coordinate point (use with IntLInf, the
+// discrete Chebyshev metric required by BKT and FQT).
+type IntVector = core.IntVector
+
+// Word is a string compared with edit distance.
+type Word = core.Word
+
+// Metric is a distance function satisfying the metric axioms.
+type Metric = core.Metric
+
+// The built-in metrics.
+type (
+	// L1 is the Manhattan distance over Vectors.
+	L1 = core.L1
+	// L2 is the Euclidean distance over Vectors.
+	L2 = core.L2
+	// LInf is the Chebyshev distance over Vectors.
+	LInf = core.LInf
+	// Lp is the Minkowski distance of order P over Vectors.
+	Lp = core.Lp
+	// IntLInf is the discrete Chebyshev distance over IntVectors.
+	IntLInf = core.IntLInf
+	// Edit is the Levenshtein distance over Words.
+	Edit = core.Edit
+)
+
+// Space is a metric space instrumented with a distance-computation
+// counter ("compdists" in the paper).
+type Space = core.Space
+
+// NewSpace wraps a metric into an instrumented space.
+func NewSpace(m Metric) *Space { return core.NewSpace(m) }
+
+// Dataset is an object collection addressed by dense integer ids.
+type Dataset = core.Dataset
+
+// NewDataset builds a dataset over the objects (the slice is owned by the
+// dataset afterwards).
+func NewDataset(space *Space, objects []Object) *Dataset {
+	return core.NewDataset(space, objects)
+}
+
+// Neighbor is one kNN answer element.
+type Neighbor = core.Neighbor
+
+// Index is the common contract of every index structure in the library:
+// MRQ (RangeSearch), MkNNQ (KNNSearch), updates, and the cost counters
+// the paper's experiments record.
+type Index = core.Index
+
+// BruteForceRange answers MRQ(q, r) by exhaustive scan — the correctness
+// baseline.
+func BruteForceRange(ds *Dataset, q Object, r float64) []int {
+	return core.BruteForceRange(ds, q, r)
+}
+
+// BruteForceKNN answers MkNNQ(q, k) by exhaustive scan.
+func BruteForceKNN(ds *Dataset, q Object, k int) []Neighbor {
+	return core.BruteForceKNN(ds, q, k)
+}
+
+// SelectPivots picks k pivots with HFI — the state-of-the-art strategy
+// the paper applies to every index for its equal-footing comparison
+// (§6.1). The returned ids index into the dataset.
+func SelectPivots(ds *Dataset, k int, seed int64) ([]int, error) {
+	return pivot.HFI(ds, k, pivot.Options{Seed: seed})
+}
+
+// SelectPivotsHF picks k outlier pivots with the hull-of-foci algorithm
+// of the Omni-family [17].
+func SelectPivotsHF(ds *Dataset, k int, seed int64) []int {
+	return pivot.HF(ds, pivot.Sample(ds, pivot.Options{Seed: seed}), k, seed)
+}
+
+// SelectPivotsRandom picks k pivots uniformly at random (the baseline the
+// ablation benchmarks compare against).
+func SelectPivotsRandom(ds *Dataset, k int, seed int64) []int {
+	return pivot.Random(ds, k, seed)
+}

@@ -1,0 +1,202 @@
+package metricindex_test
+
+// Randomized operation-sequence property tests (testing/quick): arbitrary
+// interleavings of inserts, deletes, range queries, and kNN queries must
+// keep every index in exact agreement with brute force.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metricindex"
+)
+
+// opSequence runs a random workload against one index and brute force.
+func opSequence(t *testing.T, mk func(ds *metricindex.Dataset, pivots []int, maxD float64) (metricindex.Index, error)) func(seed int64) bool {
+	return func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(60)
+		objs := make([]metricindex.Object, n)
+		for i := range objs {
+			v := make(metricindex.IntVector, 4)
+			for d := range v {
+				v[d] = int32(rng.Intn(60))
+			}
+			objs[i] = v
+		}
+		ds := metricindex.NewDataset(metricindex.NewSpace(metricindex.IntLInf{}), objs)
+		pivots, err := metricindex.SelectPivots(ds, 3, seed)
+		if err != nil {
+			t.Logf("seed %d: pivots: %v", seed, err)
+			return false
+		}
+		idx, err := mk(ds, pivots, 70)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+
+		check := func() bool {
+			q := make(metricindex.IntVector, 4)
+			for d := range q {
+				q[d] = int32(rng.Intn(60))
+			}
+			r := float64(rng.Intn(30))
+			want := metricindex.BruteForceRange(ds, q, r)
+			got, err := idx.RangeSearch(q, r)
+			if err != nil || len(got) != len(want) {
+				t.Logf("seed %d: MRQ got %d want %d (err %v)", seed, len(got), len(want), err)
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Logf("seed %d: MRQ id mismatch at %d", seed, i)
+					return false
+				}
+			}
+			k := 1 + rng.Intn(12)
+			wantK := metricindex.BruteForceKNN(ds, q, k)
+			gotK, err := idx.KNNSearch(q, k)
+			if err != nil || len(gotK) != len(wantK) {
+				t.Logf("seed %d: kNN got %d want %d (err %v)", seed, len(gotK), len(wantK), err)
+				return false
+			}
+			for i := range gotK {
+				if gotK[i].Dist != wantK[i].Dist {
+					t.Logf("seed %d: kNN dist mismatch at %d", seed, i)
+					return false
+				}
+			}
+			return true
+		}
+
+		for step := 0; step < 20; step++ {
+			switch rng.Intn(3) {
+			case 0: // delete a random live object
+				live := ds.LiveIDs()
+				if len(live) <= 5 {
+					continue
+				}
+				id := live[rng.Intn(len(live))]
+				if err := idx.Delete(id); err != nil {
+					t.Logf("seed %d: delete %d: %v", seed, id, err)
+					return false
+				}
+				if err := ds.Delete(id); err != nil {
+					t.Logf("seed %d: ds delete: %v", seed, err)
+					return false
+				}
+			case 1: // insert a fresh object
+				v := make(metricindex.IntVector, 4)
+				for d := range v {
+					v[d] = int32(rng.Intn(60))
+				}
+				id := ds.Insert(v)
+				if err := idx.Insert(id); err != nil {
+					t.Logf("seed %d: insert %d: %v", seed, id, err)
+					return false
+				}
+			case 2: // query
+				if !check() {
+					return false
+				}
+			}
+		}
+		return check()
+	}
+}
+
+func quickCfg() *quick.Config { return &quick.Config{MaxCount: 12} }
+
+func TestQuickLAESA(t *testing.T) {
+	f := opSequence(t, func(ds *metricindex.Dataset, pv []int, _ float64) (metricindex.Index, error) {
+		return metricindex.NewLAESA(ds, pv)
+	})
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMVPT(t *testing.T) {
+	f := opSequence(t, func(ds *metricindex.Dataset, pv []int, _ float64) (metricindex.Index, error) {
+		return metricindex.NewMVPT(ds, pv, metricindex.TreeOptions{LeafCapacity: 6})
+	})
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBKT(t *testing.T) {
+	f := opSequence(t, func(ds *metricindex.Dataset, _ []int, maxD float64) (metricindex.Index, error) {
+		return metricindex.NewBKT(ds, metricindex.TreeOptions{MaxDistance: maxD, LeafCapacity: 6, Seed: 1})
+	})
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFQT(t *testing.T) {
+	f := opSequence(t, func(ds *metricindex.Dataset, pv []int, maxD float64) (metricindex.Index, error) {
+		return metricindex.NewFQT(ds, pv, metricindex.TreeOptions{MaxDistance: maxD, LeafCapacity: 6})
+	})
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPMTree(t *testing.T) {
+	f := opSequence(t, func(ds *metricindex.Dataset, pv []int, _ float64) (metricindex.Index, error) {
+		return metricindex.NewPMTree(ds, pv, metricindex.DiskOptions{PageSize: 1024})
+	})
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMIndexStar(t *testing.T) {
+	f := opSequence(t, func(ds *metricindex.Dataset, pv []int, maxD float64) (metricindex.Index, error) {
+		return metricindex.NewMIndexStar(ds, pv, metricindex.MIndexOptions{
+			DiskOptions: metricindex.DiskOptions{PageSize: 512},
+			MaxDistance: maxD, MaxNum: 24,
+		})
+	})
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSPBTree(t *testing.T) {
+	f := opSequence(t, func(ds *metricindex.Dataset, pv []int, maxD float64) (metricindex.Index, error) {
+		return metricindex.NewSPBTree(ds, pv, metricindex.SPBOptions{
+			DiskOptions: metricindex.DiskOptions{PageSize: 512},
+			MaxDistance: maxD,
+		})
+	})
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDiskEPTStar(t *testing.T) {
+	f := opSequence(t, func(ds *metricindex.Dataset, _ []int, _ float64) (metricindex.Index, error) {
+		return metricindex.NewDiskEPTStar(ds,
+			metricindex.EPTOptions{L: 3, Seed: 1},
+			metricindex.DiskOptions{PageSize: 512})
+	})
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOmniRTree(t *testing.T) {
+	f := opSequence(t, func(ds *metricindex.Dataset, pv []int, maxD float64) (metricindex.Index, error) {
+		return metricindex.NewOmniRTree(ds, pv, metricindex.OmniOptions{
+			DiskOptions: metricindex.DiskOptions{PageSize: 512},
+			MaxDistance: maxD,
+		})
+	})
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
