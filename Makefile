@@ -1,0 +1,34 @@
+# Same commands CI runs (.github/workflows/ci.yml) — keep them in sync.
+
+GO ?= go
+
+# Packages with a parallel build or the concurrent query engine: the
+# race-detector gate of `make race`.
+RACE_PKGS = ./internal/exec/... ./internal/table/... ./internal/ept/... \
+            ./internal/cpt/... ./internal/omni/... ./internal/core/... \
+            ./internal/store/... ./internal/bench/... .
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=BenchmarkBatchVsSequential -benchtime=2x -run=^$$ .
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt test race

@@ -6,6 +6,7 @@ package metricindex_test
 // cmd/experiments for paper-scale sweeps and readable reports.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -186,4 +187,107 @@ func BenchmarkKNNPerIndex(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBatchVsSequential compares MkNNQ throughput of the sequential
+// per-query loop against the concurrent batch engine over the same index
+// and workload — the concurrent-serving scenario §6.2 motivates. Run with
+// -benchtime to taste; the Batch variant should scale with cores.
+func BenchmarkBatchVsSequential(b *testing.B) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetLA, 20000, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := gen.Dataset
+	pivots, err := metricindex.SelectPivots(ds, 5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := metricindex.NewLAESA(ds, pivots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 10
+	b.Run("SequentialKNN", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range gen.Queries {
+				if _, err := idx.KNNSearch(q, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*len(gen.Queries))/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("BatchKNN", func(b *testing.B) {
+		eng := metricindex.NewEngine(ds.Space(), metricindex.EngineOptions{})
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.BatchKNNSearch(context.Background(), idx, gen.Queries, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(gen.Queries))/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("SequentialMRQ", func(b *testing.B) {
+		r := gen.MaxDistance / 10
+		for i := 0; i < b.N; i++ {
+			for _, q := range gen.Queries {
+				if _, err := idx.RangeSearch(q, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*len(gen.Queries))/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("BatchMRQ", func(b *testing.B) {
+		r := gen.MaxDistance / 10
+		eng := metricindex.NewEngine(ds.Space(), metricindex.EngineOptions{})
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.BatchRangeSearch(context.Background(), idx, gen.Queries, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(gen.Queries))/b.Elapsed().Seconds(), "queries/s")
+	})
+}
+
+// BenchmarkParallelBuild compares sequential vs parallel construction of
+// the precompute-heavy indexes (§6.2's "objects are independent" remark).
+func BenchmarkParallelBuild(b *testing.B) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetLA, 20000, 8, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := gen.Dataset
+	pivots, err := metricindex.SelectPivots(ds, 5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("LAESASequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := metricindex.NewLAESA(ds, pivots); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("LAESAParallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := metricindex.NewLAESAParallel(ds, pivots, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("EPTStarSequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := metricindex.NewEPTStar(ds, metricindex.EPTOptions{L: 5, Seed: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("EPTStarParallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := metricindex.NewEPTStar(ds, metricindex.EPTOptions{L: 5, Seed: 3, Workers: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

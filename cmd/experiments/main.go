@@ -32,10 +32,11 @@ func main() {
 		pivots   = flag.Int("pivots", 5, "default number of pivots |P|")
 		seed     = flag.Int64("seed", 42, "generation seed")
 		datasets = flag.String("datasets", "", "comma-separated subset of LA,Words,Color,Synthetic (default all)")
+		workers  = flag.Int("workers", 0, "run query workloads and precompute-heavy builds through the concurrent engine with this many workers (0 = sequential, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{N: *n, Queries: *queries, Pivots: *pivots, Seed: *seed}
+	cfg := bench.Config{N: *n, Queries: *queries, Pivots: *pivots, Seed: *seed, Workers: *workers}
 	if *datasets != "" {
 		for _, name := range strings.Split(*datasets, ",") {
 			cfg.Datasets = append(cfg.Datasets, dataset.Kind(strings.TrimSpace(name)))

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"metricindex/internal/bench"
 	"metricindex/internal/core"
 	"metricindex/internal/dataset"
+	"metricindex/internal/exec"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		radius  = flag.Float64("radius", 0, "run MRQ with this radius")
 		verify  = flag.Bool("verify", false, "check every answer against a linear scan")
 		maxShow = flag.Int("show", 5, "results printed per query")
+		workers = flag.Int("workers", 0, "answer the whole workload through the concurrent batch engine with this many workers (0 = sequential per-query loop, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -72,6 +75,13 @@ func main() {
 		cost.Time.Round(time.Millisecond), cost.CompDists, cost.PA,
 		cost.MemBytes/1024, cost.DiskBytes/1024)
 
+	if *workers != 0 {
+		if err := runBatch(gen, built, *k, *radius, *verify, *maxShow, *workers); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	sp := gen.Dataset.Space()
 	for qi, q := range gen.Queries {
 		sp.ResetCompDists()
@@ -89,41 +99,114 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		if *k > 0 {
-			fmt.Printf("query %d: MkNNQ(k=%d):", qi+1, *k)
-			for i, nb := range nns {
-				if i == *maxShow {
-					fmt.Printf(" …%d more", len(nns)-i)
-					break
-				}
-				fmt.Printf(" %d@%.3g", nb.ID, nb.Dist)
-			}
+			printKNN(qi, *k, *maxShow, nns)
 		} else {
-			fmt.Printf("query %d: MRQ(r=%g): %d results:", qi+1, *radius, len(ids))
-			for i, id := range ids {
-				if i == *maxShow {
-					fmt.Printf(" …%d more", len(ids)-i)
-					break
-				}
-				fmt.Printf(" %d", id)
-			}
+			printMRQ(qi, *radius, *maxShow, ids)
 		}
 		fmt.Printf("   [%d dists, %d PA, %v]\n", sp.CompDists(), built.Index.PageAccesses(), elapsed.Round(time.Microsecond))
 
 		if *verify {
 			if *k > 0 {
-				want := core.BruteForceKNN(gen.Dataset, q, *k)
-				if len(want) != len(nns) || (len(want) > 0 && want[len(want)-1].Dist != nns[len(nns)-1].Dist) {
-					fail(fmt.Errorf("query %d: kNN mismatch vs linear scan", qi+1))
-				}
+				err = verifyKNN(gen, qi, *k, nns)
 			} else {
-				want := core.BruteForceRange(gen.Dataset, q, *radius)
-				if len(want) != len(ids) {
-					fail(fmt.Errorf("query %d: MRQ mismatch vs linear scan (%d vs %d)", qi+1, len(ids), len(want)))
-				}
+				err = verifyMRQ(gen, qi, *radius, ids)
+			}
+			if err != nil {
+				fail(err)
 			}
 			fmt.Println("          verified against linear scan ✓")
 		}
 	}
+}
+
+// printKNN prints one MkNNQ answer line without a trailing newline (the
+// caller appends either per-query costs or a newline).
+func printKNN(qi, k, maxShow int, nns []core.Neighbor) {
+	fmt.Printf("query %d: MkNNQ(k=%d):", qi+1, k)
+	for i, nb := range nns {
+		if i == maxShow {
+			fmt.Printf(" …%d more", len(nns)-i)
+			break
+		}
+		fmt.Printf(" %d@%.3g", nb.ID, nb.Dist)
+	}
+}
+
+// printMRQ prints one MRQ answer line without a trailing newline.
+func printMRQ(qi int, radius float64, maxShow int, ids []int) {
+	fmt.Printf("query %d: MRQ(r=%g): %d results:", qi+1, radius, len(ids))
+	for i, id := range ids {
+		if i == maxShow {
+			fmt.Printf(" …%d more", len(ids)-i)
+			break
+		}
+		fmt.Printf(" %d", id)
+	}
+}
+
+// verifyKNN checks one MkNNQ answer against the brute-force baseline.
+func verifyKNN(gen *dataset.Generated, qi, k int, nns []core.Neighbor) error {
+	want := core.BruteForceKNN(gen.Dataset, gen.Queries[qi], k)
+	if len(want) != len(nns) || (len(want) > 0 && want[len(want)-1].Dist != nns[len(nns)-1].Dist) {
+		return fmt.Errorf("query %d: kNN mismatch vs linear scan", qi+1)
+	}
+	return nil
+}
+
+// verifyMRQ checks one MRQ answer against the brute-force baseline.
+func verifyMRQ(gen *dataset.Generated, qi int, radius float64, ids []int) error {
+	want := core.BruteForceRange(gen.Dataset, gen.Queries[qi], radius)
+	if len(want) != len(ids) {
+		return fmt.Errorf("query %d: MRQ mismatch vs linear scan (%d vs %d)", qi+1, len(ids), len(want))
+	}
+	return nil
+}
+
+// runBatch answers the whole workload through the concurrent batch engine
+// and prints per-query answers plus aggregate batch stats.
+func runBatch(gen *dataset.Generated, built *bench.Built, k int, radius float64, verify bool, maxShow, workers int) error {
+	eng := exec.New(gen.Dataset.Space(), exec.Options{Workers: workers})
+	fmt.Printf("batch mode: %d queries across %d workers\n", len(gen.Queries), eng.Workers())
+	ctx := context.Background()
+	var stats exec.BatchStats
+	if k > 0 {
+		res, err := eng.BatchKNNSearch(ctx, built.Index, gen.Queries, k)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		for qi, nns := range res.Neighbors {
+			printKNN(qi, k, maxShow, nns)
+			fmt.Println()
+			if verify {
+				if err := verifyKNN(gen, qi, k, nns); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		res, err := eng.BatchRangeSearch(ctx, built.Index, gen.Queries, radius)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		for qi, ids := range res.IDs {
+			printMRQ(qi, radius, maxShow, ids)
+			fmt.Println()
+			if verify {
+				if err := verifyMRQ(gen, qi, radius, ids); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if verify {
+		fmt.Println("all answers verified against linear scan ✓")
+	}
+	fmt.Printf("\nbatch: %d queries in %v (%.0f q/s), %.0f dists/query, %.0f PA/query\n",
+		stats.Queries, stats.Wall.Round(time.Microsecond), stats.Throughput(),
+		stats.PerQueryCompDists(), stats.PerQueryPageAccesses())
+	return nil
 }
 
 func selectPivots(env *bench.Env) ([]int, error) {

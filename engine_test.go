@@ -1,0 +1,75 @@
+package metricindex_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"metricindex"
+)
+
+// TestEngineBatchMatchesSequentialPublicAPI drives the public batch API
+// end-to-end: same answers as the sequential calls, across a table, a
+// tree, and a disk-based index.
+func TestEngineBatchMatchesSequentialPublicAPI(t *testing.T) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetLA, 1500, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Dataset
+	pivots, err := metricindex.SelectPivots(ds, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := metricindex.DiskOptions{CacheBytes: metricindex.DefaultCacheBytes}
+
+	indexes := map[string]metricindex.Index{}
+	if idx, err := metricindex.NewLAESA(ds, pivots); err == nil {
+		indexes["LAESA"] = idx
+	} else {
+		t.Fatal(err)
+	}
+	if idx, err := metricindex.NewMVPT(ds, pivots, metricindex.TreeOptions{}); err == nil {
+		indexes["MVPT"] = idx
+	} else {
+		t.Fatal(err)
+	}
+	if idx, err := metricindex.NewSPBTree(ds, pivots, metricindex.SPBOptions{DiskOptions: disk, MaxDistance: gen.MaxDistance}); err == nil {
+		indexes["SPB-tree"] = idx
+	} else {
+		t.Fatal(err)
+	}
+
+	eng := metricindex.NewEngine(ds.Space(), metricindex.EngineOptions{Workers: 4})
+	r := gen.MaxDistance / 8
+	const k = 7
+	for name, idx := range indexes {
+		rres, err := eng.BatchRangeSearch(context.Background(), idx, gen.Queries, r)
+		if err != nil {
+			t.Fatalf("%s: BatchRangeSearch: %v", name, err)
+		}
+		kres, err := eng.BatchKNNSearch(context.Background(), idx, gen.Queries, k)
+		if err != nil {
+			t.Fatalf("%s: BatchKNNSearch: %v", name, err)
+		}
+		if kres.Stats.Throughput() <= 0 || kres.Stats.CompDists <= 0 {
+			t.Fatalf("%s: batch stats not collected: %+v", name, kres.Stats)
+		}
+		for i, q := range gen.Queries {
+			wantIDs, err := idx.RangeSearch(q, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wantIDs) != len(rres.IDs[i]) || (len(wantIDs) > 0 && !reflect.DeepEqual(wantIDs, rres.IDs[i])) {
+				t.Fatalf("%s: query %d MRQ mismatch", name, i)
+			}
+			wantNNs, err := idx.KNNSearch(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantNNs, kres.Neighbors[i]) {
+				t.Fatalf("%s: query %d MkNNQ mismatch", name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module metricindex
+
+go 1.24

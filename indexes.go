@@ -62,6 +62,14 @@ func NewLAESA(ds *Dataset, pivots []int) (Index, error) {
 	return table.NewLAESA(ds, pivots)
 }
 
+// NewLAESAParallel builds the same LAESA table with the per-object
+// distance precompute fanned out across workers goroutines (<= 0 uses
+// GOMAXPROCS). The result is identical to NewLAESA; only wall-clock
+// construction time changes.
+func NewLAESAParallel(ds *Dataset, pivots []int, workers int) (Index, error) {
+	return table.NewLAESAParallel(ds, pivots, workers)
+}
+
 // EPTOptions configures the extreme pivot tables.
 type EPTOptions struct {
 	// L is the number of pivots per object.
@@ -72,13 +80,18 @@ type EPTOptions struct {
 	Radius float64
 	// Seed drives sampling.
 	Seed int64
+	// Workers parallelizes the per-object pivot assignment during
+	// construction: 0 or 1 builds sequentially, negative uses GOMAXPROCS,
+	// otherwise that many goroutines. The built table is identical either
+	// way.
+	Workers int
 }
 
 // NewEPT builds the original Extreme Pivot Table [24] (§3.2).
 func NewEPT(ds *Dataset, opts EPTOptions) (Index, error) {
 	return ept.New(ds, ept.Original, ept.Options{
 		L: opts.L, M: opts.M, Radius: opts.Radius,
-		Sel: pivot.Options{Seed: opts.Seed},
+		Sel: pivot.Options{Seed: opts.Seed}, Workers: opts.Workers,
 	})
 }
 
@@ -86,7 +99,7 @@ func NewEPT(ds *Dataset, opts EPTOptions) (Index, error) {
 // (Algorithm 1), trading construction cost for query compdists (§3.2).
 func NewEPTStar(ds *Dataset, opts EPTOptions) (Index, error) {
 	return ept.New(ds, ept.Star, ept.Options{
-		L: opts.L, Sel: pivot.Options{Seed: opts.Seed},
+		L: opts.L, Sel: pivot.Options{Seed: opts.Seed}, Workers: opts.Workers,
 	})
 }
 
@@ -97,7 +110,7 @@ func NewEPTStar(ds *Dataset, opts EPTOptions) (Index, error) {
 func NewDiskEPTStar(ds *Dataset, opts EPTOptions, disk DiskOptions) (*DiskIndex, error) {
 	p := disk.pager()
 	idx, err := ept.NewDisk(ds, p, ept.Options{
-		L: opts.L, Sel: pivot.Options{Seed: opts.Seed},
+		L: opts.L, Sel: pivot.Options{Seed: opts.Seed}, Workers: opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -108,8 +121,18 @@ func NewDiskEPTStar(ds *Dataset, opts EPTOptions, disk DiskOptions) (*DiskIndex,
 // NewCPT builds the Clustered Pivot Table (§3.3): in-memory distance
 // table plus a disk M-tree clustering the objects.
 func NewCPT(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, error) {
+	return NewCPTParallel(ds, pivots, opts, 1)
+}
+
+// NewCPTParallel builds the same CPT with the distance-table precompute
+// fanned out across workers goroutines (<= 0 uses GOMAXPROCS); the M-tree
+// is still built sequentially. The result is identical to NewCPT.
+func NewCPTParallel(ds *Dataset, pivots []int, opts DiskOptions, workers int) (*DiskIndex, error) {
+	if workers <= 0 {
+		workers = -1 // cpt: negative means GOMAXPROCS
+	}
 	p := opts.pager()
-	idx, err := cpt.New(ds, p, pivots, cpt.Options{Seed: 1})
+	idx, err := cpt.New(ds, p, pivots, cpt.Options{Seed: 1, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -178,12 +201,17 @@ type OmniOptions struct {
 	DiskOptions
 	// MaxDistance is d+, used to quantize the R-tree bulk-load ordering.
 	MaxDistance float64
+	// Workers parallelizes the pivot-table precompute during
+	// construction: 0 or 1 builds sequentially, negative uses GOMAXPROCS,
+	// otherwise that many goroutines. The built index is identical either
+	// way.
+	Workers int
 }
 
 // NewOmniRTree builds the OmniR-tree (§5.2), the family's best performer.
 func NewOmniRTree(ds *Dataset, pivots []int, opts OmniOptions) (*DiskIndex, error) {
 	p := opts.pager()
-	idx, err := omni.NewRTree(ds, p, pivots, omni.Options{MaxDistance: opts.MaxDistance})
+	idx, err := omni.NewRTree(ds, p, pivots, omni.Options{MaxDistance: opts.MaxDistance, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +221,7 @@ func NewOmniRTree(ds *Dataset, pivots []int, opts OmniOptions) (*DiskIndex, erro
 // NewOmniSeqFile builds the Omni-sequential-file (§5.2).
 func NewOmniSeqFile(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, error) {
 	p := opts.pager()
-	idx, err := omni.NewSeqFile(ds, p, pivots)
+	idx, err := omni.NewSeqFile(ds, p, pivots, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +231,7 @@ func NewOmniSeqFile(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, er
 // NewOmniBPlus builds the OmniB+-tree (§5.2): one B+-tree per pivot.
 func NewOmniBPlus(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, error) {
 	p := opts.pager()
-	idx, err := omni.NewBPlus(ds, p, pivots)
+	idx, err := omni.NewBPlus(ds, p, pivots, 0)
 	if err != nil {
 		return nil, err
 	}

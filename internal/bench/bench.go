@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"metricindex/internal/cpt"
 	"metricindex/internal/dataset"
 	"metricindex/internal/ept"
+	"metricindex/internal/exec"
 	"metricindex/internal/fqt"
 	"metricindex/internal/mindex"
 	"metricindex/internal/mvpt"
@@ -46,6 +48,12 @@ type Config struct {
 	Seed int64
 	// Datasets restricts the run (nil = all four).
 	Datasets []dataset.Kind
+	// Workers routes query workloads through the concurrent batch engine:
+	// 0 keeps the sequential per-query loop (the paper's single-threaded
+	// methodology), negative uses GOMAXPROCS, otherwise that many worker
+	// goroutines. Per-query compdists and PA averages are identical either
+	// way; only CPU (wall time per query) changes.
+	Workers int
 }
 
 // WithDefaults fills unset fields.
@@ -143,25 +151,32 @@ func pagerFor(e *Env, large bool) *store.Pager {
 func Builders() []Builder {
 	return []Builder{
 		{Name: "LAESA", Build: func(e *Env) (*Built, error) {
-			idx, err := table.NewLAESA(e.Gen.Dataset, e.Pivots)
+			var idx core.Index
+			var err error
+			if e.Cfg.Workers != 0 {
+				idx, err = table.NewLAESAParallel(e.Gen.Dataset, e.Pivots, e.Cfg.Workers)
+			} else {
+				idx, err = table.NewLAESA(e.Gen.Dataset, e.Pivots)
+			}
 			return &Built{Name: "LAESA", Index: idx}, err
 		}},
 		{Name: "EPT", Build: func(e *Env) (*Built, error) {
 			idx, err := ept.New(e.Gen.Dataset, ept.Original, ept.Options{
 				L: e.Cfg.Pivots, Radius: e.Radius(0.16),
-				Sel: pivot.Options{Seed: e.Cfg.Seed + 2},
+				Sel: pivot.Options{Seed: e.Cfg.Seed + 2}, Workers: e.Cfg.Workers,
 			})
 			return &Built{Name: "EPT", Index: idx}, err
 		}},
 		{Name: "EPT*", Build: func(e *Env) (*Built, error) {
 			idx, err := ept.New(e.Gen.Dataset, ept.Star, ept.Options{
 				L: e.Cfg.Pivots, Sel: pivot.Options{Seed: e.Cfg.Seed + 2},
+				Workers: e.Cfg.Workers,
 			})
 			return &Built{Name: "EPT*", Index: idx}, err
 		}},
 		{Name: "CPT", Build: func(e *Env) (*Built, error) {
 			p := pagerFor(e, true)
-			idx, err := cpt.New(e.Gen.Dataset, p, e.Pivots, cpt.Options{Seed: e.Cfg.Seed})
+			idx, err := cpt.New(e.Gen.Dataset, p, e.Pivots, cpt.Options{Seed: e.Cfg.Seed, Workers: e.Cfg.Workers})
 			return &Built{Name: "CPT", Index: idx, Pager: p}, err
 		}},
 		{Name: "BKT", DiscreteOnly: true, Build: func(e *Env) (*Built, error) {
@@ -185,7 +200,9 @@ func Builders() []Builder {
 		}},
 		{Name: "OmniR-tree", Build: func(e *Env) (*Built, error) {
 			p := pagerFor(e, false)
-			idx, err := omni.NewRTree(e.Gen.Dataset, p, e.Pivots, omni.Options{MaxDistance: e.Gen.MaxDistance})
+			idx, err := omni.NewRTree(e.Gen.Dataset, p, e.Pivots, omni.Options{
+				MaxDistance: e.Gen.MaxDistance, Workers: e.Cfg.Workers,
+			})
 			return &Built{Name: "OmniR-tree", Index: idx, Pager: p}, err
 		}},
 		{Name: "M-index", Build: func(e *Env) (*Built, error) {
@@ -232,11 +249,33 @@ type QueryCost struct {
 	CPU       time.Duration
 }
 
-// MeasureRange averages MRQ(q, r) costs over the environment's queries.
+// engine returns the batch engine configured by Config.Workers, or nil
+// when the sequential loop is requested.
+func (e *Env) engine() *exec.Engine {
+	if e.Cfg.Workers == 0 {
+		return nil
+	}
+	return exec.New(e.Gen.Dataset.Space(), exec.Options{Workers: e.Cfg.Workers})
+}
+
+// MeasureRange averages MRQ(q, r) costs over the environment's queries,
+// either sequentially or through the batch engine (Config.Workers).
 func MeasureRange(e *Env, b *Built, r float64) (QueryCost, error) {
 	sp := e.Gen.Dataset.Space()
 	sp.ResetCompDists()
 	b.Index.ResetStats()
+	n := float64(len(e.Gen.Queries))
+	if eng := e.engine(); eng != nil {
+		res, err := eng.BatchRangeSearch(context.Background(), b.Index, e.Gen.Queries, r)
+		if err != nil {
+			return QueryCost{}, err
+		}
+		return QueryCost{
+			CompDists: res.Stats.PerQueryCompDists(),
+			PA:        res.Stats.PerQueryPageAccesses(),
+			CPU:       time.Duration(float64(res.Stats.Wall) / n),
+		}, nil
+	}
 	start := time.Now()
 	for _, q := range e.Gen.Queries {
 		if _, err := b.Index.RangeSearch(q, r); err != nil {
@@ -244,7 +283,6 @@ func MeasureRange(e *Env, b *Built, r float64) (QueryCost, error) {
 		}
 	}
 	elapsed := time.Since(start)
-	n := float64(len(e.Gen.Queries))
 	return QueryCost{
 		CompDists: float64(sp.CompDists()) / n,
 		PA:        float64(b.Index.PageAccesses()) / n,
@@ -253,13 +291,26 @@ func MeasureRange(e *Env, b *Built, r float64) (QueryCost, error) {
 }
 
 // MeasureKNN averages MkNNQ(q, k) costs over the environment's queries,
-// with the paper's 128 KB cache enabled on disk indexes.
+// with the paper's 128 KB cache enabled on disk indexes, either
+// sequentially or through the batch engine (Config.Workers).
 func MeasureKNN(e *Env, b *Built, k int) (QueryCost, error) {
 	b.SetCacheBytes(store.DefaultCacheBytes)
 	defer b.SetCacheBytes(0)
 	sp := e.Gen.Dataset.Space()
 	sp.ResetCompDists()
 	b.Index.ResetStats()
+	n := float64(len(e.Gen.Queries))
+	if eng := e.engine(); eng != nil {
+		res, err := eng.BatchKNNSearch(context.Background(), b.Index, e.Gen.Queries, k)
+		if err != nil {
+			return QueryCost{}, err
+		}
+		return QueryCost{
+			CompDists: res.Stats.PerQueryCompDists(),
+			PA:        res.Stats.PerQueryPageAccesses(),
+			CPU:       time.Duration(float64(res.Stats.Wall) / n),
+		}, nil
+	}
 	start := time.Now()
 	for _, q := range e.Gen.Queries {
 		if _, err := b.Index.KNNSearch(q, k); err != nil {
@@ -267,7 +318,6 @@ func MeasureKNN(e *Env, b *Built, k int) (QueryCost, error) {
 		}
 	}
 	elapsed := time.Since(start)
-	n := float64(len(e.Gen.Queries))
 	return QueryCost{
 		CompDists: float64(sp.CompDists()) / n,
 		PA:        float64(b.Index.PageAccesses()) / n,

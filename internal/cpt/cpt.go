@@ -21,6 +21,12 @@ import (
 type Options struct {
 	// Seed drives M-tree split sampling.
 	Seed int64
+	// Workers parallelizes the distance-table precompute (one row of
+	// pivot distances per object): 0 or 1 builds sequentially, negative
+	// uses GOMAXPROCS, otherwise that many goroutines. The M-tree is
+	// always built sequentially (its splits depend on insertion order).
+	// The resulting index is identical to a sequential build.
+	Workers int
 }
 
 // CPT is the clustered pivot table index.
@@ -60,8 +66,11 @@ func New(ds *core.Dataset, pager *store.Pager, pivots []int, opts Options) (*CPT
 		}
 		c.pivotVals = append(c.pivotVals, v)
 	}
-	for _, id := range ds.LiveIDs() {
-		if err := c.Insert(id); err != nil {
+	ids := ds.LiveIDs()
+	c.ids, c.dists = core.BuildDistRows(ds, ids, c.pivotVals, opts.Workers)
+	for row, id := range ids {
+		c.rowOf[id] = row
+		if err := c.tree.Insert(id); err != nil {
 			return nil, err
 		}
 	}

@@ -1,6 +1,7 @@
 package cpt
 
 import (
+	"reflect"
 	"testing"
 
 	"metricindex/internal/core"
@@ -95,5 +96,45 @@ func TestCPTInsertDelete(t *testing.T) {
 	}
 	if err := idx.Delete(99999); err == nil {
 		t.Fatal("delete of absent id should fail")
+	}
+}
+
+// TestCPTParallelBuildMatchesSequential checks that the parallel
+// distance-table precompute (Options.Workers) yields an index identical
+// to a sequential build, table and answers alike.
+func TestCPTParallelBuildMatchesSequential(t *testing.T) {
+	seqDS := testutil.VectorDataset(300, 4, 100, core.L2{}, 7)
+	parDS := testutil.VectorDataset(300, 4, 100, core.L2{}, 7)
+	pv, err := pivot.HFI(seqDS, 4, pivot.Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("HFI: %v", err)
+	}
+	seq, err := New(seqDS, store.NewPager(1024), pv, Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("sequential New: %v", err)
+	}
+	par, err := New(parDS, store.NewPager(1024), pv, Options{Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel New: %v", err)
+	}
+	if !reflect.DeepEqual(seq.ids, par.ids) {
+		t.Fatal("parallel build ids differ")
+	}
+	if !reflect.DeepEqual(seq.dists, par.dists) {
+		t.Fatal("parallel build distances differ")
+	}
+	for qs := int64(0); qs < 3; qs++ {
+		q := testutil.RandomQuery(seqDS, qs)
+		a, err := seq.RangeSearch(q, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.RangeSearch(q, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("MRQ answers differ: %v vs %v", a, b)
+		}
 	}
 }

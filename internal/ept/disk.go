@@ -65,10 +65,33 @@ func NewDisk(ds *core.Dataset, pager *store.Pager, opts Options) (*DiskEPT, erro
 	for ci := range st.CandIDs {
 		t.pivotVal[st.CandIDs[ci]] = st.CandVals[ci]
 	}
-	for _, id := range ds.LiveIDs() {
-		if err := t.Insert(id); err != nil {
+	// Per-object PSA assignment is the dominant build cost; fan it out
+	// across Options.Workers goroutines (Assign is read-only on the PSA
+	// state), then write the table pages and RAF sequentially so the
+	// on-disk layout is identical to a sequential build.
+	ids := ds.LiveIDs()
+	sp := ds.Space()
+	pvs := make([][]int32, len(ids))
+	dvs := make([][]float64, len(ids))
+	core.ParallelFor(len(ids), opts.Workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			pvs[i], dvs[i] = st.Assign(sp, ds.Object(ids[i]), l)
+		}
+	})
+	for i, id := range ids {
+		if _, err := t.raf.Append(id, store.EncodeObject(nil, ds.Object(id))); err != nil {
 			return nil, err
 		}
+		pv, dv := pvs[i], dvs[i]
+		for len(pv) < l { // defensive padding (tiny candidate pools)
+			pv = append(pv, pv[len(pv)-1])
+			dv = append(dv, dv[len(dv)-1])
+		}
+		if err := t.writeRow(t.rows, uint32(id), pv, dv); err != nil {
+			return nil, err
+		}
+		t.rowOf[id] = t.rows
+		t.rows++
 	}
 	return t, nil
 }

@@ -40,6 +40,11 @@ type Options struct {
 	Radius float64
 	// Sel tunes pivot sampling.
 	Sel pivot.Options
+	// Workers parallelizes the per-object pivot assignment during
+	// construction (the dominant cost, especially for EPT*): 0 or 1
+	// builds sequentially, negative uses GOMAXPROCS, otherwise that many
+	// goroutines. The resulting table is identical to a sequential build.
+	Workers int
 }
 
 // EPT is the extreme pivot table index.
@@ -73,6 +78,11 @@ func New(ds *core.Dataset, variant Variant, opts Options) (*EPT, error) {
 		rowOf:    make(map[int]int),
 		pivotVal: make(map[int32]core.Object),
 	}
+	sp := ds.Space()
+	// assign computes one object's row; it must be safe to call
+	// concurrently, since construction fans the per-object assignments out
+	// across Options.Workers goroutines (§6.2: objects are independent).
+	var assign func(o core.Object) ([]int32, []float64)
 	switch variant {
 	case Original:
 		m := opts.M
@@ -93,26 +103,37 @@ func New(ds *core.Dataset, variant Variant, opts Options) (*EPT, error) {
 				e.pivotVal[g.IDs[gi][j]] = g.Vals[gi][j]
 			}
 		}
-		sp := ds.Space()
-		for _, id := range ds.LiveIDs() {
-			pv, dv := g.AssignExtreme(sp, ds.Object(id))
-			e.appendRow(id, pv, dv)
+		assign = func(o core.Object) ([]int32, []float64) {
+			return g.AssignExtreme(sp, o)
 		}
 	case Star:
-		po, st, err := pivot.PSA(ds, opts.L, opts.Sel)
+		st, err := pivot.NewPSAState(ds, opts.Sel)
 		if err != nil {
 			return nil, err
 		}
-		e.l = po.L
+		e.l = min(e.l, len(st.CandVals))
 		e.psa = st
 		for ci := range st.CandIDs {
 			e.pivotVal[st.CandIDs[ci]] = st.CandVals[ci]
 		}
-		for _, id := range ds.LiveIDs() {
-			e.appendRow(id, po.Pivots[id], po.Dists[id])
+		assign = func(o core.Object) ([]int32, []float64) {
+			return st.Assign(sp, o, e.l)
 		}
 	default:
 		return nil, fmt.Errorf("ept: unknown variant %d", variant)
+	}
+	ids := ds.LiveIDs()
+	pvs := make([][]int32, len(ids))
+	dvs := make([][]float64, len(ids))
+	core.ParallelFor(len(ids), opts.Workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			pvs[i], dvs[i] = assign(ds.Object(ids[i]))
+		}
+	})
+	// Rows are appended in LiveIDs order regardless of worker count, so the
+	// table is identical to a sequential build.
+	for i, id := range ids {
+		e.appendRow(id, pvs[i], dvs[i])
 	}
 	return e, nil
 }

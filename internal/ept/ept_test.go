@@ -1,6 +1,7 @@
 package ept
 
 import (
+	"reflect"
 	"testing"
 
 	"metricindex/internal/core"
@@ -179,5 +180,72 @@ func TestDiskEPTFewerCompdistsThanOmniStyleScan(t *testing.T) {
 	cost := ds.Space().CompDists()
 	if cost >= int64(ds.Count()) {
 		t.Fatalf("DiskEPT* spent %d compdists, no better than a scan of %d", cost, ds.Count())
+	}
+}
+
+// TestEPTParallelBuildMatchesSequential checks that a parallel build
+// (Options.Workers) produces a table byte-for-byte identical to the
+// sequential build for both variants.
+func TestEPTParallelBuildMatchesSequential(t *testing.T) {
+	for _, v := range []Variant{Original, Star} {
+		seqDS := testutil.VectorDataset(250, 4, 100, core.L2{}, 7)
+		parDS := testutil.VectorDataset(250, 4, 100, core.L2{}, 7)
+		opts := Options{L: 4, Radius: 10, Sel: pivot.Options{Seed: 3, SampleSize: 128}}
+		seq, err := New(seqDS, v, opts)
+		if err != nil {
+			t.Fatalf("sequential New(%v): %v", v, err)
+		}
+		opts.Workers = 4
+		par, err := New(parDS, v, opts)
+		if err != nil {
+			t.Fatalf("parallel New(%v): %v", v, err)
+		}
+		if !reflect.DeepEqual(seq.ids, par.ids) {
+			t.Fatalf("%v: parallel build ids differ", v)
+		}
+		if !reflect.DeepEqual(seq.pids, par.pids) {
+			t.Fatalf("%v: parallel build pivot ids differ", v)
+		}
+		if !reflect.DeepEqual(seq.dists, par.dists) {
+			t.Fatalf("%v: parallel build distances differ", v)
+		}
+		if !reflect.DeepEqual(seq.rowOf, par.rowOf) {
+			t.Fatalf("%v: parallel build row map differs", v)
+		}
+	}
+}
+
+// TestDiskEPTParallelBuildMatchesSequential checks the disk-based EPT*'s
+// parallel assignment produces the same on-disk layout and answers as a
+// sequential build.
+func TestDiskEPTParallelBuildMatchesSequential(t *testing.T) {
+	seqDS := testutil.VectorDataset(250, 4, 100, core.L2{}, 7)
+	parDS := testutil.VectorDataset(250, 4, 100, core.L2{}, 7)
+	opts := Options{L: 4, Sel: pivot.Options{Seed: 3, SampleSize: 128}}
+	seq, err := NewDisk(seqDS, store.NewPager(1024), opts)
+	if err != nil {
+		t.Fatalf("sequential NewDisk: %v", err)
+	}
+	opts.Workers = 4
+	par, err := NewDisk(parDS, store.NewPager(1024), opts)
+	if err != nil {
+		t.Fatalf("parallel NewDisk: %v", err)
+	}
+	if s, p := seq.DiskBytes(), par.DiskBytes(); s != p {
+		t.Fatalf("disk footprint differs: %d vs %d", s, p)
+	}
+	for qs := int64(0); qs < 3; qs++ {
+		q := testutil.RandomQuery(seqDS, qs)
+		a, err := seq.RangeSearch(q, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.RangeSearch(q, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("MRQ answers differ: %v vs %v", a, b)
+		}
 	}
 }

@@ -1,0 +1,232 @@
+// Package exec is the concurrent batch query engine: it runs MRQ and
+// MkNNQ workloads over any core.Index from a pool of worker goroutines,
+// preserving the input order of the answers and aggregating the paper's
+// cost metrics (compdists, page accesses, wall time) per batch.
+//
+// The paper's §6.2 observes that pivot-based structures parallelize
+// naturally because objects are independent of each other; the same holds
+// for queries, which never mutate the index. The engine exploits that:
+// every index in the repository answers read-only queries against
+// immutable structure state, all page traffic goes through the
+// mutex-guarded store.Pager/store.RAF, and all distance computations go
+// through the atomic counter of core.Space, so a single index can serve
+// many queries concurrently with exact, deterministic results.
+//
+// Concurrent queries may NOT be interleaved with Insert/Delete on the same
+// index — updates are not synchronized with searches. Batch boundaries are
+// the unit of consistency: finish the batch, then update.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metricindex/internal/core"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the goroutine pool size per batch; <= 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// Engine runs batched queries over indexes. An Engine is stateless between
+// batches, safe for concurrent use by multiple goroutines, and may be
+// shared across indexes (it holds no reference to any index).
+type Engine struct {
+	workers int
+	space   *core.Space
+}
+
+// New creates an engine over the instrumented space shared by the indexes
+// it will serve. space may be nil, in which case per-batch CompDists stats
+// are reported as zero. Workers <= 0 defaults to GOMAXPROCS.
+func New(space *core.Space, opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: w, space: space}
+}
+
+// Workers returns the pool size used per batch.
+func (e *Engine) Workers() int { return e.workers }
+
+// BatchStats aggregates the paper's cost metrics over one batch.
+//
+// CompDists and PageAccesses are measured as deltas of the shared
+// counters across the batch, so they attribute every distance computation
+// on the Space (and every page access on the index) performed while the
+// batch ran. Run one batch at a time per Space/index when exact
+// attribution matters; concurrent batches still compute correct results
+// but blend their counter deltas.
+type BatchStats struct {
+	// Queries is the number of queries answered.
+	Queries int
+	// CompDists is the total distance computations during the batch.
+	CompDists int64
+	// PageAccesses is the total page reads+writes during the batch.
+	PageAccesses int64
+	// Wall is the elapsed wall-clock time of the whole batch.
+	Wall time.Duration
+}
+
+// PerQueryCompDists returns the average compdists per query.
+func (s BatchStats) PerQueryCompDists() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.CompDists) / float64(s.Queries)
+}
+
+// PerQueryPageAccesses returns the average page accesses per query.
+func (s BatchStats) PerQueryPageAccesses() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.PageAccesses) / float64(s.Queries)
+}
+
+// Throughput returns queries per second over the batch wall time.
+func (s BatchStats) Throughput() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Queries) / s.Wall.Seconds()
+}
+
+// RangeResult is the answer of a batched MRQ workload.
+type RangeResult struct {
+	// IDs[i] is the RangeSearch answer for the i-th query, in the same
+	// ascending-id order the sequential call returns.
+	IDs [][]int
+	// Stats aggregates the batch cost.
+	Stats BatchStats
+}
+
+// KNNResult is the answer of a batched MkNNQ workload.
+type KNNResult struct {
+	// Neighbors[i] is the KNNSearch answer for the i-th query, sorted by
+	// ascending distance (ties by id) exactly as the sequential call
+	// returns.
+	Neighbors [][]core.Neighbor
+	// Stats aggregates the batch cost.
+	Stats BatchStats
+}
+
+// BatchRangeSearch answers MRQ(q, r) for every query concurrently.
+// Results are positionally aligned with queries (deterministic regardless
+// of worker interleaving). The first query error or context cancellation
+// stops the batch and is returned; partial results are discarded.
+func (e *Engine) BatchRangeSearch(ctx context.Context, idx core.Index, queries []core.Object, r float64) (*RangeResult, error) {
+	res := &RangeResult{IDs: make([][]int, len(queries))}
+	stats, err := e.run(ctx, idx, len(queries), func(i int) error {
+		ids, err := idx.RangeSearch(queries[i], r)
+		if err != nil {
+			return fmt.Errorf("exec: range query %d: %w", i, err)
+		}
+		res.IDs[i] = ids
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// BatchKNNSearch answers MkNNQ(q, k) for every query concurrently.
+// Results are positionally aligned with queries. The first query error or
+// context cancellation stops the batch and is returned; partial results
+// are discarded.
+func (e *Engine) BatchKNNSearch(ctx context.Context, idx core.Index, queries []core.Object, k int) (*KNNResult, error) {
+	res := &KNNResult{Neighbors: make([][]core.Neighbor, len(queries))}
+	stats, err := e.run(ctx, idx, len(queries), func(i int) error {
+		nns, err := idx.KNNSearch(queries[i], k)
+		if err != nil {
+			return fmt.Errorf("exec: knn query %d: %w", i, err)
+		}
+		res.Neighbors[i] = nns
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// run dispatches n jobs to the worker pool. Jobs are claimed dynamically
+// (an atomic cursor, not static chunks) so slow queries do not straggle a
+// whole chunk. Each job writes only its own result slot, which keeps the
+// output deterministic without post-hoc sorting.
+func (e *Engine) run(ctx context.Context, idx core.Index, n int, job func(i int) error) (BatchStats, error) {
+	if n == 0 {
+		return BatchStats{}, ctx.Err()
+	}
+	var compBase, paBase int64
+	if e.space != nil {
+		compBase = e.space.CompDists()
+	}
+	if idx != nil {
+		paBase = idx.PageAccesses()
+	}
+	start := time.Now()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		cursor   atomic.Int64
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		e := err
+		if firstErr.CompareAndSwap(nil, &e) {
+			cancel()
+		}
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := job(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if errp := firstErr.Load(); errp != nil {
+		return BatchStats{}, *errp
+	}
+	if err := ctx.Err(); err != nil {
+		return BatchStats{}, err
+	}
+	stats := BatchStats{Queries: n, Wall: time.Since(start)}
+	if e.space != nil {
+		stats.CompDists = e.space.CompDists() - compBase
+	}
+	if idx != nil {
+		stats.PageAccesses = idx.PageAccesses() - paBase
+	}
+	return stats, nil
+}

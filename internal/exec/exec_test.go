@@ -1,0 +1,302 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"metricindex/internal/core"
+	"metricindex/internal/mvpt"
+	"metricindex/internal/omni"
+	"metricindex/internal/pivot"
+	"metricindex/internal/spb"
+	"metricindex/internal/store"
+	"metricindex/internal/table"
+	"metricindex/internal/testutil"
+)
+
+// buildLineup constructs one index per family — a table (LAESA), a tree
+// (MVPT), and two disk-based structures (OmniR-tree, SPB-tree) — over the
+// same dataset, so the engine is exercised against every query-path style
+// in the repository.
+func buildLineup(t *testing.T, ds *core.Dataset, maxD float64) map[string]core.Index {
+	t.Helper()
+	pv, err := pivot.HFI(ds, 4, pivot.Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("HFI: %v", err)
+	}
+	out := make(map[string]core.Index)
+
+	la, err := table.NewLAESA(ds, pv)
+	if err != nil {
+		t.Fatalf("NewLAESA: %v", err)
+	}
+	out["LAESA"] = la
+
+	mv, err := mvpt.New(ds, pv, mvpt.Options{})
+	if err != nil {
+		t.Fatalf("mvpt.New: %v", err)
+	}
+	out["MVPT"] = mv
+
+	op := store.NewPager(512)
+	ot, err := omni.NewRTree(ds, op, pv, omni.Options{MaxDistance: maxD})
+	if err != nil {
+		t.Fatalf("omni.NewRTree: %v", err)
+	}
+	out["OmniR-tree"] = ot
+
+	sp := store.NewPager(512)
+	st, err := spb.New(ds, sp, pv, spb.Options{MaxDistance: maxD})
+	if err != nil {
+		t.Fatalf("spb.New: %v", err)
+	}
+	out["SPB-tree"] = st
+	return out
+}
+
+func queries(ds *core.Dataset, n int) []core.Object {
+	qs := make([]core.Object, n)
+	for i := range qs {
+		qs[i] = testutil.RandomQuery(ds, int64(100+i))
+	}
+	return qs
+}
+
+// TestBatchMatchesSequential checks the engine's core contract: batched
+// MRQ and MkNNQ return exactly what a sequential loop over the same index
+// returns, positionally aligned, for table, tree, and disk-based indexes.
+func TestBatchMatchesSequential(t *testing.T) {
+	ds := testutil.VectorDataset(500, 4, 100, core.L2{}, 7)
+	qs := queries(ds, 24)
+	for name, idx := range buildLineup(t, ds, 300) {
+		t.Run(name, func(t *testing.T) {
+			eng := New(ds.Space(), Options{Workers: 8})
+			const r = 40.0
+			const k = 9
+
+			rres, err := eng.BatchRangeSearch(context.Background(), idx, qs, r)
+			if err != nil {
+				t.Fatalf("BatchRangeSearch: %v", err)
+			}
+			kres, err := eng.BatchKNNSearch(context.Background(), idx, qs, k)
+			if err != nil {
+				t.Fatalf("BatchKNNSearch: %v", err)
+			}
+			if rres.Stats.Queries != len(qs) || kres.Stats.Queries != len(qs) {
+				t.Fatalf("stats queries: range %d knn %d, want %d", rres.Stats.Queries, kres.Stats.Queries, len(qs))
+			}
+			if rres.Stats.CompDists <= 0 || kres.Stats.CompDists <= 0 {
+				t.Fatalf("stats compdists not collected: range %d knn %d", rres.Stats.CompDists, kres.Stats.CompDists)
+			}
+			for i, q := range qs {
+				wantIDs, err := idx.RangeSearch(q, r)
+				if err != nil {
+					t.Fatalf("sequential RangeSearch: %v", err)
+				}
+				if !reflect.DeepEqual(normIDs(rres.IDs[i]), normIDs(wantIDs)) {
+					t.Fatalf("query %d MRQ mismatch:\n got %v\nwant %v", i, rres.IDs[i], wantIDs)
+				}
+				wantNNs, err := idx.KNNSearch(q, k)
+				if err != nil {
+					t.Fatalf("sequential KNNSearch: %v", err)
+				}
+				if !reflect.DeepEqual(kres.Neighbors[i], wantNNs) {
+					t.Fatalf("query %d MkNNQ mismatch:\n got %v\nwant %v", i, kres.Neighbors[i], wantNNs)
+				}
+			}
+		})
+	}
+}
+
+// normIDs maps a nil empty answer and a zero-length answer to the same
+// representation (indexes legitimately return either for an empty result).
+func normIDs(ids []int) []int {
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids
+}
+
+// TestSharedEngineConcurrentBatches hammers one Engine from many
+// goroutines running overlapping batches against the whole index lineup —
+// the race-detector test for the engine and for every concurrent query
+// path it drives.
+func TestSharedEngineConcurrentBatches(t *testing.T) {
+	ds := testutil.VectorDataset(300, 4, 100, core.L2{}, 11)
+	lineup := buildLineup(t, ds, 300)
+	qs := queries(ds, 16)
+	eng := New(ds.Space(), Options{Workers: 4})
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		for name, idx := range lineup {
+			wg.Add(1)
+			go func(name string, idx core.Index, g int) {
+				defer wg.Done()
+				if g%2 == 0 {
+					if _, err := eng.BatchRangeSearch(context.Background(), idx, qs, 35); err != nil {
+						errc <- fmt.Errorf("%s: %w", name, err)
+					}
+				} else {
+					if _, err := eng.BatchKNNSearch(context.Background(), idx, qs, 7); err != nil {
+						errc <- fmt.Errorf("%s: %w", name, err)
+					}
+				}
+			}(name, idx, g)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// slowIndex is a stub index whose queries signal and then count; it lets
+// the cancellation test cancel mid-batch deterministically.
+type slowIndex struct {
+	started atomic.Int64
+	cancel  context.CancelFunc
+}
+
+func (s *slowIndex) Name() string { return "slow" }
+func (s *slowIndex) RangeSearch(q core.Object, r float64) ([]int, error) {
+	if s.started.Add(1) == 3 {
+		s.cancel() // cancel the batch from inside the third query
+	}
+	return []int{1}, nil
+}
+func (s *slowIndex) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	return nil, errors.New("slow: knn always fails")
+}
+func (s *slowIndex) Insert(id int) error { return nil }
+func (s *slowIndex) Delete(id int) error { return nil }
+func (s *slowIndex) PageAccesses() int64 { return 0 }
+func (s *slowIndex) ResetStats()         {}
+func (s *slowIndex) MemBytes() int64     { return 0 }
+func (s *slowIndex) DiskBytes() int64    { return 0 }
+
+// TestCancellationMidBatch cancels the context partway through a batch
+// and expects the engine to stop early and surface context.Canceled.
+func TestCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	idx := &slowIndex{cancel: cancel}
+	eng := New(nil, Options{Workers: 2})
+
+	const n = 200
+	qs := make([]core.Object, n)
+	for i := range qs {
+		qs[i] = core.Vector{0}
+	}
+	_, err := eng.BatchRangeSearch(ctx, idx, qs, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	if got := idx.started.Load(); got >= n {
+		t.Fatalf("batch ran all %d queries despite cancellation", n)
+	}
+}
+
+// TestQueryErrorAbortsBatch checks that the first query error cancels the
+// remaining work and is returned.
+func TestQueryErrorAbortsBatch(t *testing.T) {
+	idx := &slowIndex{cancel: func() {}}
+	eng := New(nil, Options{Workers: 4})
+	qs := make([]core.Object, 50)
+	for i := range qs {
+		qs[i] = core.Vector{0}
+	}
+	_, err := eng.BatchKNNSearch(context.Background(), idx, qs, 3)
+	if err == nil || !strings.Contains(err.Error(), "knn always fails") {
+		t.Fatalf("expected the query error, got %v", err)
+	}
+}
+
+// TestPreCancelledContext checks a batch against an already-cancelled
+// context does no work.
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	idx := &slowIndex{cancel: func() {}}
+	eng := New(nil, Options{})
+	_, err := eng.BatchRangeSearch(ctx, idx, []core.Object{core.Vector{0}}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	if idx.started.Load() != 0 {
+		t.Fatalf("query ran despite pre-cancelled context")
+	}
+}
+
+// TestDefaultWorkers checks the GOMAXPROCS default and the Workers
+// accessor.
+func TestDefaultWorkers(t *testing.T) {
+	if w := New(nil, Options{}).Workers(); w < 1 {
+		t.Fatalf("default workers %d < 1", w)
+	}
+	if w := New(nil, Options{Workers: 3}).Workers(); w != 3 {
+		t.Fatalf("explicit workers: got %d want 3", w)
+	}
+}
+
+// TestEmptyBatch checks the zero-query edge case.
+func TestEmptyBatch(t *testing.T) {
+	eng := New(nil, Options{Workers: 2})
+	res, err := eng.BatchRangeSearch(context.Background(), &slowIndex{cancel: func() {}}, nil, 1)
+	if err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if len(res.IDs) != 0 || res.Stats.Queries != 0 {
+		t.Fatalf("empty batch returned %+v", res)
+	}
+}
+
+// sleepIndex blocks each query briefly, modeling a latency-bound backend.
+type sleepIndex struct{ d time.Duration }
+
+func (s *sleepIndex) Name() string { return "sleep" }
+func (s *sleepIndex) RangeSearch(q core.Object, r float64) ([]int, error) {
+	time.Sleep(s.d)
+	return nil, nil
+}
+func (s *sleepIndex) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	time.Sleep(s.d)
+	return nil, nil
+}
+func (s *sleepIndex) Insert(id int) error { return nil }
+func (s *sleepIndex) Delete(id int) error { return nil }
+func (s *sleepIndex) PageAccesses() int64 { return 0 }
+func (s *sleepIndex) ResetStats()         {}
+func (s *sleepIndex) MemBytes() int64     { return 0 }
+func (s *sleepIndex) DiskBytes() int64    { return 0 }
+
+// TestBatchOverlapsQueries proves the engine actually runs queries
+// concurrently (not a disguised sequential loop): 16 queries that each
+// block 20ms must finish far faster than 320ms with 8 workers. This holds
+// on any machine — overlap of blocked queries does not need extra cores.
+func TestBatchOverlapsQueries(t *testing.T) {
+	const d = 20 * time.Millisecond
+	const n = 16
+	eng := New(nil, Options{Workers: 8})
+	qs := make([]core.Object, n)
+	for i := range qs {
+		qs[i] = core.Vector{0}
+	}
+	res, err := eng.BatchRangeSearch(context.Background(), &sleepIndex{d: d}, qs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential := time.Duration(n) * d
+	if res.Stats.Wall >= sequential/2 {
+		t.Fatalf("batch wall %v is not at least 2x faster than the %v sequential bound — queries did not overlap", res.Stats.Wall, sequential)
+	}
+}

@@ -20,8 +20,10 @@ type BPlus struct {
 	ids   map[int]bool
 }
 
-// NewBPlus builds the per-pivot B+-trees over all live objects.
-func NewBPlus(ds *core.Dataset, pager *store.Pager, pivots []int) (*BPlus, error) {
+// NewBPlus builds the per-pivot B+-trees over all live objects. workers
+// parallelizes the pivot-table precompute (0 or 1 = sequential, negative =
+// GOMAXPROCS).
+func NewBPlus(ds *core.Dataset, pager *store.Pager, pivots []int, workers int) (*BPlus, error) {
 	b, err := newBase(ds, pager, pivots)
 	if err != nil {
 		return nil, err
@@ -30,10 +32,22 @@ func NewBPlus(ds *core.Dataset, pager *store.Pager, pivots []int) (*BPlus, error
 	for range pivots {
 		t.trees = append(t.trees, bptree.New(pager, nil))
 	}
-	for _, id := range ds.LiveIDs() {
-		if err := t.Insert(id); err != nil {
+	ids := ds.LiveIDs()
+	pts := t.buildPoints(ids, workers)
+	for i, id := range ids {
+		if t.ids[id] {
+			return nil, fmt.Errorf("omni: duplicate insert of %d", id)
+		}
+		if _, err := t.appendRAF(id); err != nil {
 			return nil, err
 		}
+		for j, tr := range t.trees {
+			if err := tr.Insert(bptree.KeyFromFloat(pts[i][j]), uint64(id)); err != nil {
+				return nil, err
+			}
+		}
+		t.ids[id] = true
+		t.size++
 	}
 	return t, nil
 }

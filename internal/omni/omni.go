@@ -53,6 +53,22 @@ func (b *base) point(o core.Object) []float64 {
 	return pt
 }
 
+// buildPoints computes the Omni-coordinates of every given object, fanning
+// the distance computations out across workers goroutines (0 or 1 =
+// sequential, negative = GOMAXPROCS). The pivot table is the
+// embarrassingly-parallel part of every family member's construction; the
+// disk structures themselves are still written sequentially by the
+// callers, so the built index is identical to a sequential build.
+func (b *base) buildPoints(ids []int, workers int) [][]float64 {
+	pts := make([][]float64, len(ids))
+	core.ParallelFor(len(ids), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			pts[i] = b.point(b.ds.Object(ids[i]))
+		}
+	})
+	return pts
+}
+
 // appendRAF stores the object bytes and returns the record offset.
 func (b *base) appendRAF(id int) (int64, error) {
 	return b.raf.Append(id, store.EncodeObject(nil, b.ds.Object(id)))

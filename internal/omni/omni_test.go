@@ -1,6 +1,7 @@
 package omni
 
 import (
+	"reflect"
 	"testing"
 
 	"metricindex/internal/core"
@@ -38,7 +39,7 @@ func builders(t *testing.T, ds *core.Dataset) map[string]member {
 	}
 	{
 		p := store.NewPager(512)
-		idx, err := NewSeqFile(ds, p, pv)
+		idx, err := NewSeqFile(ds, p, pv, 0)
 		if err != nil {
 			t.Fatalf("NewSeqFile: %v", err)
 		}
@@ -46,7 +47,7 @@ func builders(t *testing.T, ds *core.Dataset) map[string]member {
 	}
 	{
 		p := store.NewPager(512)
-		idx, err := NewBPlus(ds, p, pv)
+		idx, err := NewBPlus(ds, p, pv, 0)
 		if err != nil {
 			t.Fatalf("NewBPlus: %v", err)
 		}
@@ -148,6 +149,75 @@ func TestOmniNames(t *testing.T) {
 	for _, idx := range m {
 		if idx.DiskBytes() == 0 {
 			t.Fatalf("%s must report disk usage", idx.Name())
+		}
+	}
+}
+
+// TestOmniParallelBuildMatchesSequential checks that the parallel
+// pivot-table precompute yields family members identical to sequential
+// builds (same answers, same disk footprint).
+func TestOmniParallelBuildMatchesSequential(t *testing.T) {
+	seqDS := testutil.VectorDataset(300, 4, 100, core.L2{}, 7)
+	parDS := testutil.VectorDataset(300, 4, 100, core.L2{}, 7)
+	pv, err := pivot.HFI(seqDS, 4, pivot.Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("HFI: %v", err)
+	}
+	type pair struct{ seq, par core.Index }
+	pairs := map[string]pair{}
+	{
+		sp, pp := store.NewPager(512), store.NewPager(512)
+		s, err := NewRTree(seqDS, sp, pv, Options{MaxDistance: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewRTree(parDS, pp, pv, Options{MaxDistance: 300, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs["rtree"] = pair{s, p}
+	}
+	{
+		sp, pp := store.NewPager(512), store.NewPager(512)
+		s, err := NewSeqFile(seqDS, sp, pv, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewSeqFile(parDS, pp, pv, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs["seq"] = pair{s, p}
+	}
+	{
+		sp, pp := store.NewPager(512), store.NewPager(512)
+		s, err := NewBPlus(seqDS, sp, pv, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewBPlus(parDS, pp, pv, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs["bplus"] = pair{s, p}
+	}
+	for name, pr := range pairs {
+		if s, p := pr.seq.DiskBytes(), pr.par.DiskBytes(); s != p {
+			t.Fatalf("%s: disk footprint differs: %d vs %d", name, s, p)
+		}
+		for qs := int64(0); qs < 3; qs++ {
+			q := testutil.RandomQuery(seqDS, qs)
+			a, err := pr.seq.RangeSearch(q, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := pr.par.RangeSearch(q, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: MRQ answers differ: %v vs %v", name, a, b)
+			}
 		}
 	}
 }

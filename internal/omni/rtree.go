@@ -24,6 +24,10 @@ type Options struct {
 	// MaxDistance bounds pivot distances (d+), used to quantize the
 	// Hilbert bulk-load ordering.
 	MaxDistance float64
+	// Workers parallelizes the pivot-table precompute during
+	// construction: 0 or 1 builds sequentially, negative uses GOMAXPROCS,
+	// otherwise that many goroutines.
+	Workers int
 }
 
 // NewRTree bulk-loads the OmniR-tree over all live objects.
@@ -41,15 +45,16 @@ func NewRTree(ds *core.Dataset, pager *store.Pager, pivots []int, opts Options) 
 		return nil, err
 	}
 	t := &RTree{base: b, tree: tree, points: make(map[int][]float64)}
+	ids := ds.LiveIDs()
+	pts := t.buildPoints(ids, opts.Workers)
 	entries := make([]rtree.Entry, 0, ds.Count())
-	for _, id := range ds.LiveIDs() {
+	for i, id := range ids {
 		off, err := t.appendRAF(id)
 		if err != nil {
 			return nil, err
 		}
-		pt := t.point(ds.Object(id))
-		t.points[id] = pt
-		entries = append(entries, rtree.Entry{ID: int32(id), RAFOff: uint64(off), Point: pt})
+		t.points[id] = pts[i]
+		entries = append(entries, rtree.Entry{ID: int32(id), RAFOff: uint64(off), Point: pts[i]})
 	}
 	if err := tree.BulkLoad(entries); err != nil {
 		return nil, err

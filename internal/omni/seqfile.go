@@ -24,8 +24,10 @@ type SeqFile struct {
 
 const seqTombstone = 0xFFFFFFFF
 
-// NewSeqFile builds the sequential file over all live objects.
-func NewSeqFile(ds *core.Dataset, pager *store.Pager, pivots []int) (*SeqFile, error) {
+// NewSeqFile builds the sequential file over all live objects. workers
+// parallelizes the pivot-table precompute (0 or 1 = sequential, negative =
+// GOMAXPROCS).
+func NewSeqFile(ds *core.Dataset, pager *store.Pager, pivots []int, workers int) (*SeqFile, error) {
 	b, err := newBase(ds, pager, pivots)
 	if err != nil {
 		return nil, err
@@ -38,10 +40,20 @@ func NewSeqFile(ds *core.Dataset, pager *store.Pager, pivots []int) (*SeqFile, e
 	if t.rowsPerPage() < 1 {
 		return nil, fmt.Errorf("omni: page size %d below one row (%d bytes)", pager.PageSize(), t.rowSize)
 	}
-	for _, id := range ds.LiveIDs() {
-		if err := t.Insert(id); err != nil {
+	ids := ds.LiveIDs()
+	pts := t.buildPoints(ids, workers)
+	for i, id := range ids {
+		if _, dup := t.rowOf[id]; dup {
+			return nil, fmt.Errorf("omni: duplicate insert of %d", id)
+		}
+		if _, err := t.appendRAF(id); err != nil {
 			return nil, err
 		}
+		if err := t.writeRow(t.rows, uint32(id), pts[i]); err != nil {
+			return nil, err
+		}
+		t.rowOf[id] = t.rows
+		t.rows++
 	}
 	return t, nil
 }

@@ -119,22 +119,24 @@ func TestSampleBounded(t *testing.T) {
 
 func TestPSAAssignsLPivotsPerObject(t *testing.T) {
 	ds := testutil.VectorDataset(200, 4, 100, core.L2{}, 11)
-	po, st, err := PSA(ds, 3, Options{Seed: 7})
+	st, err := NewPSAState(ds, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st == nil || len(st.CandVals) == 0 {
-		t.Fatal("PSA state missing")
+	if len(st.CandVals) == 0 {
+		t.Fatal("PSA state missing candidates")
 	}
+	sp := ds.Space()
 	for _, id := range ds.LiveIDs() {
-		if len(po.Pivots[id]) != 3 || len(po.Dists[id]) != 3 {
-			t.Fatalf("object %d has %d pivots", id, len(po.Pivots[id]))
+		pv, dv := st.Assign(sp, ds.Object(id), 3)
+		if len(pv) != 3 || len(dv) != 3 {
+			t.Fatalf("object %d has %d pivots", id, len(pv))
 		}
 		// Distances must be consistent with the snapshotted pivots.
-		for j, p := range po.Pivots[id] {
-			want := ds.Space().Metric().Distance(ds.Object(id), ds.Object(int(p)))
-			if po.Dists[id][j] != want {
-				t.Fatalf("object %d pivot %d distance %v, want %v", id, p, po.Dists[id][j], want)
+		for j, p := range pv {
+			want := sp.Metric().Distance(ds.Object(id), ds.Object(int(p)))
+			if dv[j] != want {
+				t.Fatalf("object %d pivot %d distance %v, want %v", id, p, dv[j], want)
 			}
 		}
 	}

@@ -8,19 +8,6 @@ import (
 	"metricindex/internal/core"
 )
 
-// PerObject holds per-object pivot assignments: object id -> its l pivots
-// and the pre-computed distances to them. EPT and EPT* use different
-// pivots for different objects (§3.2), unlike every other index.
-type PerObject struct {
-	// L is the number of pivots per object.
-	L int
-	// Pivots[i] are the pivot ids chosen for object i (nil for deleted
-	// slots).
-	Pivots [][]int32
-	// Dists[i][j] = d(object i, Pivots[i][j]).
-	Dists [][]float64
-}
-
 // PSAState is the reusable state of Algorithm 1: the HF candidate pool and
 // the probe sample with pre-computed probe-to-candidate distances. Indexes
 // keep it to assign pivots to later insertions. Candidate and probe object
@@ -123,37 +110,6 @@ func (st *PSAState) Assign(sp *core.Space, o core.Object, l int) ([]int32, []flo
 		}
 	}
 	return pv, dv
-}
-
-// PSA implements Algorithm 1 (Pivot Selecting Algorithm), the paper's
-// improvement that turns EPT into EPT*: for every object it greedily picks
-// the l pivots (from an HF candidate pool of CPScale outliers) that
-// maximize the expected ratio D(o,s)/d(o,s) over a sample S — i.e. the
-// pivots whose triangle-inequality lower bound best approximates true
-// distances. It is deliberately expensive (Table 4 shows EPT* with the
-// highest construction compdists) in exchange for the fewest query
-// compdists (Fig 14).
-func PSA(ds *core.Dataset, l int, opts Options) (*PerObject, *PSAState, error) {
-	if l <= 0 {
-		return nil, nil, fmt.Errorf("pivot: non-positive pivots-per-object %d", l)
-	}
-	st, err := NewPSAState(ds, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	res := &PerObject{
-		L:      min(l, len(st.CandVals)),
-		Pivots: make([][]int32, ds.Len()),
-		Dists:  make([][]float64, ds.Len()),
-	}
-	sp := ds.Space()
-	for id := 0; id < ds.Len(); id++ {
-		if !ds.Live(id) {
-			continue
-		}
-		res.Pivots[id], res.Dists[id] = st.Assign(sp, ds.Object(id), l)
-	}
-	return res, st, nil
 }
 
 // Groups is the original EPT selection state [24]: l groups of m random

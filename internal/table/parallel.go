@@ -2,8 +2,6 @@ package table
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"metricindex/internal/core"
 )
@@ -19,7 +17,7 @@ func NewLAESAParallel(ds *core.Dataset, pivots []int, workers int) (*LAESA, erro
 		return nil, fmt.Errorf("laesa: no pivots")
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = -1 // ParallelFor: negative means GOMAXPROCS
 	}
 	t := &LAESA{ds: ds, pivotIDs: append([]int(nil), pivots...), rowOf: make(map[int]int)}
 	for _, p := range pivots {
@@ -30,37 +28,7 @@ func NewLAESAParallel(ds *core.Dataset, pivots []int, workers int) (*LAESA, erro
 		t.pivotVals = append(t.pivotVals, v)
 	}
 
-	ids := ds.LiveIDs()
-	l := len(pivots)
-	t.ids = make([]int32, len(ids))
-	t.dists = make([]float64, len(ids)*l)
-	sp := ds.Space()
-
-	var wg sync.WaitGroup
-	chunk := (len(ids) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= len(ids) {
-			break
-		}
-		end := start + chunk
-		if end > len(ids) {
-			end = len(ids)
-		}
-		wg.Add(1)
-		go func(start, end int) {
-			defer wg.Done()
-			for row := start; row < end; row++ {
-				id := ids[row]
-				t.ids[row] = int32(id)
-				o := ds.Object(id)
-				for i, p := range t.pivotVals {
-					t.dists[row*l+i] = sp.Distance(o, p)
-				}
-			}
-		}(start, end)
-	}
-	wg.Wait()
+	t.ids, t.dists = core.BuildDistRows(ds, ds.LiveIDs(), t.pivotVals, workers)
 	for row, id := range t.ids {
 		t.rowOf[int(id)] = row
 	}

@@ -21,6 +21,28 @@
 //	ids, _ := idx.RangeSearch(metricindex.Vector{1, 1}, 5)   // MRQ
 //	nns, _ := idx.KNNSearch(metricindex.Vector{1, 1}, 2)     // MkNNQ
 //
+// # Batch queries
+//
+// Queries are read-only on every index, so whole workloads can be
+// answered concurrently through the batch engine. Results are
+// positionally aligned with the input queries and identical to the
+// sequential calls; Stats aggregates compdists, page accesses, and wall
+// time over the batch:
+//
+//	eng := metricindex.NewEngine(ds.Space(), metricindex.EngineOptions{}) // GOMAXPROCS workers
+//	res, _ := eng.BatchKNNSearch(ctx, idx, queries, 10)
+//	for i := range queries {
+//		_ = res.Neighbors[i] // answer of queries[i]
+//	}
+//	qps := res.Stats.Throughput()
+//
+// Construction parallelizes the same way for the precompute-heavy tables:
+// NewLAESAParallel, NewCPTParallel, and the Workers fields of EPTOptions
+// and OmniOptions fan the per-object distance precompute across cores
+// while building a structure identical to the sequential one. Do not
+// interleave Insert/Delete with a running batch; updates are not
+// synchronized with searches.
+//
 // Disk-based indexes run against a simulated page store that counts page
 // accesses exactly as the paper reports them; see NewSPBTree and friends.
 package metricindex
