@@ -4,11 +4,16 @@ GO ?= go
 
 # Packages with a parallel build or the concurrent query engine: the
 # race-detector gate of `make race`.
-RACE_PKGS = ./internal/exec/... ./internal/table/... ./internal/ept/... \
-            ./internal/cpt/... ./internal/omni/... ./internal/core/... \
-            ./internal/store/... ./internal/bench/... .
+RACE_PKGS = ./internal/exec/... ./internal/shard/... ./internal/table/... \
+            ./internal/ept/... ./internal/cpt/... ./internal/omni/... \
+            ./internal/core/... ./internal/store/... ./internal/bench/... .
 
-.PHONY: all build test race bench fmt vet ci
+# The example programs CI runs end to end so example rot fails the
+# pipeline (each finishes in well under a second).
+EXAMPLES = ./examples/quickstart ./examples/wordsearch ./examples/geosearch \
+           ./examples/imagesearch
+
+.PHONY: all build test race bench fmt vet examples ci
 
 all: build
 
@@ -31,4 +36,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race
+examples:
+	@for e in $(EXAMPLES); do \
+		echo "run $$e"; \
+		$(GO) run $$e >/dev/null || exit 1; \
+	done
+
+ci: build vet fmt test race examples

@@ -33,10 +33,11 @@ func main() {
 		seed     = flag.Int64("seed", 42, "generation seed")
 		datasets = flag.String("datasets", "", "comma-separated subset of LA,Words,Color,Synthetic (default all)")
 		workers  = flag.Int("workers", 0, "run query workloads and precompute-heavy builds through the concurrent engine with this many workers (0 = sequential, -1 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "partition each dataset across this many sub-indexes and scatter-gather every query (0/1 = unsharded)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{N: *n, Queries: *queries, Pivots: *pivots, Seed: *seed, Workers: *workers}
+	cfg := bench.Config{N: *n, Queries: *queries, Pivots: *pivots, Seed: *seed, Workers: *workers, Shards: *shards}
 	if *datasets != "" {
 		for _, name := range strings.Split(*datasets, ",") {
 			cfg.Datasets = append(cfg.Datasets, dataset.Kind(strings.TrimSpace(name)))

@@ -33,6 +33,7 @@ func main() {
 		verify  = flag.Bool("verify", false, "check every answer against a linear scan")
 		maxShow = flag.Int("show", 5, "results printed per query")
 		workers = flag.Int("workers", 0, "answer the whole workload through the concurrent batch engine with this many workers (0 = sequential per-query loop, -1 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "partition the dataset across this many sub-indexes and scatter-gather every query over them concurrently (0/1 = unsharded)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -50,7 +51,7 @@ func main() {
 	fmt.Printf("loaded %s: %d objects (%s), %d queries\n",
 		*data, gen.Dataset.Count(), gen.Dataset.Space().Metric().Name(), len(gen.Queries))
 
-	cfg := bench.Config{N: gen.Dataset.Count(), Queries: len(gen.Queries), Pivots: *pivots}.WithDefaults()
+	cfg := bench.Config{N: gen.Dataset.Count(), Queries: len(gen.Queries), Pivots: *pivots, Shards: *shards}.WithDefaults()
 	env := &bench.Env{Cfg: cfg, Gen: gen}
 	pv, err := selectPivots(env)
 	if err != nil {
@@ -66,7 +67,11 @@ func main() {
 		fail(fmt.Errorf("%s requires a discrete metric; %s is continuous",
 			*index, gen.Dataset.Space().Metric().Name()))
 	}
-	fmt.Printf("building %s over %d pivots…\n", *index, *pivots)
+	if *shards > 1 {
+		fmt.Printf("building %s over %d pivots, sharded %d ways…\n", *index, *pivots, *shards)
+	} else {
+		fmt.Printf("building %s over %d pivots…\n", *index, *pivots)
+	}
 	built, cost, err := bench.MeasureBuild(env, builder)
 	if err != nil {
 		fail(err)

@@ -153,6 +153,105 @@ func TestDeleteEverythingThenQuery(t *testing.T) {
 	}
 }
 
+func TestKNNZeroKReturnsNothing(t *testing.T) {
+	// Regression: NewKNNHeap used to coerce k<1 to 1, so MkNNQ(q, 0)
+	// returned one neighbor from every index and from brute force.
+	gen := tinyDataset(t, 40)
+	if got := metricindex.BruteForceKNN(gen.Dataset, gen.Queries[0], 0); len(got) != 0 {
+		t.Fatalf("BruteForceKNN(k=0) = %v, want empty", got)
+	}
+	for name, idx := range buildAll(t, gen) {
+		for _, k := range []int{0, -1} {
+			nns, err := idx.KNNSearch(gen.Queries[0], k)
+			if err != nil {
+				t.Fatalf("%s: KNNSearch(k=%d): %v", name, k, err)
+			}
+			if len(nns) != 0 {
+				t.Errorf("%s: KNNSearch(k=%d) = %v, want empty", name, k, nns)
+			}
+		}
+	}
+}
+
+func TestInsertInvalidIDErrorsEverywhere(t *testing.T) {
+	// Regression: several Insert paths passed a nil Object into the
+	// metric's type assertion (a panic) when handed a deleted or
+	// out-of-range id; all must return an error instead.
+	gen := tinyDataset(t, 40)
+	ds := gen.Dataset
+	indexes := buildAll(t, gen)
+	victim := 13
+	for name, idx := range indexes {
+		if err := idx.Delete(victim); err != nil {
+			t.Fatalf("%s Delete(%d): %v", name, victim, err)
+		}
+	}
+	if err := ds.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	for name, idx := range indexes {
+		if err := idx.Insert(victim); err == nil {
+			t.Errorf("%s: Insert of deleted id must error", name)
+		}
+		if err := idx.Insert(ds.Len() + 7); err == nil {
+			t.Errorf("%s: Insert of out-of-range id must error", name)
+		}
+		if err := idx.Insert(-3); err == nil {
+			t.Errorf("%s: Insert of negative id must error", name)
+		}
+	}
+	// The indexes must still answer correctly after the rejected inserts.
+	q := gen.Queries[0]
+	want := metricindex.BruteForceKNN(ds, q, 5)
+	for name, idx := range indexes {
+		got, err := idx.KNNSearch(q, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(want) || got[len(got)-1].Dist != want[len(want)-1].Dist {
+			t.Errorf("%s: answers diverged after rejected inserts", name)
+		}
+	}
+}
+
+func TestEditDistanceNonASCIIPublic(t *testing.T) {
+	// Regression: the byte-wise Levenshtein DP charged one edit per byte,
+	// so d("café", "cafe") was 2. Multi-byte runes are one unit.
+	var m metricindex.Edit
+	if d := m.Distance(metricindex.Word("café"), metricindex.Word("cafe")); d != 1 {
+		t.Fatalf("Edit.Distance(café, cafe) = %v, want 1", d)
+	}
+	objs := []metricindex.Object{
+		metricindex.Word("café"), metricindex.Word("cafe"), metricindex.Word("naïve"),
+		metricindex.Word("naive"), metricindex.Word("über"), metricindex.Word("uber"),
+		metricindex.Word("résumé"), metricindex.Word("resume"),
+	}
+	ds := metricindex.NewDataset(metricindex.NewSpace(metricindex.Edit{}), objs)
+	pivots, err := metricindex.SelectPivots(ds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := metricindex.NewBKT(ds, metricindex.TreeOptions{MaxDistance: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fqt, err := metricindex.NewFQT(ds, pivots, metricindex.TreeOptions{MaxDistance: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := metricindex.Word("café")
+	want := metricindex.BruteForceRange(ds, q, 1)
+	for _, tree := range []metricindex.Index{idx, fqt} {
+		got, err := tree.RangeSearch(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("%s: MRQ(café, 1) = %v, brute force %v", tree.Name(), got, want)
+		}
+	}
+}
+
 func TestQueryObjectOutsideDomain(t *testing.T) {
 	// A query far outside the data's bounding region must still work.
 	gen := tinyDataset(t, 50)

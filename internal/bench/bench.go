@@ -15,6 +15,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"metricindex/internal/bkt"
@@ -29,6 +30,7 @@ import (
 	"metricindex/internal/omni"
 	"metricindex/internal/pivot"
 	"metricindex/internal/pmtree"
+	"metricindex/internal/shard"
 	"metricindex/internal/spb"
 	"metricindex/internal/store"
 	"metricindex/internal/table"
@@ -54,6 +56,12 @@ type Config struct {
 	// goroutines. Per-query compdists and PA averages are identical either
 	// way; only CPU (wall time per query) changes.
 	Workers int
+	// Shards partitions the dataset across that many sub-indexes behind a
+	// scatter-gather front (internal/shard): every build wraps the chosen
+	// index and every query fans out over the shards concurrently. 0 or 1
+	// keeps the single unsharded structure. Answers are identical either
+	// way; each shard selects its own HFI pivot set.
+	Shards int
 }
 
 // WithDefaults fills unset fields.
@@ -115,18 +123,24 @@ func (e *Env) bigObjects() bool {
 	return e.Gen.Kind == dataset.Color || e.Gen.Kind == dataset.Synthetic
 }
 
-// Built is an index plus its pager (nil for in-memory indexes).
+// Built is an index plus its pager (nil for in-memory indexes). A sharded
+// disk index spans one pager per shard, carried in Pagers.
 type Built struct {
-	Name  string
-	Index core.Index
-	Pager *store.Pager
+	Name   string
+	Index  core.Index
+	Pager  *store.Pager
+	Pagers []*store.Pager
 }
 
 // SetCacheBytes adjusts the buffer cache for disk indexes; no-op for
-// in-memory structures.
+// in-memory structures. Sharded disk indexes get the cache on every
+// shard's pager.
 func (b *Built) SetCacheBytes(n int) {
 	if b.Pager != nil {
 		b.Pager.SetCacheBytes(n)
+	}
+	for _, p := range b.Pagers {
+		p.SetCacheBytes(n)
 	}
 }
 
@@ -242,6 +256,62 @@ func BuilderByName(name string) (Builder, error) {
 	return Builder{}, fmt.Errorf("bench: unknown index %q", name)
 }
 
+// shardEnv derives the environment one shard builds in: the same config,
+// queries, and d+, but the shard's dataset and an HFI pivot set selected
+// on it. Shards and Workers are cleared — the shards themselves are the
+// parallelism, and a sub-build must not re-shard.
+func (e *Env) shardEnv(sub *core.Dataset) (*Env, error) {
+	pv, err := pivot.HFI(sub, e.Cfg.Pivots, pivot.Options{Seed: e.Cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.Cfg
+	cfg.N = sub.Count()
+	cfg.Shards = 0
+	cfg.Workers = 0
+	gen := &dataset.Generated{
+		Kind:        e.Gen.Kind,
+		Dataset:     sub,
+		Queries:     e.Gen.Queries,
+		MaxDistance: e.Gen.MaxDistance,
+	}
+	return &Env{Cfg: cfg, Gen: gen, Pivots: pv}, nil
+}
+
+// ShardedBuilder wraps a builder so it constructs a scatter-gather sharded
+// index instead: the dataset is partitioned across `shards` sub-indexes,
+// each built by the wrapped builder over its own shard environment.
+func ShardedBuilder(b Builder, shards int) Builder {
+	return Builder{
+		Name:         b.Name,
+		DiscreteOnly: b.DiscreteOnly,
+		Build: func(e *Env) (*Built, error) {
+			var mu sync.Mutex
+			var pagers []*store.Pager
+			idx, err := shard.New(e.Gen.Dataset, func(sub *core.Dataset) (core.Index, error) {
+				se, err := e.shardEnv(sub)
+				if err != nil {
+					return nil, err
+				}
+				built, err := b.Build(se)
+				if err != nil {
+					return nil, err
+				}
+				if built.Pager != nil {
+					mu.Lock()
+					pagers = append(pagers, built.Pager)
+					mu.Unlock()
+				}
+				return built.Index, nil
+			}, shard.Options{Shards: shards, Workers: e.Cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			return &Built{Name: idx.Name(), Index: idx, Pagers: pagers}, nil
+		},
+	}
+}
+
 // QueryCost aggregates per-query averages.
 type QueryCost struct {
 	CompDists float64
@@ -334,8 +404,12 @@ type BuildCost struct {
 	DiskBytes int64
 }
 
-// MeasureBuild constructs an index and records its cost.
+// MeasureBuild constructs an index and records its cost. Config.Shards > 1
+// transparently swaps in the sharded variant of the builder.
 func MeasureBuild(e *Env, builder Builder) (*Built, BuildCost, error) {
+	if e.Cfg.Shards > 1 {
+		builder = ShardedBuilder(builder, e.Cfg.Shards)
+	}
 	sp := e.Gen.Dataset.Space()
 	sp.ResetCompDists()
 	start := time.Now()

@@ -160,3 +160,84 @@ func TestMoreBPivotsFewerCompdists(t *testing.T) {
 		t.Fatalf("|P|=9 compdists (%v) should beat |P|=1 (%v)", c9, c1)
 	}
 }
+
+// TestShardedConfigMatchesUnsharded drives the Config.Shards wiring end to
+// end: MeasureBuild must transparently produce a sharded index whose
+// query answers equal the unsharded build's, across a table, a tree, and
+// a disk index.
+func TestShardedConfigMatchesUnsharded(t *testing.T) {
+	// EPT rides along for its Radius() path: per-shard calibration runs
+	// over a sparse mirror, which used to panic on stride aliasing.
+	for _, name := range []string{"LAESA", "MVPT", "SPB-tree", "EPT"} {
+		t.Run(name, func(t *testing.T) {
+			builder, err := BuilderByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flatEnv, err := NewEnv(dataset.LA, tinyCfg(dataset.LA))
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, _, err := MeasureBuild(flatEnv, builder)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tinyCfg(dataset.LA)
+			cfg.Shards = 3
+			shEnv, err := NewEnv(dataset.LA, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, _, err := MeasureBuild(shEnv, builder)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sharded.Index.Name(), "Sharded") {
+				t.Fatalf("Config.Shards=3 built %q, want a sharded index", sharded.Index.Name())
+			}
+			r := flatEnv.Radius(0.1)
+			for qi, q := range flatEnv.Gen.Queries {
+				want, err := flat.Index.RangeSearch(q, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sharded.Index.RangeSearch(shEnv.Gen.Queries[qi], r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("query %d: sharded MRQ %d ids, unsharded %d", qi, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("query %d: sharded MRQ differs at %d: %d vs %d", qi, i, got[i], want[i])
+					}
+				}
+				wantNN, err := flat.Index.KNNSearch(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotNN, err := sharded.Index.KNNSearch(shEnv.Gen.Queries[qi], 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gotNN) != len(wantNN) {
+					t.Fatalf("query %d: sharded MkNNQ %d, unsharded %d", qi, len(gotNN), len(wantNN))
+				}
+				for i := range gotNN {
+					if gotNN[i] != wantNN[i] {
+						t.Fatalf("query %d: sharded MkNNQ differs at %d: %v vs %v", qi, i, gotNN[i], wantNN[i])
+					}
+				}
+			}
+			// The measurement paths must work over the sharded build too
+			// (cache control fans out to every shard pager).
+			if _, err := MeasureKNN(shEnv, sharded, 5); err != nil {
+				t.Fatalf("MeasureKNN over sharded: %v", err)
+			}
+			if _, err := MeasureRange(shEnv, sharded, r); err != nil {
+				t.Fatalf("MeasureRange over sharded: %v", err)
+			}
+		})
+	}
+}

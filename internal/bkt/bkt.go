@@ -200,6 +200,9 @@ func (p *nodePQ) push(n *node, lb float64) { heap.Push(p, pqItem{n, lb}) }
 // KNNSearch answers MkNNQ(q, k) by best-first traversal in ascending
 // lower-bound order, with the radius tightened by verified objects (§4.1).
 func (t *BKT) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	h := core.NewKNNHeap(k)
 	sp := t.ds.Space()
 	pq := &nodePQ{}

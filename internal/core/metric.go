@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"unicode/utf8"
 )
 
 // Metric is a distance function over Objects. Implementations must satisfy
@@ -155,11 +156,31 @@ func (Edit) Name() string { return "edit" }
 func (Edit) Discrete() bool { return true }
 
 // editDistance is a two-row dynamic program with an early-exit fast path
-// for equal strings.
+// for equal strings. The unit of editing is the rune, not the byte: a
+// byte-wise DP would charge 2 edits for replacing a multi-byte character
+// (d("café", "cafe") must be 1, not 2).
 func editDistance(s, t string) int {
 	if s == t {
 		return 0
 	}
+	if isASCII(s) && isASCII(t) {
+		return editDistanceASCII(s, t)
+	}
+	return editDistanceRunes([]rune(s), []rune(t))
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// editDistanceASCII runs the DP directly over the bytes — for ASCII input
+// bytes and runes coincide, so no conversion is needed on the hot path.
+func editDistanceASCII(s, t string) int {
 	if len(s) == 0 {
 		return len(t)
 	}
@@ -167,6 +188,44 @@ func editDistance(s, t string) int {
 		return len(s)
 	}
 	// Keep the shorter string as the row to bound memory.
+	if len(s) < len(t) {
+		s, t = t, s
+	}
+	prev := make([]int, len(t)+1)
+	cur := make([]int, len(t)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(s); i++ {
+		cur[0] = i
+		si := s[i-1]
+		for j := 1; j <= len(t); j++ {
+			cost := 1
+			if si == t[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost // substitution
+			if d := prev[j] + 1; d < m {
+				m = d // deletion
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d // insertion
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(t)]
+}
+
+// editDistanceRunes is the same DP over decoded runes.
+func editDistanceRunes(s, t []rune) int {
+	if len(s) == 0 {
+		return len(t)
+	}
+	if len(t) == 0 {
+		return len(s)
+	}
 	if len(s) < len(t) {
 		s, t = t, s
 	}

@@ -1,0 +1,121 @@
+package core
+
+import "testing"
+
+// TestEditDistanceRunes is the regression test for the byte-wise DP bug:
+// multi-byte characters must count as one edit unit, not one per byte
+// (the wordsearch example serves accented dictionaries through Edit).
+func TestEditDistanceRunes(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"café", "cafe", 1},      // é is 2 bytes; byte DP said 2
+		{"cafe", "café", 1},      // symmetry
+		{"café", "café", 0},      // identity with multi-byte content
+		{"über", "uber", 1},      // leading multi-byte rune
+		{"naïve", "naive", 1},    // middle substitution
+		{"élan", "lané", 2},      // delete front é, append é
+		{"日本語", "日本", 1},         // 3-byte runes, one deletion
+		{"日本語", "語本日", 2},        // swap outer runes = 2 substitutions
+		{"œuf", "oeuf", 2},       // œ vs "oe": 1 sub + 1 insert
+		{"", "café", 4},          // empty vs 4 runes (5 bytes)
+		{"résumé", "resume", 2},  // two accents
+		{"kitten", "sitting", 3}, // classic ASCII case still holds
+		{"", "", 0},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := editDistance(c.b, c.a); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestEditMetricCountsRunes(t *testing.T) {
+	var m Edit
+	if d := m.Distance(Word("café"), Word("cafe")); d != 1 {
+		t.Fatalf("Edit.Distance(café, cafe) = %v, want 1", d)
+	}
+}
+
+// TestKNNHeapZeroK is the regression test for the k<1→1 coercion: a
+// non-positive k must yield an empty answer, not one neighbor.
+func TestKNNHeapZeroK(t *testing.T) {
+	for _, k := range []int{0, -1, -10} {
+		h := NewKNNHeap(k)
+		h.Push(1, 0.5)
+		h.Push(2, 0.1)
+		if h.Len() != 0 {
+			t.Fatalf("NewKNNHeap(%d) retained %d candidates", k, h.Len())
+		}
+		if res := h.Result(); len(res) != 0 {
+			t.Fatalf("NewKNNHeap(%d).Result() = %v, want empty", k, res)
+		}
+		if r := h.Radius(); r >= 0 {
+			t.Fatalf("NewKNNHeap(%d).Radius() = %v, want -Inf (prune everything)", k, r)
+		}
+	}
+}
+
+func TestBruteForceKNNZeroK(t *testing.T) {
+	ds := NewDataset(NewSpace(L2{}), []Object{Vector{0, 0}, Vector{1, 1}})
+	if res := BruteForceKNN(ds, Vector{0, 0}, 0); len(res) != 0 {
+		t.Fatalf("BruteForceKNN(k=0) = %v, want empty", res)
+	}
+	if res := BruteForceKNN(ds, Vector{0, 0}, 1); len(res) != 1 {
+		t.Fatalf("BruteForceKNN(k=1) returned %d results", len(res))
+	}
+}
+
+// TestDatasetNilSlots covers the sparse-mirror contract sharding relies
+// on: nil entries are empty slots, InsertAt fills a chosen id, and the
+// free stack never hands out an occupied slot.
+func TestDatasetNilSlots(t *testing.T) {
+	ds := NewDataset(NewSpace(L2{}), []Object{Vector{0}, nil, Vector{2}, nil})
+	if ds.Count() != 2 {
+		t.Fatalf("Count = %d, want 2 (nil slots are empty)", ds.Count())
+	}
+	if got := ds.LiveIDs(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("LiveIDs = %v", got)
+	}
+	if err := ds.InsertAt(1, Vector{1}); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Count() != 3 || !ds.Live(1) {
+		t.Fatalf("after InsertAt(1): count %d, live(1) %v", ds.Count(), ds.Live(1))
+	}
+	if err := ds.InsertAt(1, Vector{9}); err == nil {
+		t.Fatal("InsertAt on an occupied slot should error")
+	}
+	if err := ds.InsertAt(-1, Vector{9}); err == nil {
+		t.Fatal("InsertAt at a negative id should error")
+	}
+	if err := ds.InsertAt(0, nil); err == nil {
+		t.Fatal("InsertAt of nil should error")
+	}
+	// Growing beyond the current length leaves the gap as empty slots.
+	if err := ds.InsertAt(6, Vector{6}); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 7 || !ds.Live(6) || ds.Live(5) {
+		t.Fatalf("after InsertAt(6): len %d live(6)=%v live(5)=%v", ds.Len(), ds.Live(6), ds.Live(5))
+	}
+	// Plain Insert must reuse only genuinely free slots: 3, 4, 5 remain.
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		id := ds.Insert(Vector{float64(10 + i)})
+		if id != 3 && id != 4 && id != 5 {
+			t.Fatalf("Insert reused id %d, want one of the free slots 3,4,5", id)
+		}
+		if seen[id] {
+			t.Fatalf("Insert handed out id %d twice", id)
+		}
+		seen[id] = true
+	}
+	if ds.Count() != 7 {
+		t.Fatalf("final Count = %d, want 7", ds.Count())
+	}
+}

@@ -54,10 +54,13 @@ func (h *knnItems) Pop() any {
 	return it
 }
 
-// NewKNNHeap creates a heap that retains the k nearest candidates.
+// NewKNNHeap creates a heap that retains the k nearest candidates. A
+// non-positive k yields a zero-capacity heap: every candidate is rejected
+// and the answer is empty, matching the MkNNQ definition (not one
+// neighbor, as a silent k=1 coercion would produce).
 func NewKNNHeap(k int) *KNNHeap {
-	if k < 1 {
-		k = 1
+	if k < 0 {
+		k = 0
 	}
 	return &KNNHeap{k: k, items: make(knnItems, 0, k+1)}
 }
@@ -66,8 +69,12 @@ func NewKNNHeap(k int) *KNNHeap {
 func (h *KNNHeap) K() int { return h.k }
 
 // Radius returns the current pruning radius: the k-th best distance, or
-// +Inf while the heap is not yet full.
+// +Inf while the heap is not yet full. A zero-capacity heap wants nothing,
+// so its radius is -Inf (every candidate is prunable).
 func (h *KNNHeap) Radius() float64 {
+	if h.k == 0 {
+		return math.Inf(-1)
+	}
 	if len(h.items) < h.k {
 		return math.Inf(1)
 	}
@@ -76,6 +83,9 @@ func (h *KNNHeap) Radius() float64 {
 
 // Push offers a candidate; it is kept only if it improves the answer.
 func (h *KNNHeap) Push(id int, dist float64) {
+	if h.k == 0 {
+		return
+	}
 	if len(h.items) < h.k {
 		heap.Push(&h.items, Neighbor{ID: id, Dist: dist})
 		return

@@ -47,9 +47,19 @@ type Dataset struct {
 }
 
 // NewDataset builds a dataset over the given objects. The slice is owned by
-// the dataset afterwards.
+// the dataset afterwards. Nil entries are treated as empty slots (as if the
+// object at that identifier had been deleted), which is how sharded mirrors
+// hold a subset of a parent dataset under unchanged identifiers.
 func NewDataset(space *Space, objects []Object) *Dataset {
-	return &Dataset{space: space, objects: objects, live: len(objects)}
+	ds := &Dataset{space: space, objects: objects}
+	for id, o := range objects {
+		if o == nil {
+			ds.free = append(ds.free, id)
+		} else {
+			ds.live++
+		}
+	}
+	return ds
 }
 
 // Space returns the instrumented metric space of the dataset.
@@ -86,20 +96,52 @@ func (ds *Dataset) DistanceTo(q Object, id int) float64 {
 }
 
 // Insert adds an object, reusing a free slot when one exists, and returns
-// its identifier.
+// its identifier. Entries on the free stack are validated lazily — InsertAt
+// may have occupied a slot without unlinking it — so occupied entries are
+// skipped and discarded here.
 func (ds *Dataset) Insert(o Object) int {
 	if o == nil {
 		panic("core: inserting nil object")
 	}
 	ds.live++
-	if n := len(ds.free); n > 0 {
+	for n := len(ds.free); n > 0; n = len(ds.free) {
 		id := ds.free[n-1]
 		ds.free = ds.free[:n-1]
+		if ds.objects[id] != nil {
+			continue // stale: slot was taken by InsertAt
+		}
 		ds.objects[id] = o
 		return id
 	}
 	ds.objects = append(ds.objects, o)
 	return len(ds.objects) - 1
+}
+
+// InsertAt stores an object under a caller-chosen identifier, growing the
+// dataset with empty slots as needed. It errors if the slot is occupied.
+// Sharded mirrors use it to keep shard-local identifiers equal to the
+// parent dataset's, so shard answers need no id translation.
+func (ds *Dataset) InsertAt(id int, o Object) error {
+	if o == nil {
+		return fmt.Errorf("core: inserting nil object at id %d", id)
+	}
+	if id < 0 {
+		return fmt.Errorf("core: insert at negative id %d", id)
+	}
+	for len(ds.objects) <= id {
+		ds.free = append(ds.free, len(ds.objects))
+		ds.objects = append(ds.objects, nil)
+	}
+	if ds.objects[id] != nil {
+		return fmt.Errorf("core: insert at occupied id %d", id)
+	}
+	// The slot's free-stack entry is left in place; Insert skips entries
+	// whose slot turns out occupied. Unlinking here would cost a scan of
+	// the whole stack per call (sharded mirrors keep every non-member slot
+	// on it).
+	ds.objects[id] = o
+	ds.live++
+	return nil
 }
 
 // Delete removes the object with the given identifier. It returns an error

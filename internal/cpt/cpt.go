@@ -119,6 +119,9 @@ func (c *CPT) RangeSearch(q core.Object, r float64) ([]int, error) {
 // KNNSearch answers MkNNQ(q, k) by the LAESA procedure with disk loads:
 // storage-order scan, infinite start radius, tightening on verification.
 func (c *CPT) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	qd := c.queryDists(q)
 	l := len(c.pivotVals)
 	sp := c.ds.Space()

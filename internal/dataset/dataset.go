@@ -272,20 +272,25 @@ func estimateMaxDistance(m core.Metric, objs []core.Object) float64 {
 // metric (setup cost is not charged to compdists).
 func CalibrateRadius(g *Generated, selectivity float64) float64 {
 	m := g.Dataset.Space().Metric()
-	objs := g.Dataset.Objects()
+	// Sample over live identifiers, not raw slots: a sparse dataset (a
+	// shard mirror, or one with many deletions) can alias a slot stride
+	// onto nothing but empty slots.
+	ids := g.Dataset.LiveIDs()
+	if len(ids) == 0 {
+		return 0
+	}
 	qs := g.Queries
 	if len(qs) == 0 {
-		qs = objs[:min(len(objs), 16)]
+		for _, id := range ids[:min(len(ids), 16)] {
+			qs = append(qs, g.Dataset.Object(id))
+		}
 	}
 	stepQ := len(qs)/16 + 1
-	stepO := len(objs)/512 + 1
+	stepO := len(ids)/512 + 1
 	var dists []float64
 	for qi := 0; qi < len(qs); qi += stepQ {
-		for oi := 0; oi < len(objs); oi += stepO {
-			if objs[oi] == nil {
-				continue
-			}
-			dists = append(dists, m.Distance(qs[qi], objs[oi]))
+		for oi := 0; oi < len(ids); oi += stepO {
+			dists = append(dists, m.Distance(qs[qi], g.Dataset.Object(ids[oi])))
 		}
 	}
 	sort.Float64s(dists)

@@ -170,3 +170,30 @@ func TestLoadErrors(t *testing.T) {
 		t.Fatal("missing file must fail")
 	}
 }
+
+// TestCalibrateRadiusSparseDataset is the regression test for the slot
+// stride aliasing onto deleted slots: with two of every three ids empty
+// (a shard mirror's shape), calibration used to sample zero distances and
+// panic indexing into an empty slice.
+func TestCalibrateRadiusSparseDataset(t *testing.T) {
+	g, err := Generate(LA, Config{N: 1500, Queries: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 1500; id++ {
+		if id%3 != 1 {
+			if err := g.Dataset.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r1, r2 := CalibrateRadius(g, 0.04), CalibrateRadius(g, 0.5)
+	if r1 <= 0 || r2 <= r1 {
+		t.Fatalf("sparse calibration not monotone positive: %v, %v", r1, r2)
+	}
+	// No queries: probes fall back to live objects, never nil slots.
+	g.Queries = nil
+	if r := CalibrateRadius(g, 0.1); r <= 0 {
+		t.Fatalf("query-less sparse calibration returned %v", r)
+	}
+}

@@ -226,6 +226,9 @@ func (t *DiskEPT) RangeSearch(q core.Object, r float64) ([]int, error) {
 // KNNSearch answers MkNNQ(q, k) by the table scan with a tightening
 // radius.
 func (t *DiskEPT) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	st := &qstate{t: t, q: q, qd: make(map[int32]float64, 2*t.l)}
 	sp := t.ds.Space()
 	h := core.NewKNNHeap(k)

@@ -208,6 +208,9 @@ func (e *EPT) RangeSearch(q core.Object, r float64) ([]int, error) {
 // KNNSearch answers MkNNQ(q, k) with an infinite start radius tightened by
 // verification, in storage order.
 func (e *EPT) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	st := &queryState{e: e, q: q, qd: make(map[int32]float64, 2*e.l)}
 	h := core.NewKNNHeap(k)
 	for row, id := range e.ids {
@@ -227,6 +230,10 @@ func (e *EPT) Insert(id int) error {
 	if _, dup := e.rowOf[id]; dup {
 		return fmt.Errorf("ept: duplicate insert of %d", id)
 	}
+	o := e.ds.Object(id)
+	if o == nil {
+		return fmt.Errorf("ept: insert of deleted or out-of-range id %d", id)
+	}
 	var pv []int32
 	var dv []float64
 	if e.variant == Original {
@@ -234,9 +241,9 @@ func (e *EPT) Insert(id int) error {
 		// assigning pivots to the new object — the dominant update cost
 		// of Table 6.
 		e.groups.ReestimateMu(e.ds, pivot.Options{Seed: int64(id)})
-		pv, dv = e.groups.AssignExtreme(e.ds.Space(), e.ds.Object(id))
+		pv, dv = e.groups.AssignExtreme(e.ds.Space(), o)
 	} else {
-		pv, dv = e.psa.Assign(e.ds.Space(), e.ds.Object(id), e.l)
+		pv, dv = e.psa.Assign(e.ds.Space(), o, e.l)
 	}
 	e.appendRow(id, pv, dv)
 	return nil

@@ -160,10 +160,8 @@ func (e *Engine) BatchKNNSearch(ctx context.Context, idx core.Index, queries []c
 	return res, nil
 }
 
-// run dispatches n jobs to the worker pool. Jobs are claimed dynamically
-// (an atomic cursor, not static chunks) so slow queries do not straggle a
-// whole chunk. Each job writes only its own result slot, which keeps the
-// output deterministic without post-hoc sorting.
+// run dispatches n jobs through Scatter and wraps the dispatch with the
+// per-batch cost accounting.
 func (e *Engine) run(ctx context.Context, idx core.Index, n int, job func(i int) error) (BatchStats, error) {
 	if n == 0 {
 		return BatchStats{}, ctx.Err()
@@ -176,7 +174,37 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, job func(i int)
 		paBase = idx.PageAccesses()
 	}
 	start := time.Now()
+	if err := Scatter(ctx, e.workers, n, job); err != nil {
+		return BatchStats{}, err
+	}
+	stats := BatchStats{Queries: n, Wall: time.Since(start)}
+	if e.space != nil {
+		stats.CompDists = e.space.CompDists() - compBase
+	}
+	if idx != nil {
+		stats.PageAccesses = idx.PageAccesses() - paBase
+	}
+	return stats, nil
+}
 
+// Scatter is the engine's dispatch primitive, exported for other
+// scatter-gather layers (the sharded index fans one query out across its
+// shards with it). It runs n jobs on a temporary pool of up to `workers`
+// goroutines (<= 0 means GOMAXPROCS). Jobs are claimed dynamically off an
+// atomic cursor, not in static chunks, so one slow job does not straggle a
+// whole chunk; each job writes only its own result slot, which keeps
+// callers' output deterministic without post-hoc sorting. The first job
+// error — or ctx cancellation — stops the dispatch and is returned.
+func Scatter(ctx context.Context, workers, n int, job func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -189,10 +217,6 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, job func(i int)
 		if firstErr.CompareAndSwap(nil, &e) {
 			cancel()
 		}
-	}
-	workers := e.workers
-	if workers > n {
-		workers = n
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -216,17 +240,7 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, job func(i int)
 	wg.Wait()
 
 	if errp := firstErr.Load(); errp != nil {
-		return BatchStats{}, *errp
+		return *errp
 	}
-	if err := ctx.Err(); err != nil {
-		return BatchStats{}, err
-	}
-	stats := BatchStats{Queries: n, Wall: time.Since(start)}
-	if e.space != nil {
-		stats.CompDists = e.space.CompDists() - compBase
-	}
-	if idx != nil {
-		stats.PageAccesses = idx.PageAccesses() - paBase
-	}
-	return stats, nil
+	return ctx.Err()
 }

@@ -105,6 +105,9 @@ func (a *FQA) RangeSearch(q core.Object, r float64) ([]int, error) {
 // KNNSearch answers MkNNQ(q, k): the array is walked outward from the
 // query's first-pivot band, tightening the radius as candidates verify.
 func (a *FQA) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	qd := a.queryDists(q)
 	h := core.NewKNNHeap(k)
 	n := len(a.ids)

@@ -130,7 +130,7 @@ func (m *MIndex) RangeSearch(q core.Object, r float64) ([]int, error) {
 // multiple times); M-index* performs one best-first pass over clusters
 // ordered by their MBB lower bounds.
 func (m *MIndex) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
-	if m.size == 0 {
+	if k <= 0 || m.size == 0 {
 		return nil, nil
 	}
 	if m.opts.Star {

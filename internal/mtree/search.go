@@ -141,6 +141,9 @@ func (p *knnPQ) Pop() any {
 // ascending lower-bound order (the maximum of the ball bound and the ring
 // bound), with the radius tightened by verified objects (§5.1).
 func (t *Tree) KNNSearch(q core.Object, k int, qd []float64) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	sp := t.ds.Space()
 	h := core.NewKNNHeap(k)
 	pq := &knnPQ{}

@@ -208,6 +208,9 @@ func (p *nodePQ) Pop() any {
 // KNNSearch answers MkNNQ(q, k) best-first in ascending lower-bound order
 // with radius tightening.
 func (t *MVPT) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	qd := t.queryDists(q)
 	sp := t.ds.Space()
 	h := core.NewKNNHeap(k)

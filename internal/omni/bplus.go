@@ -117,7 +117,7 @@ func (t *BPlus) RangeSearch(q core.Object, r float64) ([]int, error) {
 // it. Revisited candidates across rounds are remembered so each object is
 // verified once.
 func (t *BPlus) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
-	if t.size == 0 {
+	if k <= 0 || t.size == 0 {
 		return nil, nil
 	}
 	qd := t.point(q)
@@ -170,10 +170,14 @@ func (t *BPlus) Insert(id int) error {
 	if t.ids[id] {
 		return fmt.Errorf("omni: duplicate insert of %d", id)
 	}
+	o := t.ds.Object(id)
+	if o == nil {
+		return fmt.Errorf("omni: insert of deleted or out-of-range id %d", id)
+	}
 	if _, err := t.appendRAF(id); err != nil {
 		return err
 	}
-	pt := t.point(t.ds.Object(id))
+	pt := t.point(o)
 	for i, tr := range t.trees {
 		if err := tr.Insert(bptree.KeyFromFloat(pt[i]), uint64(id)); err != nil {
 			return err

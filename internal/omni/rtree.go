@@ -136,6 +136,9 @@ func boxMinDist(qd, lo, hi []float64) float64 {
 // order, leaf candidates verified against the RAF with a tightening
 // radius (§5.2).
 func (t *RTree) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	qd := t.point(q)
 	h := core.NewKNNHeap(k)
 	pq := &knnPQ{}
@@ -192,11 +195,15 @@ func (t *RTree) Insert(id int) error {
 	if _, dup := t.points[id]; dup {
 		return fmt.Errorf("omni: duplicate insert of %d", id)
 	}
+	o := t.ds.Object(id)
+	if o == nil {
+		return fmt.Errorf("omni: insert of deleted or out-of-range id %d", id)
+	}
 	off, err := t.appendRAF(id)
 	if err != nil {
 		return err
 	}
-	pt := t.point(t.ds.Object(id))
+	pt := t.point(o)
 	t.points[id] = pt
 	return t.tree.Insert(rtree.Entry{ID: int32(id), RAFOff: uint64(off), Point: pt})
 }

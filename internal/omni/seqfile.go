@@ -151,6 +151,9 @@ func (t *SeqFile) RangeSearch(q core.Object, r float64) ([]int, error) {
 // KNNSearch answers MkNNQ(q, k) with the same scan and a tightening
 // radius.
 func (t *SeqFile) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	qd := t.point(q)
 	h := core.NewKNNHeap(k)
 	var scanErr error
@@ -180,10 +183,14 @@ func (t *SeqFile) Insert(id int) error {
 	if _, dup := t.rowOf[id]; dup {
 		return fmt.Errorf("omni: duplicate insert of %d", id)
 	}
+	o := t.ds.Object(id)
+	if o == nil {
+		return fmt.Errorf("omni: insert of deleted or out-of-range id %d", id)
+	}
 	if _, err := t.appendRAF(id); err != nil {
 		return err
 	}
-	pt := t.point(t.ds.Object(id))
+	pt := t.point(o)
 	row := t.rows
 	if err := t.writeRow(row, uint32(id), pt); err != nil {
 		return err

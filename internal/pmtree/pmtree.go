@@ -62,6 +62,9 @@ func (t *PMTree) RangeSearch(q core.Object, r float64) ([]int, error) {
 // KNNSearch answers MkNNQ(q, k) by best-first traversal in ascending
 // lower-bound order.
 func (t *PMTree) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	return t.tree.KNNSearch(q, k, t.tree.QueryDists(q))
 }
 

@@ -1,0 +1,51 @@
+package shard
+
+import "metricindex/internal/core"
+
+// Partitioner routes objects to shards. Implementations must be
+// deterministic in their inputs: the Sharded index remembers placements in
+// a routing table, but reproducible partitions keep builds comparable
+// across runs.
+type Partitioner interface {
+	// Name identifies the strategy in logs and experiment output.
+	Name() string
+	// Place returns the shard (in [0, shards)) for an object: seq is the
+	// number of objects routed before it, id its dataset identifier, and o
+	// its value (for content-based strategies).
+	Place(seq, id int, o core.Object, shards int) int
+}
+
+// RoundRobin cycles through the shards in routing order, keeping shard
+// sizes within one object of each other — the default, since balanced
+// shards bound the scatter-gather critical path.
+type RoundRobin struct{}
+
+// Name returns "round-robin".
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Place returns seq modulo the shard count.
+func (RoundRobin) Place(seq, _ int, _ core.Object, shards int) int { return seq % shards }
+
+// Hash routes by a mixed hash of the object identifier, so an object's
+// shard is independent of routing order (stable under replays and
+// re-partitioning, at the price of only statistical balance).
+type Hash struct{}
+
+// Name returns "hash".
+func (Hash) Name() string { return "hash" }
+
+// Place returns a splitmix64-mixed hash of the id modulo the shard count.
+func (Hash) Place(_, id int, _ core.Object, shards int) int {
+	return int(mix64(uint64(id)) % uint64(shards))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer whose output
+// bits are uniform enough for shard routing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

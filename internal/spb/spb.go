@@ -316,6 +316,9 @@ func (p *nodePQ) Pop() any {
 // their conservative MBB lower bounds, verifying leaf candidates against
 // the RAF with a tightening radius (§5.4).
 func (s *SPB) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	qd := s.queryDists(q)
 	sp := s.ds.Space()
 	h := core.NewKNNHeap(k)

@@ -67,12 +67,18 @@ func NewPager(pageSize int) *Pager {
 // PageSize returns the page size in bytes.
 func (p *Pager) PageSize() int { return p.pageSize }
 
-// SetCacheBytes resizes the LRU buffer cache. Zero disables caching (every
-// read becomes a page access). Resizing clears the cache.
+// SetCacheBytes resizes the LRU buffer cache. Zero or negative disables
+// caching (every read becomes a page access); any positive size rounds up
+// to at least one page, so asking for a cache smaller than the page size
+// does not silently disable it. Resizing clears the cache.
 func (p *Pager) SetCacheBytes(n int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.cacheCap = n / p.pageSize
+	if n <= 0 {
+		p.cacheCap = 0
+	} else {
+		p.cacheCap = (n + p.pageSize - 1) / p.pageSize
+	}
 	p.cacheLL.Init()
 	p.cacheMap = make(map[PageID]*list.Element)
 }

@@ -261,3 +261,40 @@ func TestRAFDeleteAndErrors(t *testing.T) {
 		t.Fatal("out-of-range ReadAt must fail")
 	}
 }
+
+// TestPagerSubPageCacheRoundsUp is the regression test for the silent
+// cache disable: a positive cache size smaller than one page must still
+// cache one page, not truncate the capacity to zero.
+func TestPagerSubPageCacheRoundsUp(t *testing.T) {
+	p := NewPager(4096)
+	p.SetCacheBytes(2048) // smaller than a page: round up to 1 page
+	a := p.Alloc()
+	p.Write(a, []byte{1})
+	p.ResetStats()
+	p.Read(a)
+	p.Read(a)
+	if got := p.PageAccesses(); got != 0 {
+		t.Fatalf("sub-page cache was disabled: PA=%d after cached reads", got)
+	}
+	// 5000 bytes on 4096-byte pages must hold 2 pages (ceiling), not 1.
+	p.SetCacheBytes(5000)
+	b := p.Alloc()
+	p.Write(a, []byte{1})
+	p.Write(b, []byte{2})
+	p.ResetStats()
+	p.Read(a)
+	p.Read(b)
+	if got := p.PageAccesses(); got != 0 {
+		t.Fatalf("ceiling capacity lost a page: PA=%d", got)
+	}
+	// Zero and negative still disable.
+	for _, n := range []int{0, -100} {
+		p.SetCacheBytes(n)
+		p.ResetStats()
+		p.Read(a)
+		p.Read(a)
+		if got := p.PageAccesses(); got != 2 {
+			t.Fatalf("SetCacheBytes(%d) should disable the cache: PA=%d", n, got)
+		}
+	}
+}

@@ -78,6 +78,9 @@ func (a *AESA) RangeSearch(q core.Object, r float64) ([]int, error) {
 // KNNSearch answers MkNNQ(q, k) with the same approximate-and-eliminate
 // loop, shrinking the radius as the heap fills.
 func (a *AESA) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	n := len(a.ids)
 	lb := make([]float64, n)
 	done := make([]bool, n)
@@ -112,6 +115,9 @@ func (a *AESA) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 func (a *AESA) Insert(id int) error {
 	if _, dup := a.rowOf[id]; dup {
 		return fmt.Errorf("aesa: duplicate insert of %d", id)
+	}
+	if a.ds.Object(id) == nil {
+		return fmt.Errorf("aesa: insert of deleted or out-of-range id %d", id)
 	}
 	row := len(a.ids)
 	newRow := make([]float64, row+1)

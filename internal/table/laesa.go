@@ -91,6 +91,9 @@ func (t *LAESA) RangeSearch(q core.Object, r float64) ([]int, error) {
 // KNNSearch answers MkNNQ(q, k): radius starts at infinity and is
 // tightened by each verified object (§2.1, second method).
 func (t *LAESA) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
 	qd := t.queryDists(q)
 	l := len(t.pivotVals)
 	h := core.NewKNNHeap(k)
@@ -110,9 +113,12 @@ func (t *LAESA) Insert(id int) error {
 	if _, dup := t.rowOf[id]; dup {
 		return fmt.Errorf("laesa: duplicate insert of %d", id)
 	}
+	o := t.ds.Object(id)
+	if o == nil {
+		return fmt.Errorf("laesa: insert of deleted or out-of-range id %d", id)
+	}
 	t.rowOf[id] = len(t.ids)
 	t.ids = append(t.ids, int32(id))
-	o := t.ds.Object(id)
 	sp := t.ds.Space()
 	for _, p := range t.pivotVals {
 		t.dists = append(t.dists, sp.Distance(o, p))

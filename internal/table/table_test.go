@@ -252,3 +252,42 @@ func TestParallelLAESAMatchesSequential(t *testing.T) {
 		t.Fatal("no pivots must fail")
 	}
 }
+
+// TestInsertInvalidIDErrors is the regression test for the nil-object
+// panic: inserting a deleted or out-of-range id must return an error, not
+// pass nil into the metric's type assertion.
+func TestInsertInvalidIDErrors(t *testing.T) {
+	ds := testutil.VectorDataset(40, 3, 100, core.L2{}, 31)
+	pv, err := pivot.HFI(ds, 3, pivot.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laesa, err := NewLAESA(ds, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aesa, err := NewAESA(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 11
+	for _, idx := range []core.Index{laesa, aesa} {
+		if err := idx.Delete(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []core.Index{laesa, aesa} {
+		if err := idx.Insert(victim); err == nil {
+			t.Errorf("%s: Insert of deleted id should error", idx.Name())
+		}
+		if err := idx.Insert(1000); err == nil {
+			t.Errorf("%s: Insert of out-of-range id should error", idx.Name())
+		}
+		if err := idx.Insert(-2); err == nil {
+			t.Errorf("%s: Insert of negative id should error", idx.Name())
+		}
+	}
+}

@@ -43,6 +43,31 @@
 // interleave Insert/Delete with a running batch; updates are not
 // synchronized with searches.
 //
+// # Sharding
+//
+// One index bounds a single query to one structure; NewSharded removes
+// that bound by partitioning the dataset across N sub-indexes and
+// scatter-gathering every query over them concurrently. Any constructor
+// serves as the per-shard builder, and the shard datasets keep the
+// parent's object identifiers, so answers are exactly those of the same
+// index built unsharded (MRQ unions the shard answers, MkNNQ merges the
+// per-shard k-candidates):
+//
+//	builder := func(sub *metricindex.Dataset) (metricindex.Index, error) {
+//		pivots, err := metricindex.SelectPivots(sub, 5, 1)
+//		if err != nil {
+//			return nil, err
+//		}
+//		return metricindex.NewLAESA(sub, pivots)
+//	}
+//	idx, _ := metricindex.NewSharded(builder, ds, metricindex.ShardOptions{Shards: 4})
+//	ids, _ := idx.RangeSearch(q, 5) // probes all 4 shards concurrently
+//
+// A Sharded index is itself an Index, so it composes with the batch
+// engine: a NewEngine batch over it overlaps queries and shard probes.
+// Insert and Delete route through a pluggable partitioner (round-robin by
+// default, or HashPartitioner).
+//
 // Disk-based indexes run against a simulated page store that counts page
 // accesses exactly as the paper reports them; see NewSPBTree and friends.
 package metricindex

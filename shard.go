@@ -1,0 +1,63 @@
+package metricindex
+
+import (
+	"metricindex/internal/shard"
+)
+
+// ShardBuilder constructs the sub-index for one shard of a sharded index.
+// The shard dataset shares the parent's Space and object identifiers —
+// only the shard's objects are live in it — so any index constructor in
+// the library serves: select pivots on the shard dataset, then build over
+// it, e.g.
+//
+//	builder := func(sub *metricindex.Dataset) (metricindex.Index, error) {
+//		pivots, err := metricindex.SelectPivots(sub, 5, 1)
+//		if err != nil {
+//			return nil, err
+//		}
+//		return metricindex.NewLAESA(sub, pivots)
+//	}
+type ShardBuilder = shard.Builder
+
+// ShardPartitioner routes objects to shards; see RoundRobinPartitioner and
+// HashPartitioner for the built-in strategies.
+type ShardPartitioner = shard.Partitioner
+
+// RoundRobinPartitioner cycles through shards in routing order, keeping
+// shard sizes within one object of each other (the default).
+func RoundRobinPartitioner() ShardPartitioner { return shard.RoundRobin{} }
+
+// HashPartitioner routes by a mixed hash of the object identifier, so an
+// object's shard does not depend on routing order.
+func HashPartitioner() ShardPartitioner { return shard.Hash{} }
+
+// ShardOptions configures NewSharded.
+type ShardOptions struct {
+	// Shards is the number of partitions; <= 0 uses GOMAXPROCS, and the
+	// count is capped at the number of live objects.
+	Shards int
+	// Workers bounds the goroutines used per query (concurrent shard
+	// probes) and for the parallel shard builds; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Partitioner routes objects to shards; nil uses round-robin.
+	Partitioner ShardPartitioner
+}
+
+// Sharded is the scatter-gather index: a partition of the dataset across N
+// sub-indexes behind one Index. Queries fan out to every shard
+// concurrently and merge into exactly the answer the same index would
+// return unsharded; Insert/Delete route through the partitioner; the cost
+// counters sum across shards.
+type Sharded = shard.Sharded
+
+// NewSharded partitions ds across opts.Shards sub-indexes, each built by
+// builder (in parallel), and returns the scatter-gather front. Because the
+// result is itself an Index, it composes with the batch engine: one
+// NewEngine batch over a Sharded index runs queries × shards concurrently.
+func NewSharded(builder ShardBuilder, ds *Dataset, opts ShardOptions) (*Sharded, error) {
+	return shard.New(ds, builder, shard.Options{
+		Shards:      opts.Shards,
+		Workers:     opts.Workers,
+		Partitioner: opts.Partitioner,
+	})
+}

@@ -1,0 +1,159 @@
+package metricindex_test
+
+// Shard-vs-unsharded equivalence over the public API: a Sharded index
+// over table, tree, and disk sub-indexes must return answers identical to
+// the same index built unsharded, for MRQ and MkNNQ, both per-query and
+// through the concurrent batch engine.
+
+import (
+	"context"
+	"testing"
+
+	"metricindex"
+)
+
+// shardableBuilders returns one builder per storage family (table, tree,
+// disk), each usable both per shard and for the unsharded reference.
+func shardableBuilders(gen *metricindex.BenchmarkDataset) map[string]metricindex.ShardBuilder {
+	return map[string]metricindex.ShardBuilder{
+		"LAESA": func(sub *metricindex.Dataset) (metricindex.Index, error) {
+			pivots, err := metricindex.SelectPivots(sub, 4, 3)
+			if err != nil {
+				return nil, err
+			}
+			return metricindex.NewLAESA(sub, pivots)
+		},
+		"MVPT": func(sub *metricindex.Dataset) (metricindex.Index, error) {
+			pivots, err := metricindex.SelectPivots(sub, 4, 3)
+			if err != nil {
+				return nil, err
+			}
+			return metricindex.NewMVPT(sub, pivots, metricindex.TreeOptions{})
+		},
+		"SPB-tree": func(sub *metricindex.Dataset) (metricindex.Index, error) {
+			pivots, err := metricindex.SelectPivots(sub, 4, 3)
+			if err != nil {
+				return nil, err
+			}
+			return metricindex.NewSPBTree(sub, pivots, metricindex.SPBOptions{MaxDistance: gen.MaxDistance})
+		},
+	}
+}
+
+func sameNeighbors(a, b []metricindex.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+func TestShardedMatchesUnshardedPublicAPI(t *testing.T) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetLA, 400, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Dataset
+	partitioners := map[string]metricindex.ShardPartitioner{
+		"round-robin": metricindex.RoundRobinPartitioner(),
+		"hash":        metricindex.HashPartitioner(),
+	}
+	for name, builder := range shardableBuilders(gen) {
+		flat, err := builder(ds)
+		if err != nil {
+			t.Fatalf("%s unsharded: %v", name, err)
+		}
+		for pname, part := range partitioners {
+			t.Run(name+"/"+pname, func(t *testing.T) {
+				sharded, err := metricindex.NewSharded(builder, ds, metricindex.ShardOptions{
+					Shards: 4, Partitioner: part,
+				})
+				if err != nil {
+					t.Fatalf("NewSharded: %v", err)
+				}
+				for _, q := range gen.Queries {
+					for _, sel := range []float64{0.02, 0.2, 0.6} {
+						r := metricindex.CalibrateRadius(gen, sel)
+						want, err := flat.RangeSearch(q, r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := sharded.RangeSearch(q, r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !sameIDs(got, want) {
+							t.Fatalf("MRQ(r=%.3g): sharded %v, unsharded %v", r, got, want)
+						}
+					}
+					for _, k := range []int{0, 1, 10, 50} {
+						want, err := flat.KNNSearch(q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := sharded.KNNSearch(q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !sameNeighbors(got, want) {
+							t.Fatalf("MkNNQ(k=%d): sharded %v, unsharded %v", k, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedComposesWithBatchEngine runs whole workloads through
+// NewEngine over a Sharded index (batch-over-shards) and checks the
+// results are identical to sequential queries on the unsharded index.
+func TestShardedComposesWithBatchEngine(t *testing.T) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetLA, 300, 6, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Dataset
+	eng := metricindex.NewEngine(ds.Space(), metricindex.EngineOptions{Workers: 4})
+	r := metricindex.CalibrateRadius(gen, 0.1)
+	for name, builder := range shardableBuilders(gen) {
+		t.Run(name, func(t *testing.T) {
+			flat, err := builder(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := metricindex.NewSharded(builder, ds, metricindex.ShardOptions{Shards: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr, err := eng.BatchRangeSearch(context.Background(), sharded, gen.Queries, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kr, err := eng.BatchKNNSearch(context.Background(), sharded, gen.Queries, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range gen.Queries {
+				wantIDs, err := flat.RangeSearch(q, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameIDs(rr.IDs[i], wantIDs) {
+					t.Fatalf("query %d: batch MRQ %v, unsharded %v", i, rr.IDs[i], wantIDs)
+				}
+				wantNNs, err := flat.KNNSearch(q, 12)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameNeighbors(kr.Neighbors[i], wantNNs) {
+					t.Fatalf("query %d: batch MkNNQ %v, unsharded %v", i, kr.Neighbors[i], wantNNs)
+				}
+			}
+		})
+	}
+}
