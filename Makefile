@@ -2,9 +2,10 @@
 
 GO ?= go
 
-# Packages with a parallel build or the concurrent query engine: the
-# race-detector gate of `make race`.
-RACE_PKGS = ./internal/exec/... ./internal/shard/... ./internal/table/... \
+# Packages with a parallel build, the concurrent query engine, or the
+# update/query synchronization layer: the race-detector gate of `make race`.
+RACE_PKGS = ./internal/exec/... ./internal/epoch/... ./internal/server/... \
+            ./internal/shard/... ./internal/table/... ./internal/mvpt/... \
             ./internal/ept/... ./internal/cpt/... ./internal/omni/... \
             ./internal/core/... ./internal/store/... ./internal/bench/... .
 
@@ -13,7 +14,7 @@ RACE_PKGS = ./internal/exec/... ./internal/shard/... ./internal/table/... \
 EXAMPLES = ./examples/quickstart ./examples/wordsearch ./examples/geosearch \
            ./examples/imagesearch
 
-.PHONY: all build test race bench fmt vet examples ci
+.PHONY: all build test race bench fmt vet examples serve-smoke ci
 
 all: build
 
@@ -42,4 +43,14 @@ examples:
 		$(GO) run $$e >/dev/null || exit 1; \
 	done
 
-ci: build vet fmt test race examples
+# Boot mserve on a generated dataset and exercise every endpoint plus a
+# live index swap, verifying each answer against the direct index call
+# and a linear scan (the same check msearch -verify runs, which also
+# gates the dataset first).
+serve-smoke:
+	$(GO) run ./cmd/datagen -kind LA -n 3000 -queries 10 -out /tmp/mserve-smoke.midx
+	$(GO) run ./cmd/msearch -data /tmp/mserve-smoke.midx -index LAESA -k 5 -verify >/dev/null
+	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index LAESA -smoke
+	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index SPB-tree -shards 2 -smoke
+
+ci: build vet fmt test race examples serve-smoke

@@ -211,6 +211,9 @@ func runBatch(gen *dataset.Generated, built *bench.Built, k int, radius float64,
 	fmt.Printf("\nbatch: %d queries in %v (%.0f q/s), %.0f dists/query, %.0f PA/query\n",
 		stats.Queries, stats.Wall.Round(time.Microsecond), stats.Throughput(),
 		stats.PerQueryCompDists(), stats.PerQueryPageAccesses())
+	fmt.Printf("latency: p50 %v, p95 %v, p99 %v\n",
+		stats.P50.Round(time.Microsecond), stats.P95.Round(time.Microsecond),
+		stats.P99.Round(time.Microsecond))
 	return nil
 }
 

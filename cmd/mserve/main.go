@@ -1,0 +1,148 @@
+// Command mserve is the long-lived query service: it builds a chosen
+// pivot-based metric index over a dataset file (written by datagen),
+// optionally sharded, and serves it over HTTP/JSON with
+// epoch-synchronized updates, admission control, per-client statistics,
+// and graceful index swap (POST /v1/swap rebuilds in the background with
+// fresh pivots and cuts over atomically under load).
+//
+// Usage:
+//
+//	datagen -kind Words -n 20000 -out words.midx
+//	mserve -data words.midx -index SPB-tree -addr :8080
+//	mserve -data words.midx -index LAESA -shards 4 -workers -1
+//	mserve -data words.midx -index MVPT -smoke        # self-test all endpoints
+//
+// Endpoints: POST /v1/range, /v1/knn, /v1/batch, /v1/insert,
+// /v1/delete, /v1/swap; GET /v1/stats, /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"metricindex/internal/bench"
+	"metricindex/internal/core"
+	"metricindex/internal/dataset"
+	"metricindex/internal/epoch"
+	"metricindex/internal/server"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "dataset file from datagen (required)")
+		index    = flag.String("index", "SPB-tree", "index: LAESA, EPT, EPT*, CPT, BKT, FQT, MVPT, PM-tree, OmniR-tree, M-index, M-index*, SPB-tree")
+		pivots   = flag.Int("pivots", 5, "number of pivots |P|")
+		shards   = flag.Int("shards", 0, "partition the dataset across this many sub-indexes (0/1 = unsharded)")
+		workers  = flag.Int("workers", -1, "batch engine and build parallelism (-1 = GOMAXPROCS)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		inflight = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0 = 4×GOMAXPROCS)")
+		queue    = flag.Int("max-queue", 0, "admission: max requests waiting for a slot (0 = 4×max-inflight)")
+		smoke    = flag.Bool("smoke", false, "boot on a loopback port, exercise every endpoint plus a live swap against a linear scan, and exit")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "missing -data; generate one with datagen")
+		os.Exit(2)
+	}
+
+	gen, err := dataset.Load(*data)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("loaded %s: %d objects (%s), %d queries\n",
+		*data, gen.Dataset.Count(), gen.Dataset.Space().Metric().Name(), len(gen.Queries))
+
+	cfg := bench.Config{
+		N: gen.Dataset.Count(), Queries: len(gen.Queries),
+		Pivots: *pivots, Shards: *shards, Workers: *workers,
+	}.WithDefaults()
+	env := &bench.Env{Cfg: cfg, Gen: gen}
+	if env.Pivots, err = bench.SelectHFI(gen.Dataset, cfg.Pivots, cfg.Seed+1); err != nil {
+		fail(err)
+	}
+	builder, err := bench.BuilderByName(*index)
+	if err != nil {
+		fail(err)
+	}
+	if builder.DiscreteOnly && !env.Discrete() {
+		fail(fmt.Errorf("%s requires a discrete metric; %s is continuous",
+			*index, gen.Dataset.Space().Metric().Name()))
+	}
+
+	built, cost, err := bench.MeasureBuild(env, builder)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("built %s in %v: %d compdists, %d KB memory, %d KB disk\n",
+		built.Index.Name(), cost.Time.Round(time.Millisecond),
+		cost.CompDists, cost.MemBytes/1024, cost.DiskBytes/1024)
+
+	live := epoch.NewLive(gen.Dataset, built.Index)
+	// The swap rebuild re-runs the same builder (re-sharded if sharded)
+	// over the drifted live dataset, with fresh HFI pivots selected on it.
+	rebuild := func(ds *core.Dataset) (core.Index, error) {
+		renv, err := env.WithDataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		b := builder
+		if renv.Cfg.Shards > 1 {
+			b = bench.ShardedBuilder(builder, renv.Cfg.Shards)
+		}
+		rebuilt, err := b.Build(renv)
+		if err != nil {
+			return nil, err
+		}
+		return rebuilt.Index, nil
+	}
+	srv, err := server.New(live, server.Options{
+		MaxInFlight: *inflight, MaxQueue: *queue,
+		Workers: cfg.Workers, Builder: rebuild,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if *smoke {
+		if err := runSmoke(srv, live, gen); err != nil {
+			fail(fmt.Errorf("smoke: %w", err))
+		}
+		fmt.Println("smoke: all endpoints verified ✓")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("serving %s on %s\n", built.Index.Name(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			fail(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("\nshutting down…")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mserve:", err)
+	os.Exit(1)
+}

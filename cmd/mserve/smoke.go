@@ -1,0 +1,320 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metricindex/internal/core"
+	"metricindex/internal/dataset"
+	"metricindex/internal/epoch"
+	"metricindex/internal/server"
+)
+
+// runSmoke boots the server on a loopback port and exercises every
+// endpoint from a real HTTP client, verifying each answer two ways:
+// byte-for-byte against the direct call on the live index (the server
+// adds transport, never approximation) and against a brute-force linear
+// scan of the current dataset (the same check msearch -verify runs). It
+// finishes with a graceful swap under sustained query load that must
+// drop zero requests and corrupt zero answers.
+func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := contextWithTimeout()
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	var health server.HealthResponse
+	if err := call(base+"/healthz", nil, &health); err != nil {
+		return err
+	}
+	if health.Status != "ok" {
+		return fmt.Errorf("healthz: %+v", health)
+	}
+	fmt.Printf("smoke: serving %s at %s\n", health.Index, base)
+
+	radius := dataset.CalibrateRadius(gen, 0.05)
+	const k = 10
+
+	// Single-query endpoints, every workload query.
+	for qi, q := range gen.Queries {
+		raw, err := json.Marshal(q)
+		if err != nil {
+			return err
+		}
+		var rr server.RangeResponse
+		if err := call(base+"/v1/range", server.RangeRequest{Query: raw, Radius: radius}, &rr); err != nil {
+			return fmt.Errorf("query %d: %w", qi, err)
+		}
+		if err := verifyRange(live, q, radius, rr.IDs); err != nil {
+			return fmt.Errorf("query %d range: %w", qi, err)
+		}
+		var kr server.KNNResponse
+		if err := call(base+"/v1/knn", server.KNNRequest{Query: raw, K: k}, &kr); err != nil {
+			return fmt.Errorf("query %d: %w", qi, err)
+		}
+		if err := verifyKNN(live, q, k, kr.Neighbors); err != nil {
+			return fmt.Errorf("query %d knn: %w", qi, err)
+		}
+	}
+	fmt.Printf("smoke: %d range + %d knn answers equal direct calls and linear scan ✓\n",
+		len(gen.Queries), len(gen.Queries))
+
+	// Batch endpoint, both workload types in one round trip each.
+	raws := make([]json.RawMessage, len(gen.Queries))
+	for i, q := range gen.Queries {
+		if raws[i], err = json.Marshal(q); err != nil {
+			return err
+		}
+	}
+	var br server.BatchResponse
+	if err := call(base+"/v1/batch", server.BatchRequest{Type: "range", Queries: raws, Radius: radius}, &br); err != nil {
+		return fmt.Errorf("batch range: %w", err)
+	}
+	for i, ids := range br.IDs {
+		if err := verifyRange(live, gen.Queries[i], radius, ids); err != nil {
+			return fmt.Errorf("batch range %d: %w", i, err)
+		}
+	}
+	if err := call(base+"/v1/batch", server.BatchRequest{Type: "knn", Queries: raws, K: k}, &br); err != nil {
+		return fmt.Errorf("batch knn: %w", err)
+	}
+	for i, nns := range br.Neighbors {
+		if err := verifyKNN(live, gen.Queries[i], k, nns); err != nil {
+			return fmt.Errorf("batch knn %d: %w", i, err)
+		}
+	}
+	if br.Stats.Queries != len(gen.Queries) || br.Stats.P50Micros <= 0 {
+		return fmt.Errorf("batch stats malformed: %+v", br.Stats)
+	}
+	fmt.Printf("smoke: batch endpoint verified over %d queries (p50 %dµs, p99 %dµs, %.0f q/s) ✓\n",
+		br.Stats.Queries, br.Stats.P50Micros, br.Stats.P99Micros, br.Stats.QPS)
+
+	// Insert/delete round trip through the API.
+	obj, err := json.Marshal(gen.Queries[0])
+	if err != nil {
+		return err
+	}
+	var ir server.InsertResponse
+	if err := call(base+"/v1/insert", server.InsertRequest{Object: obj}, &ir); err != nil {
+		return fmt.Errorf("insert: %w", err)
+	}
+	var rr server.RangeResponse
+	if err := call(base+"/v1/range", server.RangeRequest{Query: obj, Radius: 0}, &rr); err != nil {
+		return err
+	}
+	if !contains(rr.IDs, ir.ID) {
+		return fmt.Errorf("inserted object %d not served: got %v", ir.ID, rr.IDs)
+	}
+	if err := call(base+"/v1/delete", server.DeleteRequest{ID: ir.ID}, &server.DeleteResponse{}); err != nil {
+		return fmt.Errorf("delete: %w", err)
+	}
+	if err := call(base+"/v1/range", server.RangeRequest{Query: obj, Radius: 0}, &rr); err != nil {
+		return err
+	}
+	if contains(rr.IDs, ir.ID) {
+		return fmt.Errorf("deleted object %d still served", ir.ID)
+	}
+	fmt.Println("smoke: insert/delete round trip ✓")
+
+	// Graceful swap under sustained query load: zero dropped, zero wrong.
+	var (
+		wg     sync.WaitGroup
+		stop   atomic.Bool
+		failed atomic.Int64
+		served atomic.Int64
+	)
+	knnBody, err := json.Marshal(server.KNNRequest{Query: raws[0], K: k})
+	if err != nil {
+		return err
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, err := http.Post(base+"/v1/knn", "application/json", bytes.NewReader(knnBody))
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				var kr server.KNNResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&kr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil || len(kr.Neighbors) != k {
+					failed.Add(1)
+					return
+				}
+				served.Add(1)
+			}
+		}()
+	}
+	var sw server.SwapResponse
+	swapErr := call(base+"/v1/swap", struct{}{}, &sw)
+	stop.Store(true)
+	wg.Wait()
+	if swapErr != nil {
+		return fmt.Errorf("swap: %w", swapErr)
+	}
+	if failed.Load() != 0 {
+		return fmt.Errorf("swap under load: %d of %d queries failed", failed.Load(), failed.Load()+served.Load())
+	}
+	if err := verifyKNNDirect(live, gen.Queries[0], k); err != nil {
+		return fmt.Errorf("post-swap: %w", err)
+	}
+	fmt.Printf("smoke: graceful swap rebuilt in %dms with %d queries in flight, zero dropped ✓\n",
+		sw.BuildMillis, served.Load())
+
+	// Statistics reflect everything above.
+	var st server.StatsResponse
+	if err := call(base+"/v1/stats", nil, &st); err != nil {
+		return err
+	}
+	knnStats := st.Endpoints["knn"]
+	if knnStats.Count == 0 || knnStats.P50Micros <= 0 || st.Admission.Admitted == 0 {
+		return fmt.Errorf("stats malformed: %+v", st)
+	}
+	if st.Index.Epoch != sw.Epoch {
+		return fmt.Errorf("stats epoch %d, swap reported %d", st.Index.Epoch, sw.Epoch)
+	}
+	fmt.Printf("smoke: stats — %d admitted, knn p50 %dµs p99 %dµs, epoch %d\n",
+		st.Admission.Admitted, knnStats.P50Micros, knnStats.P99Micros, st.Index.Epoch)
+	return nil
+}
+
+// call POSTs body (or GETs when body is nil) and decodes into out,
+// failing on any non-200.
+func call(url string, body, out any) error {
+	var resp *http.Response
+	var err error
+	if body == nil {
+		resp, err = http.Get(url)
+	} else {
+		var raw []byte
+		if raw, err = json.Marshal(body); err != nil {
+			return err
+		}
+		resp, err = http.Post(url, "application/json", bytes.NewReader(raw))
+	}
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// verifyRange checks a served MRQ answer equals both the direct call and
+// the linear scan over the current dataset.
+func verifyRange(live *epoch.Live, q core.Object, r float64, got []int) error {
+	var err error
+	live.View(func(ds *core.Dataset, idx core.Index) {
+		direct, derr := idx.RangeSearch(q, r)
+		if derr != nil {
+			err = derr
+			return
+		}
+		if !sameIDs(got, direct) {
+			err = fmt.Errorf("served %d ids, direct call %d", len(got), len(direct))
+			return
+		}
+		want := core.BruteForceRange(ds, q, r)
+		if !sameIDs(got, want) {
+			err = fmt.Errorf("served %d ids, linear scan %d", len(got), len(want))
+		}
+	})
+	return err
+}
+
+// verifyKNN checks a served MkNNQ answer equals the direct call
+// element-wise and matches the linear scan on count and k-th distance.
+func verifyKNN(live *epoch.Live, q core.Object, k int, got []server.Neighbor) error {
+	var err error
+	live.View(func(ds *core.Dataset, idx core.Index) {
+		direct, derr := idx.KNNSearch(q, k)
+		if derr != nil {
+			err = derr
+			return
+		}
+		if len(got) != len(direct) {
+			err = fmt.Errorf("served %d neighbors, direct call %d", len(got), len(direct))
+			return
+		}
+		for i := range got {
+			if got[i].ID != direct[i].ID || got[i].Dist != direct[i].Dist {
+				err = fmt.Errorf("neighbor %d: served %v, direct %v", i, got[i], direct[i])
+				return
+			}
+		}
+		want := core.BruteForceKNN(ds, q, k)
+		if len(got) != len(want) || (len(want) > 0 && got[len(got)-1].Dist != want[len(want)-1].Dist) {
+			err = fmt.Errorf("served answer disagrees with linear scan")
+		}
+	})
+	return err
+}
+
+// verifyKNNDirect re-checks the live index against a quiesced scan.
+func verifyKNNDirect(live *epoch.Live, q core.Object, k int) error {
+	var err error
+	live.View(func(ds *core.Dataset, idx core.Index) {
+		got, derr := idx.KNNSearch(q, k)
+		if derr != nil {
+			err = derr
+			return
+		}
+		want := core.BruteForceKNN(ds, q, k)
+		if len(got) != len(want) || (len(want) > 0 && got[len(got)-1].Dist != want[len(want)-1].Dist) {
+			err = fmt.Errorf("post-swap answer disagrees with linear scan")
+		}
+	})
+	return err
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(ids []int, id int) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func contextWithTimeout() (ctx context.Context, cancel context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 5*time.Second)
+}

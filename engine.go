@@ -10,15 +10,16 @@ import (
 // sequential loop, order-normalized) and per-batch aggregate cost stats.
 //
 // Queries are read-only on every index in the library, so a single index
-// can serve a batch concurrently; do not interleave Insert/Delete with a
-// running batch.
+// can serve a batch concurrently. A raw index must not interleave
+// Insert/Delete with a running batch; wrap it in NewLive to run batches
+// and updates concurrently under the epoch contract.
 type Engine = exec.Engine
 
 // EngineOptions configures an Engine.
 type EngineOptions = exec.Options
 
-// BatchStats aggregates compdists, page accesses and wall time over one
-// batch.
+// BatchStats aggregates compdists, page accesses, wall time and
+// per-query latency percentiles (p50/p95/p99) over one batch.
 type BatchStats = exec.BatchStats
 
 // RangeResult is the answer of Engine.BatchRangeSearch.

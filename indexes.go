@@ -151,6 +151,11 @@ type TreeOptions struct {
 	MaxDistance float64
 	// Seed drives BKT's random pivot choice.
 	Seed int64
+	// Workers parallelizes MVPT construction node-level (per-node pivot
+	// distances fan out and sibling subtrees build concurrently): 0 or 1
+	// builds sequentially, negative uses GOMAXPROCS. The tree is
+	// identical either way. Ignored by BKT/FQT.
+	Workers int
 }
 
 // NewBKT builds the Burkhard-Keller tree (§4.1); the metric must be
@@ -180,7 +185,7 @@ func NewFQA(ds *Dataset, pivots []int) (Index, error) {
 // arity (5 by default; 2 yields the classic VPT).
 func NewMVPT(ds *Dataset, pivots []int, opts TreeOptions) (Index, error) {
 	return mvpt.New(ds, pivots, mvpt.Options{
-		Arity: opts.Arity, LeafCapacity: opts.LeafCapacity,
+		Arity: opts.Arity, LeafCapacity: opts.LeafCapacity, Workers: opts.Workers,
 	})
 }
 

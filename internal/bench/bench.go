@@ -204,7 +204,7 @@ func Builders() []Builder {
 			return &Built{Name: "FQT", Index: idx}, err
 		}},
 		{Name: "MVPT", Build: func(e *Env) (*Built, error) {
-			idx, err := mvpt.New(e.Gen.Dataset, e.Pivots, mvpt.Options{})
+			idx, err := mvpt.New(e.Gen.Dataset, e.Pivots, mvpt.Options{Workers: e.Cfg.Workers})
 			return &Built{Name: "MVPT", Index: idx}, err
 		}},
 		{Name: "PM-tree", Build: func(e *Env) (*Built, error) {
@@ -256,19 +256,18 @@ func BuilderByName(name string) (Builder, error) {
 	return Builder{}, fmt.Errorf("bench: unknown index %q", name)
 }
 
-// shardEnv derives the environment one shard builds in: the same config,
-// queries, and d+, but the shard's dataset and an HFI pivot set selected
-// on it. Shards and Workers are cleared — the shards themselves are the
-// parallelism, and a sub-build must not re-shard.
-func (e *Env) shardEnv(sub *core.Dataset) (*Env, error) {
+// WithDataset derives the environment for a build over a replacement
+// dataset: the same config, queries and d+, with a fresh HFI pivot set
+// selected on the dataset. The serving layer's graceful swap rebuilds
+// through this (the live dataset has drifted from the one the process
+// loaded), and the shard sub-builds specialize it below.
+func (e *Env) WithDataset(sub *core.Dataset) (*Env, error) {
 	pv, err := pivot.HFI(sub, e.Cfg.Pivots, pivot.Options{Seed: e.Cfg.Seed + 1})
 	if err != nil {
 		return nil, err
 	}
 	cfg := e.Cfg
 	cfg.N = sub.Count()
-	cfg.Shards = 0
-	cfg.Workers = 0
 	gen := &dataset.Generated{
 		Kind:        e.Gen.Kind,
 		Dataset:     sub,
@@ -276,6 +275,19 @@ func (e *Env) shardEnv(sub *core.Dataset) (*Env, error) {
 		MaxDistance: e.Gen.MaxDistance,
 	}
 	return &Env{Cfg: cfg, Gen: gen, Pivots: pv}, nil
+}
+
+// shardEnv derives the environment one shard builds in. Shards and
+// Workers are cleared — the shards themselves are the parallelism, and a
+// sub-build must not re-shard.
+func (e *Env) shardEnv(sub *core.Dataset) (*Env, error) {
+	se, err := e.WithDataset(sub)
+	if err != nil {
+		return nil, err
+	}
+	se.Cfg.Shards = 0
+	se.Cfg.Workers = 0
+	return se, nil
 }
 
 // ShardedBuilder wraps a builder so it constructs a scatter-gather sharded
@@ -312,11 +324,14 @@ func ShardedBuilder(b Builder, shards int) Builder {
 	}
 }
 
-// QueryCost aggregates per-query averages.
+// QueryCost aggregates per-query averages, plus the latency percentiles
+// a serving layer's SLOs are written against (nearest-rank, identical
+// definition in the sequential loop, the batch engine, and the server).
 type QueryCost struct {
-	CompDists float64
-	PA        float64
-	CPU       time.Duration
+	CompDists     float64
+	PA            float64
+	CPU           time.Duration
+	P50, P95, P99 time.Duration
 }
 
 // engine returns the batch engine configured by Config.Workers, or nil
@@ -344,20 +359,26 @@ func MeasureRange(e *Env, b *Built, r float64) (QueryCost, error) {
 			CompDists: res.Stats.PerQueryCompDists(),
 			PA:        res.Stats.PerQueryPageAccesses(),
 			CPU:       time.Duration(float64(res.Stats.Wall) / n),
+			P50:       res.Stats.P50, P95: res.Stats.P95, P99: res.Stats.P99,
 		}, nil
 	}
+	durs := make([]time.Duration, 0, len(e.Gen.Queries))
 	start := time.Now()
 	for _, q := range e.Gen.Queries {
+		qStart := time.Now()
 		if _, err := b.Index.RangeSearch(q, r); err != nil {
 			return QueryCost{}, err
 		}
+		durs = append(durs, time.Since(qStart))
 	}
 	elapsed := time.Since(start)
-	return QueryCost{
+	cost := QueryCost{
 		CompDists: float64(sp.CompDists()) / n,
 		PA:        float64(b.Index.PageAccesses()) / n,
 		CPU:       time.Duration(float64(elapsed) / n),
-	}, nil
+	}
+	cost.P50, cost.P95, cost.P99 = exec.LatencyPercentiles(durs)
+	return cost, nil
 }
 
 // MeasureKNN averages MkNNQ(q, k) costs over the environment's queries,
@@ -379,20 +400,26 @@ func MeasureKNN(e *Env, b *Built, k int) (QueryCost, error) {
 			CompDists: res.Stats.PerQueryCompDists(),
 			PA:        res.Stats.PerQueryPageAccesses(),
 			CPU:       time.Duration(float64(res.Stats.Wall) / n),
+			P50:       res.Stats.P50, P95: res.Stats.P95, P99: res.Stats.P99,
 		}, nil
 	}
+	durs := make([]time.Duration, 0, len(e.Gen.Queries))
 	start := time.Now()
 	for _, q := range e.Gen.Queries {
+		qStart := time.Now()
 		if _, err := b.Index.KNNSearch(q, k); err != nil {
 			return QueryCost{}, err
 		}
+		durs = append(durs, time.Since(qStart))
 	}
 	elapsed := time.Since(start)
-	return QueryCost{
+	cost := QueryCost{
 		CompDists: float64(sp.CompDists()) / n,
 		PA:        float64(b.Index.PageAccesses()) / n,
 		CPU:       time.Duration(float64(elapsed) / n),
-	}, nil
+	}
+	cost.P50, cost.P95, cost.P99 = exec.LatencyPercentiles(durs)
+	return cost, nil
 }
 
 // BuildCost captures Table 4's columns.

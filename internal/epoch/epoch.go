@@ -1,0 +1,339 @@
+// Package epoch synchronizes index updates with in-flight searches, and
+// makes the index itself a hot-swappable artifact: Live wraps any
+// core.Index (tables, trees, disk structures, the sharded scatter-gather
+// front) behind reader/writer epochs so Insert/Delete interleave safely
+// with concurrent queries, and Swap replaces the structure wholesale —
+// rebuilt in the background, cut over atomically — without dropping or
+// corrupting a single answer.
+//
+// The library's indexes answer read-only queries against immutable
+// structure state (which is what lets internal/exec run whole batches
+// concurrently), but none of them synchronize updates with searches; the
+// historical contract was "finish the batch, then update". Live removes
+// that caveat. Searches run in shared read sections; Add/Remove (and the
+// core.Index Insert/Delete) run in exclusive write sections; every
+// committed write advances the epoch, a monotone counter that names the
+// dataset version a search observed (result caching and replication can
+// key off it).
+//
+// Swap is the graceful-rebuild path a long-lived server needs: the
+// current dataset is snapshotted in one write section, the replacement
+// index is built over the snapshot with no locks held (searches and
+// updates proceed on the live structure the whole time), updates that
+// arrived during the build are recorded in an operation log, and one
+// final write section replays the log onto the replacement and flips it
+// in. Searches before the flip see the old index with every update
+// applied; searches after see the new index with every update applied;
+// there is no window in which either misses a committed write.
+package epoch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"metricindex/internal/core"
+)
+
+// Builder constructs the replacement index during a Swap. It receives a
+// private snapshot of the dataset (same Space, same identifiers) and must
+// index every live object in it; any constructor in the library serves.
+type Builder func(ds *core.Dataset) (core.Index, error)
+
+// ErrSwapInProgress is returned by Swap when a rebuild is already running.
+var ErrSwapInProgress = errors.New("epoch: swap already in progress")
+
+// logEntry is one update recorded while a swap builds, for replay onto
+// the replacement at cutover.
+type logEntry struct {
+	insert bool
+	id     int
+	obj    core.Object // the inserted object; nil for deletes
+}
+
+// Live is an index whose updates are epoch-synchronized with its
+// searches. It implements core.Index, so it drops into everything that
+// consumes one — the batch engine, the sharded front, the bench harness —
+// while lifting the library-wide "do not interleave updates with
+// searches" restriction for the structure it wraps.
+//
+// Live owns its dataset: mutate it only through Add and Remove (or the
+// Insert/Delete compatibility methods), never directly, so that dataset
+// and index always change inside the same write section.
+type Live struct {
+	mu       sync.RWMutex
+	ds       *core.Dataset
+	idx      core.Index
+	epoch    uint64
+	swapping bool
+	log      []logEntry
+}
+
+// NewLive wraps an index and the dataset it was built over.
+func NewLive(ds *core.Dataset, idx core.Index) *Live {
+	return &Live{ds: ds, idx: idx}
+}
+
+// Epoch returns the number of committed write sections (updates and
+// swaps). Two searches returning the same epoch observed the same dataset
+// version.
+func (l *Live) Epoch() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.epoch
+}
+
+// View runs fn in a read section over the current dataset and index —
+// the safe way to take a consistent look at both (stats, verification,
+// snapshotting). fn must not mutate either and must not call back into l.
+func (l *Live) View(fn func(ds *core.Dataset, idx core.Index)) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	fn(l.ds, l.idx)
+}
+
+// Add inserts a new object into the dataset and the index in one write
+// section and returns its identifier.
+func (l *Live) Add(o core.Object) (int, error) {
+	id, _, err := l.AddAt(o)
+	return id, err
+}
+
+// AddAt is Add reporting also the epoch the write committed at — unlike
+// a separate Epoch() call, the returned value cannot include later
+// writers' commits.
+func (l *Live) AddAt(o core.Object) (int, uint64, error) {
+	if o == nil {
+		return 0, 0, fmt.Errorf("epoch: add of nil object")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := l.ds.Insert(o)
+	if err := l.idx.Insert(id); err != nil {
+		_ = l.ds.Delete(id) // roll the dataset back
+		return 0, l.epoch, err
+	}
+	l.record(logEntry{insert: true, id: id, obj: o})
+	l.epoch++
+	return id, l.epoch, nil
+}
+
+// Remove deletes the object from the index and the dataset in one write
+// section.
+func (l *Live) Remove(id int) error {
+	_, err := l.RemoveAt(id)
+	return err
+}
+
+// RemoveAt is Remove reporting also the epoch the write committed at.
+func (l *Live) RemoveAt(id int) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.idx.Delete(id); err != nil {
+		return l.epoch, err
+	}
+	if err := l.ds.Delete(id); err != nil {
+		return l.epoch, err
+	}
+	l.record(logEntry{id: id})
+	l.epoch++
+	return l.epoch, nil
+}
+
+// Insert implements core.Index for callers that manage the dataset
+// themselves (the object must already be stored under id). Add is the
+// fully synchronized path: a direct dataset mutation is not covered by
+// the write section and must itself not race with in-flight searches.
+func (l *Live) Insert(id int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	o := l.ds.Object(id)
+	if o == nil {
+		return fmt.Errorf("epoch: insert of deleted or unknown object %d", id)
+	}
+	if err := l.idx.Insert(id); err != nil {
+		return err
+	}
+	l.record(logEntry{insert: true, id: id, obj: o})
+	l.epoch++
+	return nil
+}
+
+// Delete implements core.Index for callers that manage the dataset
+// themselves: it removes the object from the index only (per the Index
+// contract the object stays in the dataset until the caller deletes it).
+// Remove is the fully synchronized path.
+func (l *Live) Delete(id int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.idx.Delete(id); err != nil {
+		return err
+	}
+	l.record(logEntry{id: id})
+	l.epoch++
+	return nil
+}
+
+// record appends to the operation log when a swap is building.
+func (l *Live) record(e logEntry) {
+	if l.swapping {
+		l.log = append(l.log, e)
+	}
+}
+
+// Swap rebuilds the index in the background and atomically cuts over.
+//
+// The dataset is snapshotted in one write section; build runs over the
+// private snapshot with no locks held, so searches and updates proceed
+// unhindered on the live structure for the whole rebuild. Updates
+// committed during the build are recorded and replayed onto the
+// replacement inside the final write section, then the snapshot dataset
+// and the new index become current. If build fails, the live structure is
+// untouched. One swap may run at a time; concurrent calls return
+// ErrSwapInProgress.
+func (l *Live) Swap(build Builder) error {
+	if build == nil {
+		return fmt.Errorf("epoch: nil builder")
+	}
+	l.mu.Lock()
+	if l.swapping {
+		l.mu.Unlock()
+		return ErrSwapInProgress
+	}
+	l.swapping = true
+	l.log = nil
+	snap := snapshot(l.ds)
+	l.mu.Unlock()
+
+	idx, err := build(snap)
+	if err == nil && idx == nil {
+		err = fmt.Errorf("epoch: builder returned nil index")
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.swapping = false
+	log := l.log
+	l.log = nil
+	if err != nil {
+		return fmt.Errorf("epoch: swap build: %w", err)
+	}
+	if err := replay(snap, idx, log); err != nil {
+		return fmt.Errorf("epoch: swap replay: %w", err)
+	}
+	// Discard construction-time page accesses so the counters keep
+	// measuring serving cost across the cutover, exactly as the initial
+	// build's post-construction reset does.
+	idx.ResetStats()
+	l.ds, l.idx = snap, idx
+	l.epoch++
+	return nil
+}
+
+// snapshot clones the dataset: same Space (compdists accounting stays
+// global), same identifiers, copied object slots.
+func snapshot(ds *core.Dataset) *core.Dataset {
+	objs := append([]core.Object(nil), ds.Objects()...)
+	return core.NewDataset(ds.Space(), objs)
+}
+
+// replay applies the operation log to the replacement dataset and index.
+// Entries are checked against the snapshot's occupancy so both paths into
+// the log stay correct: an insert whose object already sits in the
+// snapshot (dataset mutated before the snapshot, Insert committed after)
+// was indexed by the build itself and is skipped; likewise a delete of an
+// object the snapshot never held.
+func replay(ds *core.Dataset, idx core.Index, log []logEntry) error {
+	for _, e := range log {
+		if e.insert {
+			if ds.Object(e.id) != nil {
+				continue // already in the snapshot the build indexed
+			}
+			if err := ds.InsertAt(e.id, e.obj); err != nil {
+				return err
+			}
+			if err := idx.Insert(e.id); err != nil {
+				return err
+			}
+		} else {
+			if ds.Object(e.id) == nil {
+				continue // never made it into the snapshot
+			}
+			if err := idx.Delete(e.id); err != nil {
+				return err
+			}
+			if err := ds.Delete(e.id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Name reports the wrapped index's name.
+func (l *Live) Name() string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.idx.Name()
+}
+
+// RangeSearch answers MRQ(q, r) in a read section.
+func (l *Live) RangeSearch(q core.Object, r float64) ([]int, error) {
+	ids, _, err := l.RangeSearchAt(q, r)
+	return ids, err
+}
+
+// RangeSearchAt is RangeSearch reporting also the epoch the search
+// observed. Because answer and epoch come from the same read section,
+// the pair is a valid cache entry: the answer is exactly the dataset
+// version the epoch names (an Epoch() call after the search could
+// already include later writes the answer does not).
+func (l *Live) RangeSearchAt(q core.Object, r float64) ([]int, uint64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	ids, err := l.idx.RangeSearch(q, r)
+	return ids, l.epoch, err
+}
+
+// KNNSearch answers MkNNQ(q, k) in a read section.
+func (l *Live) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	nns, _, err := l.KNNSearchAt(q, k)
+	return nns, err
+}
+
+// KNNSearchAt is KNNSearch reporting also the epoch the search observed
+// (see RangeSearchAt).
+func (l *Live) KNNSearchAt(q core.Object, k int) ([]core.Neighbor, uint64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	nns, err := l.idx.KNNSearch(q, k)
+	return nns, l.epoch, err
+}
+
+// PageAccesses reports the wrapped index's counter.
+func (l *Live) PageAccesses() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.idx.PageAccesses()
+}
+
+// ResetStats zeroes the wrapped index's counters.
+func (l *Live) ResetStats() {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	l.idx.ResetStats()
+}
+
+// MemBytes reports the wrapped index's resident size.
+func (l *Live) MemBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.idx.MemBytes()
+}
+
+// DiskBytes reports the wrapped index's simulated-disk size.
+func (l *Live) DiskBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.idx.DiskBytes()
+}

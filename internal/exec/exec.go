@@ -12,15 +12,19 @@
 // through the atomic counter of core.Space, so a single index can serve
 // many queries concurrently with exact, deterministic results.
 //
-// Concurrent queries may NOT be interleaved with Insert/Delete on the same
-// index — updates are not synchronized with searches. Batch boundaries are
-// the unit of consistency: finish the batch, then update.
+// Concurrent queries may NOT be interleaved with Insert/Delete on a raw
+// index — updates are not synchronized with searches, and batch
+// boundaries are the unit of consistency. internal/epoch lifts that
+// restriction: wrap the index in an epoch.Live and batches, updates and
+// whole-index swaps interleave safely.
 package exec
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +77,11 @@ type BatchStats struct {
 	PageAccesses int64
 	// Wall is the elapsed wall-clock time of the whole batch.
 	Wall time.Duration
+	// P50, P95 and P99 are per-query latency percentiles (nearest-rank)
+	// over the batch — the SLO-grade numbers a serving layer reports.
+	// Unlike Wall they measure individual queries, so they stay meaningful
+	// however many workers overlap.
+	P50, P95, P99 time.Duration
 }
 
 // PerQueryCompDists returns the average compdists per query.
@@ -173,16 +182,29 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, job func(i int)
 	if idx != nil {
 		paBase = idx.PageAccesses()
 	}
+	durs := make([]time.Duration, n)
+	timed := func(i int) error {
+		qStart := time.Now()
+		err := job(i)
+		durs[i] = time.Since(qStart)
+		return err
+	}
 	start := time.Now()
-	if err := Scatter(ctx, e.workers, n, job); err != nil {
+	if err := Scatter(ctx, e.workers, n, timed); err != nil {
 		return BatchStats{}, err
 	}
 	stats := BatchStats{Queries: n, Wall: time.Since(start)}
+	stats.P50, stats.P95, stats.P99 = LatencyPercentiles(durs)
 	if e.space != nil {
 		stats.CompDists = e.space.CompDists() - compBase
 	}
 	if idx != nil {
-		stats.PageAccesses = idx.PageAccesses() - paBase
+		// A hot-swappable index (epoch.Live) may replace its structure —
+		// and its counter — mid-batch; clamp rather than report a
+		// negative delta across the cutover.
+		if stats.PageAccesses = idx.PageAccesses() - paBase; stats.PageAccesses < 0 {
+			stats.PageAccesses = 0
+		}
 	}
 	return stats, nil
 }
@@ -243,4 +265,28 @@ func Scatter(ctx context.Context, workers, n int, job func(i int) error) error {
 		return *errp
 	}
 	return ctx.Err()
+}
+
+// LatencyPercentiles computes the nearest-rank p50/p95/p99 of a sample of
+// latencies. The input is not modified (a sorted copy is taken); an empty
+// sample yields zeros. Shared by the batch engine, the bench harness's
+// sequential loop, and the server's per-endpoint stats so all three report
+// the same definition of a percentile.
+func LatencyPercentiles(durs []time.Duration) (p50, p95, p99 time.Duration) {
+	if len(durs) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.95), rank(0.99)
 }

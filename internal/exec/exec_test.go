@@ -279,6 +279,55 @@ func (s *sleepIndex) ResetStats()         {}
 func (s *sleepIndex) MemBytes() int64     { return 0 }
 func (s *sleepIndex) DiskBytes() int64    { return 0 }
 
+// TestLatencyPercentiles pins the nearest-rank definition on a known
+// sample and its edge cases.
+func TestLatencyPercentiles(t *testing.T) {
+	if p50, p95, p99 := LatencyPercentiles(nil); p50 != 0 || p95 != 0 || p99 != 0 {
+		t.Fatalf("empty sample: got %v %v %v, want zeros", p50, p95, p99)
+	}
+	if p50, p95, p99 := LatencyPercentiles([]time.Duration{7}); p50 != 7 || p95 != 7 || p99 != 7 {
+		t.Fatalf("single sample: got %v %v %v, want 7s", p50, p95, p99)
+	}
+	// 1..100 in shuffled order: nearest-rank p50 = 50, p95 = 95, p99 = 99.
+	durs := make([]time.Duration, 100)
+	for i := range durs {
+		durs[i] = time.Duration((i*37)%100 + 1)
+	}
+	p50, p95, p99 := LatencyPercentiles(durs)
+	if p50 != 50 || p95 != 95 || p99 != 99 {
+		t.Fatalf("1..100 sample: got %v %v %v, want 50 95 99", p50, p95, p99)
+	}
+	if durs[0] == 1 && durs[1] == 2 {
+		t.Fatal("test expects a shuffled input to prove the copy is sorted, not the original")
+	}
+}
+
+// TestBatchStatsPercentiles checks a real batch fills the latency
+// percentiles and orders them.
+func TestBatchStatsPercentiles(t *testing.T) {
+	ds := testutil.VectorDataset(200, 4, 100, core.L2{}, 5)
+	pv, err := pivot.HFI(ds, 3, pivot.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := table.NewLAESA(ds, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(ds.Space(), Options{Workers: 4})
+	res, err := eng.BatchKNNSearch(context.Background(), idx, queries(ds, 32), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.P50 <= 0 || s.P95 < s.P50 || s.P99 < s.P95 {
+		t.Fatalf("percentiles not filled or out of order: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if s.P99 > s.Wall {
+		t.Fatalf("p99 %v exceeds batch wall %v", s.P99, s.Wall)
+	}
+}
+
 // TestBatchOverlapsQueries proves the engine actually runs queries
 // concurrently (not a disguised sequential loop): 16 queries that each
 // block 20ms must finish far faster than 320ms with 8 workers. This holds

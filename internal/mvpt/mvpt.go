@@ -12,7 +12,9 @@ package mvpt
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"metricindex/internal/core"
 )
@@ -23,6 +25,13 @@ type Options struct {
 	Arity int
 	// LeafCapacity stops splitting below this bucket size. Default 16.
 	LeafCapacity int
+	// Workers parallelizes construction node-level: the per-node pivot
+	// distances and sibling subtrees spread over a pool of Workers
+	// goroutines shared by the whole build (a token scheme, so total
+	// concurrency stays bounded however wide the tree fans out). 0 or 1
+	// builds sequentially, negative uses GOMAXPROCS. The tree is
+	// identical either way — the same bands, cut values, and id order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -32,8 +41,15 @@ func (o Options) withDefaults() Options {
 	if o.LeafCapacity <= 0 {
 		o.LeafCapacity = 16
 	}
+	if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
+
+// parallelCutoff is the node size below which construction stays on the
+// calling goroutine: small subtrees finish faster than goroutine handoff.
+const parallelCutoff = 1024
 
 // MVPT is the multi-vantage-point tree index.
 type MVPT struct {
@@ -43,6 +59,11 @@ type MVPT struct {
 	pivotVals []core.Object
 	root      *node
 	size      int
+	// tokens bounds build parallelism: Workers-1 slots (the calling
+	// goroutine is the +1), shared by every concurrently building node,
+	// so total build concurrency never exceeds Workers no matter how the
+	// tree fans out. nil builds sequentially.
+	tokens chan struct{}
 }
 
 // node is a leaf bucket or an internal node with children split by cut
@@ -64,6 +85,9 @@ func New(ds *core.Dataset, pivots []int, opts Options) (*MVPT, error) {
 	}
 	opts = opts.withDefaults()
 	t := &MVPT{ds: ds, opts: opts, pivotIDs: append([]int(nil), pivots...)}
+	if opts.Workers > 1 {
+		t.tokens = make(chan struct{}, opts.Workers-1)
+	}
 	for _, p := range pivots {
 		v := ds.Object(p)
 		if v == nil {
@@ -85,7 +109,30 @@ func (t *MVPT) pivotAt(level int) core.Object {
 	return t.pivotVals[level%len(t.pivotVals)]
 }
 
+// tryOffload runs fn on another goroutine if a build token is free,
+// reporting whether it did; wg tracks the spawned work. The try-else-
+// inline discipline is what keeps total build concurrency bounded by
+// Workers with no risk of deadlock.
+func (t *MVPT) tryOffload(wg *sync.WaitGroup, fn func()) bool {
+	select {
+	case t.tokens <- struct{}{}:
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-t.tokens }()
+			fn()
+		}()
+		return true
+	default:
+		return false
+	}
+}
+
 // build splits ids into m quantile bands of distance to the level pivot.
+// With Workers > 1 the per-node distances and sibling subtrees above
+// parallelCutoff spread over the shared token pool — disjoint nodes and
+// slots, so the tree is identical to the sequential build (§6.2's
+// object-independence, applied node-level).
 func (t *MVPT) build(ids []int32, level int) *node {
 	if len(ids) <= t.opts.LeafCapacity {
 		return &node{ids: ids}
@@ -96,9 +143,29 @@ func (t *MVPT) build(ids []int32, level int) *node {
 		id int32
 		d  float64
 	}
+	par := t.tokens != nil && len(ids) >= parallelCutoff
 	all := make([]od, len(ids))
-	for i, id := range ids {
-		all[i] = od{id, sp.Distance(pv, t.ds.Object(int(id)))}
+	fill := func(start, end int) {
+		for i := start; i < end; i++ {
+			all[i] = od{ids[i], sp.Distance(pv, t.ds.Object(int(ids[i])))}
+		}
+	}
+	if par {
+		var wg sync.WaitGroup
+		chunk := (len(ids) + cap(t.tokens)) / (cap(t.tokens) + 1)
+		for start := 0; start < len(ids); start += chunk {
+			end := start + chunk
+			if end > len(ids) {
+				end = len(ids)
+			}
+			s, e := start, end
+			if end == len(ids) || !t.tryOffload(&wg, func() { fill(s, e) }) {
+				fill(s, e) // last chunk, or no token free: stay inline
+			}
+		}
+		wg.Wait()
+	} else {
+		fill(0, len(ids))
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
 	if all[0].d == all[len(all)-1].d {
@@ -107,19 +174,15 @@ func (t *MVPT) build(ids []int32, level int) *node {
 		return &node{ids: ids}
 	}
 	m := t.opts.Arity
-	n := &node{
-		children: make([]*node, 0, m),
-		lo:       make([]float64, 0, m),
-		hi:       make([]float64, 0, m),
-	}
+	n := &node{}
 	// Walk the sorted list and close a band at every target-size boundary.
 	// Equal distances may straddle a cut: Delete probes every band whose
 	// [lo, hi] range contains the distance, so correctness does not depend
 	// on ties staying together, and plain chunking guarantees every band
 	// is strictly smaller than the node (no degenerate recursion).
 	target := (len(all) + m - 1) / m
-	bandStart := 0
-	for bandStart < len(all) {
+	var bands [][]int32
+	for bandStart := 0; bandStart < len(all); {
 		end := bandStart + target
 		if end >= len(all) {
 			end = len(all)
@@ -128,11 +191,20 @@ func (t *MVPT) build(ids []int32, level int) *node {
 		for i := bandStart; i < end; i++ {
 			bandIDs[i-bandStart] = all[i].id
 		}
-		n.children = append(n.children, t.build(bandIDs, level+1))
+		bands = append(bands, bandIDs)
 		n.lo = append(n.lo, all[bandStart].d)
 		n.hi = append(n.hi, all[end-1].d)
 		bandStart = end
 	}
+	n.children = make([]*node, len(bands))
+	var wg sync.WaitGroup
+	for b := range bands {
+		b := b
+		if !par || !t.tryOffload(&wg, func() { n.children[b] = t.build(bands[b], level+1) }) {
+			n.children[b] = t.build(bands[b], level+1)
+		}
+	}
+	wg.Wait()
 	return n
 }
 

@@ -1,6 +1,7 @@
 package mvpt
 
 import (
+	"fmt"
 	"testing"
 
 	"metricindex/internal/core"
@@ -146,6 +147,72 @@ func TestMVPTHeavyTiesTerminate(t *testing.T) {
 		}
 	}
 	testutil.CheckRange(t, idx, ds, q, 1.5)
+}
+
+// sameTree deep-compares two nodes: band count, cut values, and the exact
+// identifier sequence of every leaf.
+func sameTree(a, b *node) error {
+	if a.leaf() != b.leaf() {
+		return fmt.Errorf("leaf/internal mismatch")
+	}
+	if a.leaf() {
+		if len(a.ids) != len(b.ids) {
+			return fmt.Errorf("leaf sizes %d vs %d", len(a.ids), len(b.ids))
+		}
+		for i := range a.ids {
+			if a.ids[i] != b.ids[i] {
+				return fmt.Errorf("leaf id %d: %d vs %d", i, a.ids[i], b.ids[i])
+			}
+		}
+		return nil
+	}
+	if len(a.children) != len(b.children) {
+		return fmt.Errorf("fanout %d vs %d", len(a.children), len(b.children))
+	}
+	for c := range a.children {
+		if a.lo[c] != b.lo[c] || a.hi[c] != b.hi[c] {
+			return fmt.Errorf("band %d range [%v,%v] vs [%v,%v]", c, a.lo[c], a.hi[c], b.lo[c], b.hi[c])
+		}
+		if err := sameTree(a.children[c], b.children[c]); err != nil {
+			return fmt.Errorf("child %d: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// TestMVPTParallelBuildIdentical checks the node-level parallel build
+// produces exactly the sequential tree — same bands, same cut values,
+// same leaf id order — and stays correct.
+func TestMVPTParallelBuildIdentical(t *testing.T) {
+	// 3000 objects with LeafCapacity 4 forces subtree recursion above and
+	// below the parallel cutoff.
+	ds := testutil.VectorDataset(3000, 4, 100, core.L2{}, 7)
+	pv, err := pivot.HFI(ds, 5, pivot.Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("HFI: %v", err)
+	}
+	seq, err := New(ds, pv, Options{LeafCapacity: 4})
+	if err != nil {
+		t.Fatalf("sequential New: %v", err)
+	}
+	for _, workers := range []int{-1, 4} {
+		par, err := New(ds, pv, Options{LeafCapacity: 4, Workers: workers})
+		if err != nil {
+			t.Fatalf("parallel New(workers=%d): %v", workers, err)
+		}
+		if err := sameTree(seq.root, par.root); err != nil {
+			t.Fatalf("workers=%d tree differs from sequential: %v", workers, err)
+		}
+	}
+	par, err := New(ds, pv, Options{LeafCapacity: 4, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qs := int64(0); qs < 3; qs++ {
+		q := testutil.RandomQuery(ds, qs)
+		testutil.CheckRange(t, par, ds, q, 20)
+		testutil.CheckKNN(t, par, ds, q, 9)
+	}
 }
 
 func TestMVPTErrors(t *testing.T) {

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by the admission controller when the wait
+// queue is full; the HTTP layer maps it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("server: overloaded, queue full")
+
+// admission bounds the number of requests executing concurrently
+// (MaxInFlight) and the number allowed to wait for a slot (MaxQueue).
+// Beyond both, requests are rejected immediately — load sheds at the
+// door instead of collapsing the latency of everything already admitted.
+type admission struct {
+	sem      chan struct{} // capacity = max in-flight
+	maxQueue int64
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	rejected atomic.Int64
+	admitted atomic.Int64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		sem:      make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire admits the request or fails fast: ErrOverloaded when MaxQueue
+// requests are already waiting, the context error if the client gives up
+// while queued. The caller must release() after a nil return.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}: // free slot, skip the queue accounting
+	default:
+		if a.waiting.Add(1) > a.maxQueue {
+			a.waiting.Add(-1)
+			a.rejected.Add(1)
+			return ErrOverloaded
+		}
+		select {
+		case a.sem <- struct{}{}:
+			a.waiting.Add(-1)
+		case <-ctx.Done():
+			a.waiting.Add(-1)
+			return ctx.Err()
+		}
+	}
+	a.inflight.Add(1)
+	a.admitted.Add(1)
+	return nil
+}
+
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.sem
+}
+
+// AdmissionStats is the controller's snapshot for /v1/stats.
+type AdmissionStats struct {
+	MaxInFlight int   `json:"max_in_flight"`
+	MaxQueue    int   `json:"max_queue"`
+	InFlight    int64 `json:"in_flight"`
+	Waiting     int64 `json:"waiting"`
+	Admitted    int64 `json:"admitted"`
+	Rejected    int64 `json:"rejected"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		MaxInFlight: cap(a.sem),
+		MaxQueue:    int(a.maxQueue),
+		InFlight:    a.inflight.Load(),
+		Waiting:     a.waiting.Load(),
+		Admitted:    a.admitted.Load(),
+		Rejected:    a.rejected.Load(),
+	}
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"metricindex/internal/core"
+)
+
+// decodeObject parses a JSON query/insert object into the dataset's
+// object type, chosen by a prototype live object: Vector ⇒ JSON number
+// array, IntVector ⇒ JSON integer array, Word ⇒ JSON string. The wire
+// shape is the natural JSON of each type, so clients post
+// {"query": [1.5, 2.0]} or {"query": "fuzzy"}.
+func decodeObject(raw json.RawMessage, proto core.Object) (core.Object, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing object")
+	}
+	switch proto.(type) {
+	case core.Vector:
+		var v core.Vector
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("object must be a number array: %w", err)
+		}
+		return v, nil
+	case core.IntVector:
+		var v core.IntVector
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("object must be an integer array: %w", err)
+		}
+		return v, nil
+	case core.Word:
+		var w string
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return nil, fmt.Errorf("object must be a string: %w", err)
+		}
+		return core.Word(w), nil
+	default:
+		return nil, fmt.Errorf("unsupported object type %T", proto)
+	}
+}
+
+// encodeObject renders a stored object back to its wire shape.
+func encodeObject(o core.Object) (json.RawMessage, error) {
+	switch v := o.(type) {
+	case core.Vector, core.IntVector:
+		return json.Marshal(v)
+	case core.Word:
+		return json.Marshal(string(v))
+	default:
+		return nil, fmt.Errorf("unsupported object type %T", o)
+	}
+}

@@ -1,0 +1,549 @@
+// Package server is the long-lived query service in front of the metric
+// indexes: it exposes an epoch.Live index over HTTP/JSON with endpoints
+// for range search, kNN, batched workloads (routed through the
+// internal/exec engine), inserts, deletes, statistics, and health — plus
+// the two properties a production front needs that one-shot experiment
+// binaries do not: admission control (bounded in-flight queries and a
+// bounded wait queue, shedding load with 429 beyond both) and graceful
+// index swap (POST /v1/swap rebuilds the structure in the background and
+// cuts over atomically with zero dropped or wrong answers, courtesy of
+// internal/epoch).
+//
+// Every answer the server returns is exactly the answer a direct call on
+// the wrapped Index would return — the handlers add transport, accounting
+// and synchronization, never approximation. Per-endpoint and per-client
+// statistics report qps, p50/p95/p99 latency, compdists and page
+// accesses over a sliding window of recent requests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"metricindex/internal/core"
+	"metricindex/internal/epoch"
+	"metricindex/internal/exec"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxInFlight bounds the requests executing concurrently; <= 0 uses
+	// 4 × GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds the requests allowed to wait for an in-flight slot
+	// before new arrivals are rejected with 429; <= 0 uses 4 × MaxInFlight.
+	MaxQueue int
+	// Workers sizes the batch engine pool behind /v1/batch; <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+	// Builder rebuilds the index for POST /v1/swap. nil disables the
+	// endpoint (501).
+	Builder epoch.Builder
+	// ClientHeader names the header that identifies a client for
+	// per-client stats; requests without it are keyed by remote host.
+	// Default "X-Client".
+	ClientHeader string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxInFlight
+	}
+	if o.ClientHeader == "" {
+		o.ClientHeader = "X-Client"
+	}
+	return o
+}
+
+// Server serves an epoch.Live index over HTTP. Create with New, mount
+// via Handler, or run with ListenAndServe/Serve.
+type Server struct {
+	live      *epoch.Live
+	space     *core.Space
+	proto     core.Object // prototype object fixing the wire type
+	eng       *exec.Engine
+	adm       *admission
+	builder   epoch.Builder
+	clientHdr string
+	start     time.Time
+	endpoints *statSet
+	clients   *statSet
+	mux       *http.ServeMux
+	hsrv      *http.Server
+}
+
+// New builds a server over a live index. The dataset's Space and object
+// type are captured at construction (both survive swaps).
+func New(live *epoch.Live, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	var space *core.Space
+	var proto core.Object
+	live.View(func(ds *core.Dataset, _ core.Index) {
+		space = ds.Space()
+		ids := ds.LiveIDs()
+		if len(ids) > 0 {
+			proto = ds.Object(ids[0])
+		}
+	})
+	if proto == nil {
+		return nil, fmt.Errorf("server: empty dataset, cannot infer the object type")
+	}
+	s := &Server{
+		live:      live,
+		space:     space,
+		proto:     proto,
+		eng:       exec.New(space, exec.Options{Workers: opts.Workers}),
+		adm:       newAdmission(opts.MaxInFlight, opts.MaxQueue),
+		builder:   opts.Builder,
+		clientHdr: opts.ClientHeader,
+		start:     time.Now(),
+		endpoints: newStatSet(),
+		clients:   newStatSet(),
+	}
+	s.mux = http.NewServeMux()
+	s.hsrv = &http.Server{Handler: s.mux}
+	s.mux.HandleFunc("POST /v1/range", s.handle("range", true, s.handleRange))
+	s.mux.HandleFunc("POST /v1/knn", s.handle("knn", true, s.handleKNN))
+	s.mux.HandleFunc("POST /v1/batch", s.handle("batch", true, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/insert", s.handle("insert", true, s.handleInsert))
+	s.mux.HandleFunc("POST /v1/delete", s.handle("delete", true, s.handleDelete))
+	s.mux.HandleFunc("POST /v1/swap", s.handle("swap", false, s.handleSwap))
+	s.mux.HandleFunc("GET /v1/stats", s.handle("stats", false, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.handle("healthz", false, s.handleHealth))
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree (for mounting and tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds addr and serves until Shutdown or failure.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener (callers pick the port, e.g.
+// 127.0.0.1:0 in tests and smoke runs).
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.hsrv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests and stops the listener.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.hsrv.Shutdown(ctx)
+}
+
+// httpError carries a status code out of a handler.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// handle wraps an endpoint with admission control, cost accounting and
+// error mapping. admit=false exempts control-plane endpoints
+// (stats/health, and swap — a swap runs for seconds and must not occupy
+// a query slot; epoch.Live bounds it to one at a time itself).
+func (s *Server) handle(name string, admit bool, fn func(r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if admit {
+			if err := s.adm.acquire(r.Context()); err != nil {
+				// Shed requests never executed: count the error without
+				// feeding a zero-duration sample into the latency window,
+				// which would zero the percentiles exactly when the
+				// operator is diagnosing an overload.
+				s.endpoints.get(name).reject()
+				s.clients.get(s.clientKey(r)).reject()
+				s.writeError(w, err)
+				return
+			}
+			defer s.adm.release()
+		}
+		compBase := s.space.CompDists()
+		paBase := s.live.PageAccesses()
+		start := time.Now()
+		res, err := fn(r)
+		dur := time.Since(start)
+		comp := s.space.CompDists() - compBase
+		pa := s.live.PageAccesses() - paBase
+		if pa < 0 {
+			pa = 0 // a swap replaced the index (and its counter) mid-request
+		}
+		s.endpoints.get(name).record(dur, comp, pa, err != nil)
+		s.clients.get(s.clientKey(r)).record(dur, comp, pa, err != nil)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// clientKey identifies the requester for per-client stats.
+func (s *Server) clientKey(r *http.Request) string {
+	if c := r.Header.Get(s.clientHdr); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, epoch.ErrSwapInProgress):
+		code = http.StatusConflict
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusRequestTimeout
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// Neighbor is one kNN answer element on the wire.
+type Neighbor struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+func toWire(nns []core.Neighbor) []Neighbor {
+	out := make([]Neighbor, len(nns))
+	for i, nb := range nns {
+		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}
+
+// RangeRequest is the body of POST /v1/range.
+type RangeRequest struct {
+	Query  json.RawMessage `json:"query"`
+	Radius float64         `json:"radius"`
+}
+
+// RangeResponse answers POST /v1/range. IDs is ascending, exactly the
+// direct RangeSearch answer; Epoch is the dataset version the search
+// observed — answer and epoch come from one read section, so the pair is
+// safe to cache.
+type RangeResponse struct {
+	IDs   []int  `json:"ids"`
+	Epoch uint64 `json:"epoch"`
+}
+
+func (s *Server) handleRange(r *http.Request) (any, error) {
+	var req RangeRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	q, err := decodeObject(req.Query, s.proto)
+	if err != nil {
+		return nil, badRequest("query: %v", err)
+	}
+	if req.Radius < 0 {
+		return nil, badRequest("radius must be >= 0")
+	}
+	ids, ep, err := s.live.RangeSearchAt(q, req.Radius)
+	if err != nil {
+		return nil, err
+	}
+	if ids == nil {
+		ids = []int{}
+	}
+	return RangeResponse{IDs: ids, Epoch: ep}, nil
+}
+
+// KNNRequest is the body of POST /v1/knn.
+type KNNRequest struct {
+	Query json.RawMessage `json:"query"`
+	K     int             `json:"k"`
+}
+
+// KNNResponse answers POST /v1/knn, sorted by ascending distance
+// (ties by id) exactly as the direct KNNSearch call returns; Epoch is
+// the dataset version the search observed (see RangeResponse).
+type KNNResponse struct {
+	Neighbors []Neighbor `json:"neighbors"`
+	Epoch     uint64     `json:"epoch"`
+}
+
+func (s *Server) handleKNN(r *http.Request) (any, error) {
+	var req KNNRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	q, err := decodeObject(req.Query, s.proto)
+	if err != nil {
+		return nil, badRequest("query: %v", err)
+	}
+	if req.K <= 0 {
+		return nil, badRequest("k must be >= 1")
+	}
+	nns, ep, err := s.live.KNNSearchAt(q, req.K)
+	if err != nil {
+		return nil, err
+	}
+	return KNNResponse{Neighbors: toWire(nns), Epoch: ep}, nil
+}
+
+// BatchRequest is the body of POST /v1/batch: a whole workload answered
+// through the concurrent batch engine in one round trip. Type is "range"
+// (with Radius) or "knn" (with K).
+type BatchRequest struct {
+	Type    string            `json:"type"`
+	Queries []json.RawMessage `json:"queries"`
+	Radius  float64           `json:"radius,omitempty"`
+	K       int               `json:"k,omitempty"`
+}
+
+// BatchStats reports the engine's per-batch cost on the wire.
+type BatchStats struct {
+	Queries      int     `json:"queries"`
+	WallMicros   int64   `json:"wall_us"`
+	QPS          float64 `json:"qps"`
+	CompDists    int64   `json:"compdists"`
+	PageAccesses int64   `json:"page_accesses"`
+	P50Micros    int64   `json:"p50_us"`
+	P95Micros    int64   `json:"p95_us"`
+	P99Micros    int64   `json:"p99_us"`
+}
+
+func toWireStats(st exec.BatchStats) BatchStats {
+	return BatchStats{
+		Queries:      st.Queries,
+		WallMicros:   st.Wall.Microseconds(),
+		QPS:          st.Throughput(),
+		CompDists:    st.CompDists,
+		PageAccesses: st.PageAccesses,
+		P50Micros:    st.P50.Microseconds(),
+		P95Micros:    st.P95.Microseconds(),
+		P99Micros:    st.P99.Microseconds(),
+	}
+}
+
+// BatchResponse answers POST /v1/batch; IDs (range) or Neighbors (knn)
+// is positionally aligned with the request's queries. Updates may commit
+// while a batch runs, so each per-query answer observed some epoch in
+// [EpochLow, EpochHigh]; only when the two are equal is the whole batch
+// one consistent dataset version (and safe to cache as such).
+type BatchResponse struct {
+	IDs       [][]int      `json:"ids,omitempty"`
+	Neighbors [][]Neighbor `json:"neighbors,omitempty"`
+	Stats     BatchStats   `json:"stats"`
+	EpochLow  uint64       `json:"epoch_low"`
+	EpochHigh uint64       `json:"epoch_high"`
+}
+
+func (s *Server) handleBatch(r *http.Request) (any, error) {
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Queries) == 0 {
+		return nil, badRequest("empty queries")
+	}
+	qs := make([]core.Object, len(req.Queries))
+	for i, raw := range req.Queries {
+		q, err := decodeObject(raw, s.proto)
+		if err != nil {
+			return nil, badRequest("query %d: %v", i, err)
+		}
+		qs[i] = q
+	}
+	epochLow := s.live.Epoch()
+	switch req.Type {
+	case "range":
+		if req.Radius < 0 {
+			return nil, badRequest("radius must be >= 0")
+		}
+		res, err := s.eng.BatchRangeSearch(r.Context(), s.live, qs, req.Radius)
+		if err != nil {
+			return nil, err
+		}
+		ids := res.IDs
+		for i := range ids {
+			if ids[i] == nil {
+				ids[i] = []int{}
+			}
+		}
+		return BatchResponse{IDs: ids, Stats: toWireStats(res.Stats),
+			EpochLow: epochLow, EpochHigh: s.live.Epoch()}, nil
+	case "knn":
+		if req.K <= 0 {
+			return nil, badRequest("k must be >= 1")
+		}
+		res, err := s.eng.BatchKNNSearch(r.Context(), s.live, qs, req.K)
+		if err != nil {
+			return nil, err
+		}
+		nns := make([][]Neighbor, len(res.Neighbors))
+		for i, part := range res.Neighbors {
+			nns[i] = toWire(part)
+		}
+		return BatchResponse{Neighbors: nns, Stats: toWireStats(res.Stats),
+			EpochLow: epochLow, EpochHigh: s.live.Epoch()}, nil
+	default:
+		return nil, badRequest("type must be \"range\" or \"knn\", got %q", req.Type)
+	}
+}
+
+// InsertRequest is the body of POST /v1/insert.
+type InsertRequest struct {
+	Object json.RawMessage `json:"object"`
+}
+
+// InsertResponse reports the identifier the object now answers under
+// and the epoch the write committed at.
+type InsertResponse struct {
+	ID    int    `json:"id"`
+	Epoch uint64 `json:"epoch"`
+}
+
+func (s *Server) handleInsert(r *http.Request) (any, error) {
+	var req InsertRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	o, err := decodeObject(req.Object, s.proto)
+	if err != nil {
+		return nil, badRequest("object: %v", err)
+	}
+	id, ep, err := s.live.AddAt(o)
+	if err != nil {
+		return nil, err
+	}
+	return InsertResponse{ID: id, Epoch: ep}, nil
+}
+
+// DeleteRequest is the body of POST /v1/delete.
+type DeleteRequest struct {
+	ID int `json:"id"`
+}
+
+// DeleteResponse confirms the delete with its commit epoch.
+type DeleteResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+func (s *Server) handleDelete(r *http.Request) (any, error) {
+	var req DeleteRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	ep, err := s.live.RemoveAt(req.ID)
+	if err != nil {
+		return nil, badRequest("delete %d: %v", req.ID, err)
+	}
+	return DeleteResponse{Epoch: ep}, nil
+}
+
+// SwapResponse reports a completed graceful swap.
+type SwapResponse struct {
+	Epoch       uint64 `json:"epoch"`
+	BuildMillis int64  `json:"build_ms"`
+}
+
+func (s *Server) handleSwap(r *http.Request) (any, error) {
+	if s.builder == nil {
+		return nil, &httpError{code: http.StatusNotImplemented,
+			err: errors.New("swap: no builder configured")}
+	}
+	start := time.Now()
+	if err := s.live.Swap(s.builder); err != nil {
+		return nil, err
+	}
+	return SwapResponse{Epoch: s.live.Epoch(), BuildMillis: time.Since(start).Milliseconds()}, nil
+}
+
+// IndexStats describes the live index in /v1/stats.
+type IndexStats struct {
+	Name         string `json:"name"`
+	Count        int    `json:"count"`
+	Epoch        uint64 `json:"epoch"`
+	MemBytes     int64  `json:"mem_bytes"`
+	DiskBytes    int64  `json:"disk_bytes"`
+	PageAccesses int64  `json:"page_accesses"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Index         IndexStats              `json:"index"`
+	Admission     AdmissionStats          `json:"admission"`
+	Endpoints     map[string]TrackerStats `json:"endpoints"`
+	Clients       map[string]TrackerStats `json:"clients"`
+}
+
+func (s *Server) handleStats(*http.Request) (any, error) {
+	var info IndexStats
+	s.live.View(func(ds *core.Dataset, idx core.Index) {
+		info = IndexStats{
+			Name:         idx.Name(),
+			Count:        ds.Count(),
+			MemBytes:     idx.MemBytes(),
+			DiskBytes:    idx.DiskBytes(),
+			PageAccesses: idx.PageAccesses(),
+		}
+	})
+	info.Epoch = s.live.Epoch()
+	return StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Index:         info,
+		Admission:     s.adm.stats(),
+		Endpoints:     s.endpoints.stats(),
+		Clients:       s.clients.stats(),
+	}, nil
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Index  string `json:"index"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+func (s *Server) handleHealth(*http.Request) (any, error) {
+	return HealthResponse{Status: "ok", Index: s.live.Name(), Epoch: s.live.Epoch()}, nil
+}

@@ -53,8 +53,10 @@ type Options struct {
 // every query over them. It implements core.Index: queries return exactly
 // the answer of the same index built unsharded, updates route through the
 // partitioner, and the cost counters sum across shards. Like every other
-// index, concurrent queries are safe but must not interleave with
-// Insert/Delete.
+// raw index, concurrent queries are safe but must not interleave with
+// Insert/Delete; wrap the Sharded in an epoch.Live for a mixed
+// read/write workload (the epoch guard covers the routing table and
+// every shard in one write section).
 type Sharded struct {
 	ds      *core.Dataset   // parent dataset
 	subs    []core.Index    // per-shard sub-indexes

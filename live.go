@@ -1,0 +1,49 @@
+package metricindex
+
+import (
+	"metricindex/internal/core"
+	"metricindex/internal/epoch"
+)
+
+// Live is an index whose Insert/Delete are epoch-synchronized with its
+// searches, lifting the library's historical "do not interleave updates
+// with a running batch" restriction for the structure it wraps, and
+// whose whole structure can be hot-swapped (rebuilt in the background,
+// cut over atomically) with Swap. Live implements Index, so it composes
+// with the batch engine and anything else that consumes one.
+//
+// Live owns its dataset: mutate only through Add and Remove so dataset
+// and index always change inside the same write section. Every committed
+// write advances Epoch, a monotone version counter searches can be
+// correlated against.
+type Live = epoch.Live
+
+// IndexBuilder constructs an index over a dataset — the rebuild callback
+// of Live.Swap and ServerOptions.Builder. The shard builders in this
+// package have the same shape, so one function can serve both roles.
+type IndexBuilder = epoch.Builder
+
+// ErrSwapInProgress is returned by Live.Swap while a rebuild is already
+// running (one swap at a time).
+var ErrSwapInProgress = epoch.ErrSwapInProgress
+
+// NewLive wraps an index and the dataset it was built over into an
+// update-synchronized, hot-swappable front:
+//
+//	idx, _ := metricindex.NewLAESA(ds, pivots)
+//	live := metricindex.NewLive(ds, idx)
+//	go func() { _, _ = live.KNNSearch(q, 10) }()       // searches...
+//	_, _ = live.Add(metricindex.Vector{1, 2})          // ...interleave with updates
+//	_ = live.Swap(func(ds *metricindex.Dataset) (metricindex.Index, error) {
+//		pv, err := metricindex.SelectPivots(ds, 5, 1)  // graceful rebuild:
+//		if err != nil {                                // queries keep flowing,
+//			return nil, err                            // zero wrong answers
+//		}
+//		return metricindex.NewLAESA(ds, pv)
+//	})
+func NewLive(ds *Dataset, idx Index) *Live {
+	return epoch.NewLive(ds, idx)
+}
+
+// ensure the alias stays an Index.
+var _ core.Index = (*Live)(nil)

@@ -36,12 +36,13 @@
 //	}
 //	qps := res.Stats.Throughput()
 //
-// Construction parallelizes the same way for the precompute-heavy tables:
-// NewLAESAParallel, NewCPTParallel, and the Workers fields of EPTOptions
-// and OmniOptions fan the per-object distance precompute across cores
-// while building a structure identical to the sequential one. Do not
-// interleave Insert/Delete with a running batch; updates are not
-// synchronized with searches.
+// Construction parallelizes the same way for the precompute-heavy tables
+// and the MVPT: NewLAESAParallel, NewCPTParallel, and the Workers fields
+// of EPTOptions, OmniOptions and TreeOptions fan the construction work
+// across cores while building a structure identical to the sequential
+// one. A raw index does not synchronize updates with searches (finish
+// the batch, then update); wrap it in NewLive to lift that restriction —
+// see below.
 //
 // # Sharding
 //
@@ -67,6 +68,30 @@
 // engine: a NewEngine batch over it overlaps queries and shard probes.
 // Insert and Delete route through a pluggable partitioner (round-robin by
 // default, or HashPartitioner).
+//
+// # Live updates and serving
+//
+// NewLive wraps any Index (including a Sharded one) behind reader/writer
+// epochs, making it safe to interleave Add/Remove with in-flight
+// searches — the epoch contract: searches run in shared read sections,
+// updates in exclusive write sections, every committed write advances a
+// monotone Epoch naming the dataset version a search observed. A Live
+// index is hot-swappable: Swap rebuilds the structure in the background
+// (searches and updates keep flowing), replays the updates that arrived
+// meanwhile, and cuts over atomically with zero dropped or wrong
+// answers.
+//
+//	live := metricindex.NewLive(ds, idx)
+//	go live.KNNSearch(q, 10)                   // reads...
+//	live.Add(obj)                              // ...safely interleave with writes
+//	live.Swap(rebuild)                         // graceful re-index under load
+//
+// NewServer exposes a Live index over HTTP/JSON — range/kNN/batch
+// queries, inserts, deletes, graceful swap, per-client and per-endpoint
+// stats (qps, p50/p95/p99 latency, compdists, page accesses) — with
+// admission control that bounds in-flight queries and sheds excess load.
+// The cmd/mserve binary is that server around any of the paper's
+// structures.
 //
 // Disk-based indexes run against a simulated page store that counts page
 // accesses exactly as the paper reports them; see NewSPBTree and friends.

@@ -1,0 +1,35 @@
+package metricindex
+
+import (
+	"metricindex/internal/server"
+)
+
+// Server is the long-lived query service: it exposes a Live index over
+// HTTP/JSON with endpoints for range search (POST /v1/range), kNN
+// (POST /v1/knn), batched workloads through the concurrent engine
+// (POST /v1/batch), updates (POST /v1/insert, /v1/delete), graceful
+// index swap (POST /v1/swap), statistics (GET /v1/stats) and health
+// (GET /healthz). Admission control bounds the in-flight queries and the
+// wait queue, shedding excess load with 429; per-endpoint and per-client
+// stats report qps, p50/p95/p99 latency, compdists and page accesses.
+// Every answer equals the direct call on the wrapped index.
+type Server = server.Server
+
+// ServerOptions configures NewServer; the zero value serves with
+// 4×GOMAXPROCS in-flight slots, a 4× deeper queue, and no swap builder.
+type ServerOptions = server.Options
+
+// ServerStats is the GET /v1/stats response shape.
+type ServerStats = server.StatsResponse
+
+// NewServer builds the serving layer over a live index:
+//
+//	live := metricindex.NewLive(ds, idx)
+//	srv, _ := metricindex.NewServer(live, metricindex.ServerOptions{Builder: rebuild})
+//	_ = srv.ListenAndServe(":8080")
+//
+// The cmd/mserve binary wraps exactly this around any of the paper's
+// index structures (optionally sharded).
+func NewServer(live *Live, opts ServerOptions) (*Server, error) {
+	return server.New(live, opts)
+}
