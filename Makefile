@@ -2,19 +2,35 @@
 
 GO ?= go
 
-# Packages with a parallel build, the concurrent query engine, or the
-# update/query synchronization layer: the race-detector gate of `make race`.
+# The benchmark selection `make bench` runs, overridable so CI can widen
+# the run without editing this file:
+#   make bench BENCH='BenchmarkBatchVsSequential|BenchmarkCacheHitMiss' BENCHTIME=5x
+BENCH ?= BenchmarkBatchVsSequential
+BENCHTIME ?= 2x
+
+# Pinned staticcheck release, shared by `make staticcheck` and the CI
+# step (bump both by changing only this line).
+STATICCHECK_VERSION ?= 2025.1.1
+
+# Tolerated q/s regression fraction of the bench gate.
+MAX_REGRESS ?= 0.25
+
+# Packages with a parallel build, the concurrent query engine, the
+# update/query synchronization layer, or the answer cache: the
+# race-detector gate of `make race`.
 RACE_PKGS = ./internal/exec/... ./internal/epoch/... ./internal/server/... \
             ./internal/shard/... ./internal/table/... ./internal/mvpt/... \
             ./internal/ept/... ./internal/cpt/... ./internal/omni/... \
-            ./internal/core/... ./internal/store/... ./internal/bench/... .
+            ./internal/core/... ./internal/store/... ./internal/bench/... \
+            ./internal/cache/... .
 
 # The example programs CI runs end to end so example rot fails the
 # pipeline (each finishes in well under a second).
 EXAMPLES = ./examples/quickstart ./examples/wordsearch ./examples/geosearch \
-           ./examples/imagesearch
+           ./examples/imagesearch ./examples/cachedsearch
 
-.PHONY: all build test race bench fmt vet examples serve-smoke ci
+.PHONY: all build test race bench bench-json bench-baseline bench-gate \
+        staticcheck fmt vet examples serve-smoke ci
 
 all: build
 
@@ -28,7 +44,24 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 bench:
-	$(GO) test -bench=BenchmarkBatchVsSequential -benchtime=2x -run=^$$ .
+	$(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -run=^$$ .
+
+# Machine-readable throughput measurements (cmd/benchjson): BENCH_PR.json
+# is what the CI bench job uploads and gates against the committed
+# BENCH_BASELINE.json. Refresh the baseline with `make bench-baseline`
+# when the CI runner class (or a deliberate perf change) moves the floor.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR.json
+
+bench-baseline:
+	$(GO) run ./cmd/benchjson -out BENCH_BASELINE.json
+
+bench-gate: bench-json
+	$(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.json \
+		-current BENCH_PR.json -max-regress $(MAX_REGRESS)
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -53,4 +86,7 @@ serve-smoke:
 	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index LAESA -smoke
 	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index SPB-tree -shards 2 -smoke
 
-ci: build vet fmt test race examples serve-smoke
+# The full CI surface: the test job's steps plus the bench job's gate
+# (staticcheck and bench-gate need module downloads, so an offline run
+# can cherry-pick the other targets individually).
+ci: build vet fmt staticcheck test race examples serve-smoke bench-gate

@@ -291,3 +291,58 @@ func BenchmarkParallelBuild(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkCacheHitMiss measures the epoch-keyed answer cache around the
+// same MkNNQ workload: Miss re-answers the workload against a fresh
+// cache every iteration (the miss-and-fill path layered on the search),
+// Hit primes once and then serves the workload memoized — zero
+// compdists per query. The spread between the two is what a hot query
+// costs with and without the cache.
+func BenchmarkCacheHitMiss(b *testing.B) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetLA, 20000, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := gen.Dataset
+	pivots, err := metricindex.SelectPivots(ds, 5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := metricindex.NewLAESA(ds, pivots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 10
+	b.Run("Miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			live := metricindex.NewLive(ds, idx, metricindex.CacheOptions{})
+			for _, q := range gen.Queries {
+				if _, err := live.KNNSearch(q, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*len(gen.Queries))/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("Hit", func(b *testing.B) {
+		live := metricindex.NewLive(ds, idx, metricindex.CacheOptions{})
+		for _, q := range gen.Queries {
+			if _, err := live.KNNSearch(q, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range gen.Queries {
+				if _, err := live.KNNSearch(q, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*len(gen.Queries))/b.Elapsed().Seconds(), "queries/s")
+		st, ok := live.CacheStats()
+		if !ok || st.Hits == 0 {
+			b.Fatal("hit benchmark never hit the cache")
+		}
+	})
+}

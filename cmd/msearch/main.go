@@ -34,6 +34,8 @@ func main() {
 		maxShow = flag.Int("show", 5, "results printed per query")
 		workers = flag.Int("workers", 0, "answer the whole workload through the concurrent batch engine with this many workers (0 = sequential per-query loop, -1 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 0, "partition the dataset across this many sub-indexes and scatter-gather every query over them concurrently (0/1 = unsharded)")
+		cacheMB = flag.Int("cache-mb", 0, "epoch-keyed answer cache budget in MB; repeated queries are served memoized (0 disables)")
+		repeat  = flag.Int("repeat", 1, "passes over the workload (answers printed once); with -cache-mb, later passes demonstrate the hit path")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -51,7 +53,7 @@ func main() {
 	fmt.Printf("loaded %s: %d objects (%s), %d queries\n",
 		*data, gen.Dataset.Count(), gen.Dataset.Space().Metric().Name(), len(gen.Queries))
 
-	cfg := bench.Config{N: gen.Dataset.Count(), Queries: len(gen.Queries), Pivots: *pivots, Shards: *shards}.WithDefaults()
+	cfg := bench.Config{N: gen.Dataset.Count(), Queries: len(gen.Queries), Pivots: *pivots, Shards: *shards, CacheMB: *cacheMB}.WithDefaults()
 	env := &bench.Env{Cfg: cfg, Gen: gen}
 	pv, err := selectPivots(env)
 	if err != nil {
@@ -81,9 +83,10 @@ func main() {
 		cost.MemBytes/1024, cost.DiskBytes/1024)
 
 	if *workers != 0 {
-		if err := runBatch(gen, built, *k, *radius, *verify, *maxShow, *workers); err != nil {
+		if err := runBatch(gen, built, *k, *radius, *verify, *maxShow, *workers, *repeat); err != nil {
 			fail(err)
 		}
+		printCacheStats(built)
 		return
 	}
 
@@ -122,6 +125,55 @@ func main() {
 			fmt.Println("          verified against linear scan ✓")
 		}
 	}
+
+	// Repeat passes re-run the whole workload without reprinting answers;
+	// with -cache-mb they are served from the answer cache (watch the
+	// dists column collapse to zero).
+	for pass := 1; pass < *repeat; pass++ {
+		sp.ResetCompDists()
+		built.Index.ResetStats()
+		allIDs := make([][]int, len(gen.Queries))
+		allNNs := make([][]core.Neighbor, len(gen.Queries))
+		start := time.Now()
+		for qi, q := range gen.Queries {
+			if *k > 0 {
+				allNNs[qi], err = built.Index.KNNSearch(q, *k)
+			} else {
+				allIDs[qi], err = built.Index.RangeSearch(q, *radius)
+			}
+			if err != nil {
+				fail(err)
+			}
+		}
+		elapsed := time.Since(start)
+		dists, pa := sp.CompDists(), built.Index.PageAccesses()
+		if *verify { // brute-force scans, after the counters are read
+			for qi := range gen.Queries {
+				if *k > 0 {
+					err = verifyKNN(gen, qi, *k, allNNs[qi])
+				} else {
+					err = verifyMRQ(gen, qi, *radius, allIDs[qi])
+				}
+				if err != nil {
+					fail(fmt.Errorf("repeat pass %d: %w", pass+1, err))
+				}
+			}
+		}
+		fmt.Printf("\npass %d: %d queries in %v (%d dists, %d PA)\n",
+			pass+1, len(gen.Queries), elapsed.Round(time.Microsecond), dists, pa)
+	}
+	printCacheStats(built)
+}
+
+// printCacheStats reports the answer cache's counters when -cache-mb
+// enabled one.
+func printCacheStats(built *bench.Built) {
+	st, ok := built.CacheStats()
+	if !ok {
+		return
+	}
+	fmt.Printf("cache: %d served, %d computed, %.0f%% hit rate, %d KB resident\n",
+		st.Hits+st.Collapsed, st.Misses, 100*st.HitRate(), st.Bytes/1024)
 }
 
 // printKNN prints one MkNNQ answer line without a trailing newline (the
@@ -168,8 +220,10 @@ func verifyMRQ(gen *dataset.Generated, qi int, radius float64, ids []int) error 
 }
 
 // runBatch answers the whole workload through the concurrent batch engine
-// and prints per-query answers plus aggregate batch stats.
-func runBatch(gen *dataset.Generated, built *bench.Built, k int, radius float64, verify bool, maxShow, workers int) error {
+// and prints per-query answers plus aggregate batch stats. Repeat passes
+// re-run the same batch; with an answer cache they are served before
+// dispatch (Stats.CacheHits).
+func runBatch(gen *dataset.Generated, built *bench.Built, k int, radius float64, verify bool, maxShow, workers, repeat int) error {
 	eng := exec.New(gen.Dataset.Space(), exec.Options{Workers: workers})
 	fmt.Printf("batch mode: %d queries across %d workers\n", len(gen.Queries), eng.Workers())
 	ctx := context.Background()
@@ -214,6 +268,26 @@ func runBatch(gen *dataset.Generated, built *bench.Built, k int, radius float64,
 	fmt.Printf("latency: p50 %v, p95 %v, p99 %v\n",
 		stats.P50.Round(time.Microsecond), stats.P95.Round(time.Microsecond),
 		stats.P99.Round(time.Microsecond))
+
+	for pass := 1; pass < repeat; pass++ {
+		var st exec.BatchStats
+		if k > 0 {
+			res, err := eng.BatchKNNSearch(ctx, built.Index, gen.Queries, k)
+			if err != nil {
+				return err
+			}
+			st = res.Stats
+		} else {
+			res, err := eng.BatchRangeSearch(ctx, built.Index, gen.Queries, radius)
+			if err != nil {
+				return err
+			}
+			st = res.Stats
+		}
+		fmt.Printf("pass %d: %d queries in %v (%.0f q/s), %d cache hits, %.0f dists/query\n",
+			pass+1, st.Queries, st.Wall.Round(time.Microsecond), st.Throughput(),
+			st.CacheHits, st.PerQueryCompDists())
+	}
 	return nil
 }
 

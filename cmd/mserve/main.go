@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"metricindex/internal/bench"
+	"metricindex/internal/cache"
 	"metricindex/internal/core"
 	"metricindex/internal/dataset"
 	"metricindex/internal/epoch"
@@ -43,6 +44,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		inflight = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0 = 4×GOMAXPROCS)")
 		queue    = flag.Int("max-queue", 0, "admission: max requests waiting for a slot (0 = 4×max-inflight)")
+		cacheMB  = flag.Int("cache-mb", 64, "epoch-keyed answer cache budget in MB; hot queries are served memoized until the next committed write (0 disables)")
 		smoke    = flag.Bool("smoke", false, "boot on a loopback port, exercise every endpoint plus a live swap against a linear scan, and exit")
 	)
 	flag.Parse()
@@ -101,10 +103,15 @@ func main() {
 		}
 		return rebuilt.Index, nil
 	}
-	srv, err := server.New(live, server.Options{
+	sopts := server.Options{
 		MaxInFlight: *inflight, MaxQueue: *queue,
 		Workers: cfg.Workers, Builder: rebuild,
-	})
+	}
+	if *cacheMB > 0 {
+		sopts.Cache = &cache.Options{MaxBytes: int64(*cacheMB) << 20}
+		fmt.Printf("answer cache: %d MB, epoch-keyed\n", *cacheMB)
+	}
+	srv, err := server.New(live, sopts)
 	if err != nil {
 		fail(err)
 	}

@@ -98,8 +98,19 @@ func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated) erro
 			return fmt.Errorf("batch knn %d: %w", i, err)
 		}
 	}
-	if br.Stats.Queries != len(gen.Queries) || br.Stats.P50Micros <= 0 {
+	if br.Stats.Queries != len(gen.Queries) || br.Stats.P50Micros < 0 {
 		return fmt.Errorf("batch stats malformed: %+v", br.Stats)
+	}
+	_, cacheOn := live.CacheStats()
+	if cacheOn {
+		// The batch repeated the single-query leg's knn workload at the
+		// same epoch, so the answer cache must have served it before
+		// dispatch — and still byte-identically (verified above).
+		if br.Stats.CacheHits == 0 {
+			return fmt.Errorf("batch repeated a cached workload but reported zero cache hits: %+v", br.Stats)
+		}
+		fmt.Printf("smoke: repeated batch served from answer cache (%d/%d hits) ✓\n",
+			br.Stats.CacheHits, br.Stats.Queries)
 	}
 	fmt.Printf("smoke: batch endpoint verified over %d queries (p50 %dµs, p99 %dµs, %.0f q/s) ✓\n",
 		br.Stats.Queries, br.Stats.P50Micros, br.Stats.P99Micros, br.Stats.QPS)
@@ -176,6 +187,18 @@ func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated) erro
 	if err := verifyKNNDirect(live, gen.Queries[0], k); err != nil {
 		return fmt.Errorf("post-swap: %w", err)
 	}
+	// Served answers after the cutover must come from the new structure:
+	// the swap bumped the epoch, so no pre-swap cache entry may surface.
+	var postSwap server.KNNResponse
+	if err := call(base+"/v1/knn", server.KNNRequest{Query: raws[0], K: k}, &postSwap); err != nil {
+		return fmt.Errorf("post-swap knn: %w", err)
+	}
+	if postSwap.Epoch < sw.Epoch {
+		return fmt.Errorf("post-swap answer at epoch %d predates the swap commit %d", postSwap.Epoch, sw.Epoch)
+	}
+	if err := verifyKNN(live, gen.Queries[0], k, postSwap.Neighbors); err != nil {
+		return fmt.Errorf("post-swap served answer: %w", err)
+	}
 	fmt.Printf("smoke: graceful swap rebuilt in %dms with %d queries in flight, zero dropped ✓\n",
 		sw.BuildMillis, served.Load())
 
@@ -190,6 +213,15 @@ func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated) erro
 	}
 	if st.Index.Epoch != sw.Epoch {
 		return fmt.Errorf("stats epoch %d, swap reported %d", st.Index.Epoch, sw.Epoch)
+	}
+	if cacheOn {
+		// The repeated-query legs (batch replay, swap-under-load hammering
+		// one query) must have produced real hits.
+		if !st.Cache.Enabled || st.Cache.Hits == 0 {
+			return fmt.Errorf("cache stats show no hits after repeated-query legs: %+v", st.Cache)
+		}
+		fmt.Printf("smoke: answer cache — %d hits, %d misses, %.0f%% hit rate, %d KB resident ✓\n",
+			st.Cache.Hits, st.Cache.Misses, 100*st.Cache.HitRate, st.Cache.Bytes/1024)
 	}
 	fmt.Printf("smoke: stats — %d admitted, knn p50 %dµs p99 %dµs, epoch %d\n",
 		st.Admission.Admitted, knnStats.P50Micros, knnStats.P99Micros, st.Index.Epoch)

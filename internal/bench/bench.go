@@ -19,9 +19,11 @@ import (
 	"time"
 
 	"metricindex/internal/bkt"
+	"metricindex/internal/cache"
 	"metricindex/internal/core"
 	"metricindex/internal/cpt"
 	"metricindex/internal/dataset"
+	"metricindex/internal/epoch"
 	"metricindex/internal/ept"
 	"metricindex/internal/exec"
 	"metricindex/internal/fqt"
@@ -62,6 +64,12 @@ type Config struct {
 	// keeps the single unsharded structure. Answers are identical either
 	// way; each shard selects its own HFI pivot set.
 	Shards int
+	// CacheMB wraps every build in an epoch-synchronized front with an
+	// answer cache of that many megabytes (internal/cache): repeated
+	// queries are then served memoized, and the measure functions report
+	// the hit rate next to compdists/PA. 0 disables. Answers are
+	// identical either way.
+	CacheMB int
 }
 
 // WithDefaults fills unset fields.
@@ -124,12 +132,24 @@ func (e *Env) bigObjects() bool {
 }
 
 // Built is an index plus its pager (nil for in-memory indexes). A sharded
-// disk index spans one pager per shard, carried in Pagers.
+// disk index spans one pager per shard, carried in Pagers. When
+// Config.CacheMB is set, Index is the epoch.Live front (with the answer
+// cache attached) over the built structure, and Live names it.
 type Built struct {
 	Name   string
 	Index  core.Index
 	Pager  *store.Pager
 	Pagers []*store.Pager
+	Live   *epoch.Live
+}
+
+// CacheStats snapshots the answer cache's counters; ok is false when the
+// build carries no cache (Config.CacheMB was 0).
+func (b *Built) CacheStats() (cache.Stats, bool) {
+	if b.Live == nil {
+		return cache.Stats{}, false
+	}
+	return b.Live.CacheStats()
 }
 
 // SetCacheBytes adjusts the buffer cache for disk indexes; no-op for
@@ -327,11 +347,31 @@ func ShardedBuilder(b Builder, shards int) Builder {
 // QueryCost aggregates per-query averages, plus the latency percentiles
 // a serving layer's SLOs are written against (nearest-rank, identical
 // definition in the sequential loop, the batch engine, and the server).
+// CacheHits/CacheHitRate cover the measured workload when the build
+// carries an answer cache (Config.CacheMB): hits cost zero compdists
+// and zero PA, which is exactly what the averages then show.
 type QueryCost struct {
 	CompDists     float64
 	PA            float64
 	CPU           time.Duration
 	P50, P95, P99 time.Duration
+	CacheHits     int64
+	CacheHitRate  float64
+}
+
+// cacheDelta fills the cache columns of a QueryCost from the counter
+// movement across the measured workload.
+func cacheDelta(b *Built, before cache.Stats, cost *QueryCost) {
+	after, ok := b.CacheStats()
+	if !ok {
+		return
+	}
+	served := (after.Hits + after.Collapsed) - (before.Hits + before.Collapsed)
+	computed := after.Misses - before.Misses
+	cost.CacheHits = served
+	if total := served + computed; total > 0 {
+		cost.CacheHitRate = float64(served) / float64(total)
+	}
 }
 
 // engine returns the batch engine configured by Config.Workers, or nil
@@ -349,18 +389,21 @@ func MeasureRange(e *Env, b *Built, r float64) (QueryCost, error) {
 	sp := e.Gen.Dataset.Space()
 	sp.ResetCompDists()
 	b.Index.ResetStats()
+	cacheBefore, _ := b.CacheStats()
 	n := float64(len(e.Gen.Queries))
 	if eng := e.engine(); eng != nil {
 		res, err := eng.BatchRangeSearch(context.Background(), b.Index, e.Gen.Queries, r)
 		if err != nil {
 			return QueryCost{}, err
 		}
-		return QueryCost{
+		cost := QueryCost{
 			CompDists: res.Stats.PerQueryCompDists(),
 			PA:        res.Stats.PerQueryPageAccesses(),
 			CPU:       time.Duration(float64(res.Stats.Wall) / n),
 			P50:       res.Stats.P50, P95: res.Stats.P95, P99: res.Stats.P99,
-		}, nil
+		}
+		cacheDelta(b, cacheBefore, &cost)
+		return cost, nil
 	}
 	durs := make([]time.Duration, 0, len(e.Gen.Queries))
 	start := time.Now()
@@ -378,6 +421,7 @@ func MeasureRange(e *Env, b *Built, r float64) (QueryCost, error) {
 		CPU:       time.Duration(float64(elapsed) / n),
 	}
 	cost.P50, cost.P95, cost.P99 = exec.LatencyPercentiles(durs)
+	cacheDelta(b, cacheBefore, &cost)
 	return cost, nil
 }
 
@@ -390,18 +434,21 @@ func MeasureKNN(e *Env, b *Built, k int) (QueryCost, error) {
 	sp := e.Gen.Dataset.Space()
 	sp.ResetCompDists()
 	b.Index.ResetStats()
+	cacheBefore, _ := b.CacheStats()
 	n := float64(len(e.Gen.Queries))
 	if eng := e.engine(); eng != nil {
 		res, err := eng.BatchKNNSearch(context.Background(), b.Index, e.Gen.Queries, k)
 		if err != nil {
 			return QueryCost{}, err
 		}
-		return QueryCost{
+		cost := QueryCost{
 			CompDists: res.Stats.PerQueryCompDists(),
 			PA:        res.Stats.PerQueryPageAccesses(),
 			CPU:       time.Duration(float64(res.Stats.Wall) / n),
 			P50:       res.Stats.P50, P95: res.Stats.P95, P99: res.Stats.P99,
-		}, nil
+		}
+		cacheDelta(b, cacheBefore, &cost)
+		return cost, nil
 	}
 	durs := make([]time.Duration, 0, len(e.Gen.Queries))
 	start := time.Now()
@@ -419,6 +466,7 @@ func MeasureKNN(e *Env, b *Built, k int) (QueryCost, error) {
 		CPU:       time.Duration(float64(elapsed) / n),
 	}
 	cost.P50, cost.P95, cost.P99 = exec.LatencyPercentiles(durs)
+	cacheDelta(b, cacheBefore, &cost)
 	return cost, nil
 }
 
@@ -432,7 +480,10 @@ type BuildCost struct {
 }
 
 // MeasureBuild constructs an index and records its cost. Config.Shards > 1
-// transparently swaps in the sharded variant of the builder.
+// transparently swaps in the sharded variant of the builder;
+// Config.CacheMB > 0 wraps the result in an epoch.Live front with an
+// answer cache of that budget (answers are identical, hot queries are
+// memoized).
 func MeasureBuild(e *Env, builder Builder) (*Built, BuildCost, error) {
 	if e.Cfg.Shards > 1 {
 		builder = ShardedBuilder(builder, e.Cfg.Shards)
@@ -452,6 +503,11 @@ func MeasureBuild(e *Env, builder Builder) (*Built, BuildCost, error) {
 	}
 	cost.PA = b.Index.PageAccesses()
 	b.Index.ResetStats()
+	if e.Cfg.CacheMB > 0 {
+		b.Live = epoch.NewLive(e.Gen.Dataset, b.Index)
+		b.Live.SetCache(cache.New(cache.Options{MaxBytes: int64(e.Cfg.CacheMB) << 20}))
+		b.Index = b.Live
+	}
 	return b, cost, nil
 }
 

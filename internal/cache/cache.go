@@ -1,0 +1,507 @@
+// Package cache is the epoch-keyed answer cache: a byte-budgeted,
+// sharded LRU that memoizes whole query answers (MRQ id lists, MkNNQ
+// neighbor lists) keyed by the query object, the query kind and
+// parameter, and the index epoch the answer was observed at.
+//
+// The paper's only cache is the 128 KB page cache that reduces PA for
+// the disk-based indexes; nothing there memoizes answers, so a hot
+// query re-pays its full distance computations on every arrival. This
+// cache elides that recomputable per-query work entirely: a hit costs a
+// hash lookup and zero compdists, zero page accesses.
+//
+// Correctness comes from epoch keying. epoch.Live returns, from inside
+// every search's read section, the monotone epoch of the dataset
+// version the answer observed; the cache stores the answer under that
+// epoch and serves it only to lookups at the same epoch. Any committed
+// insert, delete or swap bumps the epoch, so every cached answer
+// self-invalidates — there is no explicit invalidation path to get
+// wrong. One entry exists per (query, kind, parameter); a fill at a
+// newer epoch replaces the stale entry in place.
+//
+// Concurrent identical misses collapse through a per-shard singleflight:
+// the first caller computes, the rest wait and share the answer (counted
+// in Stats.Collapsed). Flights are keyed by epoch too, so a fill for an
+// old dataset version is never handed to a caller at a newer one.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"metricindex/internal/core"
+)
+
+// errFillPanicked is what singleflight waiters receive when the
+// leader's fetch panicked: the flight is released (nothing is cached)
+// and the panic propagates in the leader's goroutine.
+var errFillPanicked = errors.New("cache: fill panicked")
+
+// DefaultMaxBytes is the answer-byte budget used when Options.MaxBytes
+// is unset: 32 MB, enough for hundreds of thousands of typical answers.
+const DefaultMaxBytes = 32 << 20
+
+// DefaultShards is the lock-striping factor used when Options.Shards is
+// unset.
+const DefaultShards = 16
+
+// Options configures a Cache. The zero value gets DefaultMaxBytes and
+// DefaultShards.
+type Options struct {
+	// MaxBytes bounds the estimated bytes of cached answers across all
+	// shards; the least recently used entries are evicted beyond it.
+	// <= 0 uses DefaultMaxBytes.
+	MaxBytes int64
+	// Shards is the lock-striping factor; <= 0 uses DefaultShards.
+	Shards int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = DefaultMaxBytes
+	}
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits is the number of lookups served from a stored entry.
+	Hits int64
+	// Misses is the number of fills actually computed.
+	Misses int64
+	// Collapsed is the number of callers served by waiting on another
+	// caller's in-flight fill (singleflight) instead of computing.
+	Collapsed int64
+	// Evictions counts entries dropped to stay inside the byte budget.
+	Evictions int64
+	// Entries and Bytes describe the currently resident answers.
+	Entries int64
+	Bytes   int64
+	// MaxBytes echoes the configured budget.
+	MaxBytes int64
+}
+
+// HitRate is the fraction of lookups that avoided computing: hits plus
+// collapsed waiters over all lookups. Zero before any traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Collapsed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Collapsed) / float64(total)
+}
+
+// kind discriminates the two query types in cache keys.
+type kind uint8
+
+const (
+	kindRange kind = 1
+	kindKNN   kind = 2
+)
+
+// key identifies one cached query: digest of the query object, the query
+// kind, and the parameter (radius bits or k). The epoch is deliberately
+// NOT part of the map key — one entry lives per query, stamped with the
+// epoch it was observed at, so a fill at a newer epoch replaces the
+// stale answer instead of accumulating dead versions.
+type key struct {
+	digest uint64
+	kind   kind
+	param  uint64
+}
+
+// flightKey identifies one in-flight fill. Unlike entries, flights carry
+// the epoch: a caller at a newer epoch must not wait on (and be handed)
+// a fill for an older dataset version.
+type flightKey struct {
+	key   key
+	epoch uint64
+}
+
+// flight is one in-flight fill other callers can wait on.
+type flight struct {
+	query core.Object // collision guard, same as entry.query
+	done  chan struct{}
+	ids   []int
+	nns   []core.Neighbor
+	epoch uint64
+	err   error
+}
+
+// entry is one resident answer.
+type entry struct {
+	key   key
+	query core.Object
+	epoch uint64
+	ids   []int           // kindRange answers
+	nns   []core.Neighbor // kindKNN answers
+	bytes int64
+	elem  *list.Element
+}
+
+// shard is one lock stripe: an LRU over its share of the byte budget
+// plus the singleflight table for fills that hash here.
+type shard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[key]*entry
+	lru      *list.List // front = most recently used
+	flights  map[flightKey]*flight
+}
+
+// Cache is the epoch-keyed answer cache. Safe for concurrent use.
+type Cache struct {
+	shards    []*shard
+	maxBytes  int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapsed atomic.Int64
+	evictions atomic.Int64
+}
+
+// New builds a cache. The zero Options is valid (32 MB, 16 shards).
+func New(opts Options) *Cache {
+	opts = opts.withDefaults()
+	c := &Cache{shards: make([]*shard, opts.Shards), maxBytes: opts.MaxBytes}
+	per := opts.MaxBytes / int64(opts.Shards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			maxBytes: per,
+			entries:  make(map[key]*entry),
+			lru:      list.New(),
+			flights:  make(map[flightKey]*flight),
+		}
+	}
+	return c
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Collapsed: c.collapsed.Load(),
+		Evictions: c.evictions.Load(),
+		MaxBytes:  c.maxBytes,
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Entries += int64(len(sh.entries))
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+func (c *Cache) shardFor(k key) *shard {
+	return c.shards[k.digest%uint64(len(c.shards))]
+}
+
+// GetRange returns the cached MRQ answer for (q, r) observed at exactly
+// the given epoch, or ok=false. The returned slice is the caller's to
+// keep (a copy).
+func (c *Cache) GetRange(q core.Object, r float64, epoch uint64) ([]int, bool) {
+	k := key{digest: digest(q, kindRange, math.Float64bits(r)), kind: kindRange, param: math.Float64bits(r)}
+	e := c.lookup(k, q, epoch)
+	if e == nil {
+		return nil, false
+	}
+	return append([]int(nil), e.ids...), true
+}
+
+// GetKNN returns the cached MkNNQ answer for (q, k) observed at exactly
+// the given epoch, or ok=false. The returned slice is the caller's to
+// keep (a copy).
+func (c *Cache) GetKNN(q core.Object, kq int, epoch uint64) ([]core.Neighbor, bool) {
+	k := key{digest: digest(q, kindKNN, uint64(kq)), kind: kindKNN, param: uint64(kq)}
+	e := c.lookup(k, q, epoch)
+	if e == nil {
+		return nil, false
+	}
+	return append([]core.Neighbor(nil), e.nns...), true
+}
+
+// lookup finds a resident entry matching (k, q, epoch), touching its LRU
+// position and counting the hit. Lookups that miss are not counted —
+// the compute path (Range/KNN) counts exactly one miss per fill, so a
+// peek-then-fill sequence is not double-counted.
+func (c *Cache) lookup(k key, q core.Object, epoch uint64) *entry {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[k]
+	if e == nil || e.epoch != epoch || !objectEqual(e.query, q) {
+		return nil
+	}
+	sh.lru.MoveToFront(e.elem)
+	c.hits.Add(1)
+	return e
+}
+
+// RangeFill computes a fresh MRQ answer, reporting the epoch it was
+// observed at (epoch.Live.RangeSearchAt has exactly this shape).
+type RangeFill func() ([]int, uint64, error)
+
+// KNNFill computes a fresh MkNNQ answer, reporting the epoch it was
+// observed at.
+type KNNFill func() ([]core.Neighbor, uint64, error)
+
+// Range answers MRQ(q, r) through the cache: a resident entry at the
+// lookup epoch is returned immediately; otherwise concurrent identical
+// misses collapse onto one fetch whose answer is stored under the epoch
+// it observed and shared with every waiter. The returned epoch is the
+// dataset version the answer is exact for (>= the lookup epoch when a
+// write committed between the caller reading its epoch and the fetch
+// running). Returned slices are copies — callers may keep and mutate
+// them.
+func (c *Cache) Range(q core.Object, r float64, epoch uint64, fetch RangeFill) ([]int, uint64, error) {
+	k := key{digest: digest(q, kindRange, math.Float64bits(r)), kind: kindRange, param: math.Float64bits(r)}
+	e, f, leader := c.acquire(k, q, epoch)
+	switch {
+	case e != nil:
+		return append([]int(nil), e.ids...), e.epoch, nil
+	case f != nil && !leader:
+		<-f.done
+		if f.err != nil {
+			return nil, 0, f.err
+		}
+		c.collapsed.Add(1)
+		return append([]int(nil), f.ids...), f.epoch, nil
+	}
+	// The release is deferred so a panicking fetch still wakes every
+	// waiter (with errFillPanicked, nothing cached) instead of leaving
+	// them blocked on a dead flight; the panic itself propagates.
+	var ids []int
+	var ep uint64
+	err := errFillPanicked
+	defer func() {
+		if f != nil {
+			f.ids, f.epoch, f.err = ids, ep, err
+		}
+		c.release(k, flightKey{key: k, epoch: epoch}, f, q, ep, ids, nil, err)
+	}()
+	ids, ep, err = fetch()
+	c.misses.Add(1)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]int(nil), ids...), ep, nil
+}
+
+// KNN answers MkNNQ(q, k) through the cache; see Range.
+func (c *Cache) KNN(q core.Object, kq int, epoch uint64, fetch KNNFill) ([]core.Neighbor, uint64, error) {
+	k := key{digest: digest(q, kindKNN, uint64(kq)), kind: kindKNN, param: uint64(kq)}
+	e, f, leader := c.acquire(k, q, epoch)
+	switch {
+	case e != nil:
+		return append([]core.Neighbor(nil), e.nns...), e.epoch, nil
+	case f != nil && !leader:
+		<-f.done
+		if f.err != nil {
+			return nil, 0, f.err
+		}
+		c.collapsed.Add(1)
+		return append([]core.Neighbor(nil), f.nns...), f.epoch, nil
+	}
+	// Deferred release: see Range.
+	var nns []core.Neighbor
+	var ep uint64
+	err := errFillPanicked
+	defer func() {
+		if f != nil {
+			f.nns, f.epoch, f.err = nns, ep, err
+		}
+		c.release(k, flightKey{key: k, epoch: epoch}, f, q, ep, nil, nns, err)
+	}()
+	nns, ep, err = fetch()
+	c.misses.Add(1)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]core.Neighbor(nil), nns...), ep, nil
+}
+
+// acquire resolves one cache attempt under the shard lock: a resident
+// hit (e != nil), an existing flight to wait on (f != nil, leader
+// false), or leadership of a new flight (f != nil, leader true). All
+// nil means compute without singleflight — a digest collision is
+// already in flight for a different query, too rare to serialize on.
+func (c *Cache) acquire(k key, q core.Object, epoch uint64) (e *entry, f *flight, leader bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e = sh.entries[k]; e != nil && e.epoch == epoch && objectEqual(e.query, q) {
+		sh.lru.MoveToFront(e.elem)
+		c.hits.Add(1)
+		return e, nil, false
+	}
+	fk := flightKey{key: k, epoch: epoch}
+	if f = sh.flights[fk]; f != nil {
+		if objectEqual(f.query, q) {
+			return nil, f, false
+		}
+		return nil, nil, false // digest collision with the in-flight query
+	}
+	f = &flight{query: q, done: make(chan struct{})}
+	sh.flights[fk] = f
+	return nil, f, true
+}
+
+// release publishes a finished fill: the flight (if any) is closed so
+// waiters wake, and a successful answer is stored under the epoch it
+// observed, evicting LRU entries beyond the shard budget.
+func (c *Cache) release(k key, fk flightKey, f *flight, q core.Object, epoch uint64, ids []int, nns []core.Neighbor, err error) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if f != nil {
+		delete(sh.flights, fk)
+	}
+	if err == nil {
+		c.store(sh, k, q, epoch, ids, nns)
+	}
+	sh.mu.Unlock()
+	if f != nil {
+		close(f.done)
+	}
+}
+
+// store inserts or replaces the entry for k. Called with sh.mu held.
+func (c *Cache) store(sh *shard, k key, q core.Object, epoch uint64, ids []int, nns []core.Neighbor) {
+	size := entrySize(q, ids, nns)
+	if size > sh.maxBytes {
+		return // larger than a whole stripe's budget: not cacheable
+	}
+	if old := sh.entries[k]; old != nil {
+		if old.epoch > epoch {
+			return // a fill for a newer dataset version already landed
+		}
+		sh.bytes -= old.bytes
+		sh.lru.Remove(old.elem)
+		delete(sh.entries, k)
+	}
+	e := &entry{key: k, query: q, epoch: epoch, ids: ids, nns: nns, bytes: size}
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[k] = e
+	sh.bytes += size
+	for sh.bytes > sh.maxBytes {
+		back := sh.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		sh.lru.Remove(back)
+		delete(sh.entries, victim.key)
+		sh.bytes -= victim.bytes
+		c.evictions.Add(1)
+	}
+}
+
+// entrySize estimates the resident bytes of one answer: a fixed
+// per-entry overhead (map bucket, list element, headers) plus the query
+// and answer payloads.
+func entrySize(q core.Object, ids []int, nns []core.Neighbor) int64 {
+	const overhead = 128
+	return overhead + objectBytes(q) + int64(len(ids))*8 + int64(len(nns))*16
+}
+
+func objectBytes(q core.Object) int64 {
+	switch v := q.(type) {
+	case core.Vector:
+		return int64(len(v)) * 8
+	case core.IntVector:
+		return int64(len(v)) * 4
+	case core.Word:
+		return int64(len(v))
+	default:
+		return 64
+	}
+}
+
+// digest hashes the query object together with the kind and parameter
+// into the 64-bit FNV-1a key digest. Collisions are guarded by the full
+// objectEqual comparison on every hit, so a collision can only cost a
+// miss, never a wrong answer.
+func digest(q core.Object, kd kind, param uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte1 := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	word := func(w uint64) {
+		for i := 0; i < 8; i++ {
+			byte1(byte(w >> (8 * i)))
+		}
+	}
+	byte1(byte(kd))
+	word(param)
+	switch v := q.(type) {
+	case core.Vector:
+		for _, x := range v {
+			word(math.Float64bits(x))
+		}
+	case core.IntVector:
+		for _, x := range v {
+			word(uint64(uint32(x)))
+		}
+	case core.Word:
+		for i := 0; i < len(v); i++ {
+			byte1(v[i])
+		}
+	default:
+		s := fmt.Sprintf("%#v", q)
+		for i := 0; i < len(s); i++ {
+			byte1(s[i])
+		}
+	}
+	return h
+}
+
+// objectEqual compares two query objects for exact equality — the
+// collision guard behind every digest match. The library's three object
+// types compare structurally; unknown types fall back to
+// reflect.DeepEqual.
+func objectEqual(a, b core.Object) bool {
+	switch x := a.(type) {
+	case core.Vector:
+		y, ok := b.(core.Vector)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			// Compare by bit pattern, matching the digest: NaN payloads
+			// hash apart, so they must compare apart too.
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				return false
+			}
+		}
+		return true
+	case core.IntVector:
+		y, ok := b.(core.IntVector)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case core.Word:
+		y, ok := b.(core.Word)
+		return ok && x == y
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}

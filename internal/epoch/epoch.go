@@ -13,8 +13,10 @@
 // that caveat. Searches run in shared read sections; Add/Remove (and the
 // core.Index Insert/Delete) run in exclusive write sections; every
 // committed write advances the epoch, a monotone counter that names the
-// dataset version a search observed (result caching and replication can
-// key off it).
+// dataset version a search observed. The answer cache keys off exactly
+// that counter (SetCache attaches one from internal/cache): answers are
+// memoized under the epoch they were observed at, so every committed
+// write invalidates the whole working set with no flush path at all.
 //
 // Swap is the graceful-rebuild path a long-lived server needs: the
 // current dataset is snapshotted in one write section, the replacement
@@ -31,7 +33,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"metricindex/internal/cache"
 	"metricindex/internal/core"
 )
 
@@ -67,11 +71,60 @@ type Live struct {
 	epoch    uint64
 	swapping bool
 	log      []logEntry
+	// cache is the optional epoch-keyed answer cache. Entries are keyed
+	// by the epoch a search observed, so every committed write or swap
+	// invalidates the whole working set for free; see SetCache.
+	cache atomic.Pointer[cache.Cache]
 }
 
 // NewLive wraps an index and the dataset it was built over.
 func NewLive(ds *core.Dataset, idx core.Index) *Live {
 	return &Live{ds: ds, idx: idx}
+}
+
+// SetCache attaches (or, with nil, detaches) an epoch-keyed answer
+// cache. Subsequent RangeSearch/KNNSearch calls consult it before
+// touching the index: a hit returns the memoized answer — byte-identical
+// to a fresh search, zero compdists, zero page accesses — and concurrent
+// identical misses collapse onto one search. Correctness needs no
+// flushing: entries are keyed by the epoch the answer observed, and
+// every committed Add/Remove/Insert/Delete/Swap advances the epoch, so
+// a search that starts after a write commits can never be served a
+// pre-write answer.
+func (l *Live) SetCache(c *cache.Cache) {
+	l.cache.Store(c)
+}
+
+// CacheStats snapshots the attached cache's counters; ok is false when
+// no cache is attached.
+func (l *Live) CacheStats() (cache.Stats, bool) {
+	c := l.cache.Load()
+	if c == nil {
+		return cache.Stats{}, false
+	}
+	return c.Stats(), true
+}
+
+// PeekRange returns the cached MRQ answer valid at the current epoch
+// without computing anything on a miss — the batch engine's
+// pre-dispatch probe (exec.AnswerCached). The returned slice is a
+// private copy.
+func (l *Live) PeekRange(q core.Object, r float64) ([]int, bool) {
+	c := l.cache.Load()
+	if c == nil {
+		return nil, false
+	}
+	return c.GetRange(q, r, l.Epoch())
+}
+
+// PeekKNN returns the cached MkNNQ answer valid at the current epoch
+// without computing anything on a miss (see PeekRange).
+func (l *Live) PeekKNN(q core.Object, k int) ([]core.Neighbor, bool) {
+	c := l.cache.Load()
+	if c == nil {
+		return nil, false
+	}
+	return c.GetKNN(q, k, l.Epoch())
 }
 
 // Epoch returns the number of committed write sections (updates and
@@ -287,8 +340,21 @@ func (l *Live) RangeSearch(q core.Object, r float64) ([]int, error) {
 // observed. Because answer and epoch come from the same read section,
 // the pair is a valid cache entry: the answer is exactly the dataset
 // version the epoch names (an Epoch() call after the search could
-// already include later writes the answer does not).
+// already include later writes the answer does not). With a cache
+// attached (SetCache) the answer may be served memoized — still exactly
+// the pair some read section produced at the reported epoch.
 func (l *Live) RangeSearchAt(q core.Object, r float64) ([]int, uint64, error) {
+	if c := l.cache.Load(); c != nil {
+		return c.Range(q, r, l.Epoch(), func() ([]int, uint64, error) {
+			return l.rangeDirect(q, r)
+		})
+	}
+	return l.rangeDirect(q, r)
+}
+
+// rangeDirect is the uncached read section behind RangeSearchAt — and
+// the cache's fill function on a miss.
+func (l *Live) rangeDirect(q core.Object, r float64) ([]int, uint64, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	ids, err := l.idx.RangeSearch(q, r)
@@ -304,6 +370,16 @@ func (l *Live) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 // KNNSearchAt is KNNSearch reporting also the epoch the search observed
 // (see RangeSearchAt).
 func (l *Live) KNNSearchAt(q core.Object, k int) ([]core.Neighbor, uint64, error) {
+	if c := l.cache.Load(); c != nil {
+		return c.KNN(q, k, l.Epoch(), func() ([]core.Neighbor, uint64, error) {
+			return l.knnDirect(q, k)
+		})
+	}
+	return l.knnDirect(q, k)
+}
+
+// knnDirect is the uncached read section behind KNNSearchAt.
+func (l *Live) knnDirect(q core.Object, k int) ([]core.Neighbor, uint64, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	nns, err := l.idx.KNNSearch(q, k)

@@ -32,6 +32,19 @@ import (
 	"metricindex/internal/core"
 )
 
+// AnswerCached is the optional interface of indexes that can serve a
+// memoized answer without computing (epoch.Live with an attached
+// answer cache implements it). The engine probes it per query before
+// dispatching a batch: hits are answered inline and never occupy a
+// worker slot, so the pool's concurrency is spent entirely on real
+// misses. Peek methods must be cheap, must not compute distances, and
+// must return answers identical to a fresh search at the moment of the
+// call.
+type AnswerCached interface {
+	PeekRange(q core.Object, r float64) ([]int, bool)
+	PeekKNN(q core.Object, k int) ([]core.Neighbor, bool)
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Workers is the goroutine pool size per batch; <= 0 uses GOMAXPROCS.
@@ -82,6 +95,11 @@ type BatchStats struct {
 	// Unlike Wall they measure individual queries, so they stay meaningful
 	// however many workers overlap.
 	P50, P95, P99 time.Duration
+	// CacheHits is the number of queries answered from the index's
+	// answer cache before dispatch (see AnswerCached); 0 when the index
+	// has no cache. Cached answers cost no compdists and no page
+	// accesses, which is why a hot batch's per-query averages drop.
+	CacheHits int
 }
 
 // PerQueryCompDists returns the average compdists per query.
@@ -133,7 +151,17 @@ type KNNResult struct {
 // stops the batch and is returned; partial results are discarded.
 func (e *Engine) BatchRangeSearch(ctx context.Context, idx core.Index, queries []core.Object, r float64) (*RangeResult, error) {
 	res := &RangeResult{IDs: make([][]int, len(queries))}
-	stats, err := e.run(ctx, idx, len(queries), func(i int) error {
+	var peek func(i int) bool
+	if ac, ok := idx.(AnswerCached); ok {
+		peek = func(i int) bool {
+			ids, ok := ac.PeekRange(queries[i], r)
+			if ok {
+				res.IDs[i] = ids
+			}
+			return ok
+		}
+	}
+	stats, err := e.run(ctx, idx, len(queries), peek, func(i int) error {
 		ids, err := idx.RangeSearch(queries[i], r)
 		if err != nil {
 			return fmt.Errorf("exec: range query %d: %w", i, err)
@@ -154,7 +182,17 @@ func (e *Engine) BatchRangeSearch(ctx context.Context, idx core.Index, queries [
 // are discarded.
 func (e *Engine) BatchKNNSearch(ctx context.Context, idx core.Index, queries []core.Object, k int) (*KNNResult, error) {
 	res := &KNNResult{Neighbors: make([][]core.Neighbor, len(queries))}
-	stats, err := e.run(ctx, idx, len(queries), func(i int) error {
+	var peek func(i int) bool
+	if ac, ok := idx.(AnswerCached); ok {
+		peek = func(i int) bool {
+			nns, ok := ac.PeekKNN(queries[i], k)
+			if ok {
+				res.Neighbors[i] = nns
+			}
+			return ok
+		}
+	}
+	stats, err := e.run(ctx, idx, len(queries), peek, func(i int) error {
 		nns, err := idx.KNNSearch(queries[i], k)
 		if err != nil {
 			return fmt.Errorf("exec: knn query %d: %w", i, err)
@@ -169,9 +207,13 @@ func (e *Engine) BatchKNNSearch(ctx context.Context, idx core.Index, queries []c
 	return res, nil
 }
 
-// run dispatches n jobs through Scatter and wraps the dispatch with the
-// per-batch cost accounting.
-func (e *Engine) run(ctx context.Context, idx core.Index, n int, job func(i int) error) (BatchStats, error) {
+// run answers n queries and wraps them with the per-batch cost
+// accounting. When peek is non-nil it probes the index's answer cache
+// first: hits are served inline during the sweep, and only the misses
+// are dispatched through Scatter — a hot batch never waits on the
+// worker pool at all. Latency percentiles cover every query, hit or
+// miss, exactly as a serving client would experience them.
+func (e *Engine) run(ctx context.Context, idx core.Index, n int, peek func(i int) bool, job func(i int) error) (BatchStats, error) {
 	if n == 0 {
 		return BatchStats{}, ctx.Err()
 	}
@@ -183,17 +225,31 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, job func(i int)
 		paBase = idx.PageAccesses()
 	}
 	durs := make([]time.Duration, n)
-	timed := func(i int) error {
+	start := time.Now()
+	todo := make([]int, 0, n)
+	hits := 0
+	for i := 0; i < n; i++ {
+		if peek != nil {
+			qStart := time.Now()
+			if peek(i) {
+				durs[i] = time.Since(qStart)
+				hits++
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+	timed := func(j int) error {
+		i := todo[j]
 		qStart := time.Now()
 		err := job(i)
 		durs[i] = time.Since(qStart)
 		return err
 	}
-	start := time.Now()
-	if err := Scatter(ctx, e.workers, n, timed); err != nil {
+	if err := Scatter(ctx, e.workers, len(todo), timed); err != nil {
 		return BatchStats{}, err
 	}
-	stats := BatchStats{Queries: n, Wall: time.Since(start)}
+	stats := BatchStats{Queries: n, Wall: time.Since(start), CacheHits: hits}
 	stats.P50, stats.P95, stats.P99 = LatencyPercentiles(durs)
 	if e.space != nil {
 		stats.CompDists = e.space.CompDists() - compBase

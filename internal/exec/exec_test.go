@@ -349,3 +349,106 @@ func TestBatchOverlapsQueries(t *testing.T) {
 		t.Fatalf("batch wall %v is not at least 2x faster than the %v sequential bound — queries did not overlap", res.Stats.Wall, sequential)
 	}
 }
+
+// memoIndex is a stub AnswerCached index: queries listed in cached are
+// served by the peek methods, everything else computes through the
+// search methods. It lets the pre-dispatch probe be tested in isolation.
+type memoIndex struct {
+	cached   map[int]bool // query index (encoded as the vector's first coord)
+	searches atomic.Int64
+	peeks    atomic.Int64
+}
+
+func (m *memoIndex) qi(q core.Object) int { return int(q.(core.Vector)[0]) }
+
+func (m *memoIndex) Name() string { return "memo" }
+func (m *memoIndex) PeekRange(q core.Object, r float64) ([]int, bool) {
+	m.peeks.Add(1)
+	if m.cached[m.qi(q)] {
+		return []int{m.qi(q), 1000}, true
+	}
+	return nil, false
+}
+func (m *memoIndex) PeekKNN(q core.Object, k int) ([]core.Neighbor, bool) {
+	m.peeks.Add(1)
+	if m.cached[m.qi(q)] {
+		return []core.Neighbor{{ID: m.qi(q), Dist: 0}}, true
+	}
+	return nil, false
+}
+func (m *memoIndex) RangeSearch(q core.Object, r float64) ([]int, error) {
+	m.searches.Add(1)
+	return []int{m.qi(q), 1000}, nil
+}
+func (m *memoIndex) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	m.searches.Add(1)
+	return []core.Neighbor{{ID: m.qi(q), Dist: 0}}, nil
+}
+func (m *memoIndex) Insert(id int) error { return nil }
+func (m *memoIndex) Delete(id int) error { return nil }
+func (m *memoIndex) PageAccesses() int64 { return 0 }
+func (m *memoIndex) ResetStats()         {}
+func (m *memoIndex) MemBytes() int64     { return 0 }
+func (m *memoIndex) DiskBytes() int64    { return 0 }
+
+// TestBatchConsultsAnswerCache proves the engine probes an AnswerCached
+// index per query before dispatching: cached queries never reach the
+// worker pool, answers stay positionally aligned and identical either
+// way, and Stats.CacheHits reports the probe hits.
+func TestBatchConsultsAnswerCache(t *testing.T) {
+	const n = 20
+	idx := &memoIndex{cached: map[int]bool{}}
+	for i := 0; i < n; i += 3 {
+		idx.cached[i] = true // every third query is cached
+	}
+	qs := make([]core.Object, n)
+	for i := range qs {
+		qs[i] = core.Vector{float64(i)}
+	}
+	eng := New(nil, Options{Workers: 4})
+
+	res, err := eng.BatchRangeSearch(context.Background(), idx, qs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHits := len(idx.cached)
+	if res.Stats.CacheHits != wantHits {
+		t.Fatalf("CacheHits = %d, want %d", res.Stats.CacheHits, wantHits)
+	}
+	if got := int(idx.searches.Load()); got != n-wantHits {
+		t.Fatalf("%d real searches, want %d (only the misses)", got, n-wantHits)
+	}
+	for i, ids := range res.IDs {
+		if len(ids) != 2 || ids[0] != i || ids[1] != 1000 {
+			t.Fatalf("query %d: ids = %v", i, ids)
+		}
+	}
+
+	idx.searches.Store(0)
+	kres, err := eng.BatchKNNSearch(context.Background(), idx, qs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kres.Stats.CacheHits != wantHits {
+		t.Fatalf("knn CacheHits = %d, want %d", kres.Stats.CacheHits, wantHits)
+	}
+	if got := int(idx.searches.Load()); got != n-wantHits {
+		t.Fatalf("%d real knn searches, want %d", got, n-wantHits)
+	}
+	for i, nns := range kres.Neighbors {
+		if len(nns) != 1 || nns[0].ID != i {
+			t.Fatalf("query %d: nns = %v", i, nns)
+		}
+	}
+
+	// An index without the interface reports zero hits and still answers.
+	plain := &memoIndex{cached: map[int]bool{0: true}}
+	type plainIndex struct{ core.Index }
+	res2, err := eng.BatchRangeSearch(context.Background(), plainIndex{plain}, qs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.CacheHits != 0 {
+		t.Fatalf("uncached index reported %d hits", res2.Stats.CacheHits)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"time"
 
+	"metricindex/internal/cache"
 	"metricindex/internal/core"
 	"metricindex/internal/epoch"
 	"metricindex/internal/exec"
@@ -49,6 +50,15 @@ type Options struct {
 	// per-client stats; requests without it are keyed by remote host.
 	// Default "X-Client".
 	ClientHeader string
+	// Cache, when non-nil, installs an epoch-keyed answer cache of the
+	// given shape on the live index (a zero Options gets the cache
+	// package defaults). Hot queries are then served memoized — zero
+	// compdists, zero page accesses — across /v1/range, /v1/knn and
+	// /v1/batch, with hit/miss/eviction counters in /v1/stats. Every
+	// committed insert, delete or swap bumps the epoch the entries are
+	// keyed by, so cached answers never outlive a write. nil leaves the
+	// live index's caching as the caller configured it.
+	Cache *cache.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +106,9 @@ func New(live *epoch.Live, opts Options) (*Server, error) {
 	})
 	if proto == nil {
 		return nil, fmt.Errorf("server: empty dataset, cannot infer the object type")
+	}
+	if opts.Cache != nil {
+		live.SetCache(cache.New(*opts.Cache))
 	}
 	s := &Server{
 		live:      live,
@@ -339,6 +352,8 @@ type BatchRequest struct {
 }
 
 // BatchStats reports the engine's per-batch cost on the wire.
+// CacheHits is the number of queries the answer cache served before the
+// batch ever reached a worker (0 without a cache).
 type BatchStats struct {
 	Queries      int     `json:"queries"`
 	WallMicros   int64   `json:"wall_us"`
@@ -348,6 +363,7 @@ type BatchStats struct {
 	P50Micros    int64   `json:"p50_us"`
 	P95Micros    int64   `json:"p95_us"`
 	P99Micros    int64   `json:"p99_us"`
+	CacheHits    int     `json:"cache_hits"`
 }
 
 func toWireStats(st exec.BatchStats) BatchStats {
@@ -360,6 +376,7 @@ func toWireStats(st exec.BatchStats) BatchStats {
 		P50Micros:    st.P50.Microseconds(),
 		P95Micros:    st.P95.Microseconds(),
 		P99Micros:    st.P99.Microseconds(),
+		CacheHits:    st.CacheHits,
 	}
 }
 
@@ -507,13 +524,46 @@ type IndexStats struct {
 	PageAccesses int64  `json:"page_accesses"`
 }
 
+// CacheStats describes the answer cache in /v1/stats. All counters are
+// zero (and Enabled false) when no cache is attached to the live index.
+type CacheStats struct {
+	Enabled   bool    `json:"enabled"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Collapsed int64   `json:"collapsed"`
+	Evictions int64   `json:"evictions"`
+	Entries   int64   `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	MaxBytes  int64   `json:"max_bytes"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Index         IndexStats              `json:"index"`
+	Cache         CacheStats              `json:"cache"`
 	Admission     AdmissionStats          `json:"admission"`
 	Endpoints     map[string]TrackerStats `json:"endpoints"`
 	Clients       map[string]TrackerStats `json:"clients"`
+}
+
+func (s *Server) cacheStats() CacheStats {
+	st, ok := s.live.CacheStats()
+	if !ok {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Enabled:   true,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Collapsed: st.Collapsed,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
+		MaxBytes:  st.MaxBytes,
+		HitRate:   st.HitRate(),
+	}
 }
 
 func (s *Server) handleStats(*http.Request) (any, error) {
@@ -531,6 +581,7 @@ func (s *Server) handleStats(*http.Request) (any, error) {
 	return StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Index:         info,
+		Cache:         s.cacheStats(),
 		Admission:     s.adm.stats(),
 		Endpoints:     s.endpoints.stats(),
 		Clients:       s.clients.stats(),

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"metricindex/internal/cache"
 	"metricindex/internal/core"
 	"metricindex/internal/epoch"
 	"metricindex/internal/pivot"
@@ -474,5 +475,87 @@ func TestWordDatasetOverHTTP(t *testing.T) {
 	}
 	if code := post(t, ts.URL+"/v1/range", map[string]any{"query": "zzzzzz", "radius": 0.0}, &rr); code != 200 || !reflect.DeepEqual(rr.IDs, []int{ir.ID}) {
 		t.Fatalf("inserted word not served: status %d ids %v", code, rr.IDs)
+	}
+}
+
+// TestCacheOverHTTP enables the answer cache through Options.Cache and
+// proves the full serving loop: repeated queries hit (visible in
+// /v1/stats), hits equal direct calls, batches are served by the
+// engine's pre-dispatch probe, and an insert invalidates everything.
+func TestCacheOverHTTP(t *testing.T) {
+	_, live, ts := newTestServer(t, 300, Options{Cache: &cache.Options{MaxBytes: 8 << 20}, Workers: 4})
+	var ds *core.Dataset
+	live.View(func(d *core.Dataset, _ core.Index) { ds = d })
+	q := testutil.RandomQuery(ds, 21)
+	raw, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two identical kNN requests: the second must be a hit and byte-equal.
+	var first, second KNNResponse
+	if code := post(t, ts.URL+"/v1/knn", KNNRequest{Query: raw, K: 5}, &first); code != http.StatusOK {
+		t.Fatalf("knn: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/knn", KNNRequest{Query: raw, K: 5}, &second); code != http.StatusOK {
+		t.Fatalf("knn: status %d", code)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached answer differs: %+v vs %+v", first, second)
+	}
+	var direct []core.Neighbor
+	live.View(func(_ *core.Dataset, idx core.Index) { direct, _ = idx.KNNSearch(q, 5) })
+	for i, nb := range direct {
+		if second.Neighbors[i].ID != nb.ID || second.Neighbors[i].Dist != nb.Dist {
+			t.Fatalf("neighbor %d: served %+v, direct %+v", i, second.Neighbors[i], nb)
+		}
+	}
+
+	// A repeated batch is served from cache before dispatch.
+	raws := []json.RawMessage{raw, raw}
+	var br BatchResponse
+	if code := post(t, ts.URL+"/v1/batch", BatchRequest{Type: "knn", Queries: raws, K: 5}, &br); code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	if br.Stats.CacheHits != len(raws) {
+		t.Fatalf("batch cache_hits = %d, want %d", br.Stats.CacheHits, len(raws))
+	}
+
+	var st StatsResponse
+	if code := get(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if !st.Cache.Enabled || st.Cache.Hits == 0 || st.Cache.Entries == 0 {
+		t.Fatalf("cache stats malformed: %+v", st.Cache)
+	}
+	if st.Cache.HitRate <= 0 || st.Cache.HitRate > 1 {
+		t.Fatalf("hit rate %v out of range", st.Cache.HitRate)
+	}
+
+	// An insert bumps the epoch: the same request recomputes at the new
+	// epoch and reports it.
+	var ir InsertResponse
+	if code := post(t, ts.URL+"/v1/insert", InsertRequest{Object: raw}, &ir); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+	var third KNNResponse
+	if code := post(t, ts.URL+"/v1/knn", KNNRequest{Query: raw, K: 5}, &third); code != http.StatusOK {
+		t.Fatalf("knn: status %d", code)
+	}
+	if third.Epoch != ir.Epoch {
+		t.Fatalf("post-insert answer at epoch %d, insert committed at %d", third.Epoch, ir.Epoch)
+	}
+	if third.Neighbors[0].ID != ir.ID || third.Neighbors[0].Dist != 0 {
+		t.Fatalf("post-insert nearest = %+v, want the inserted object %d at 0", third.Neighbors[0], ir.ID)
+	}
+
+	// Stats without a cache stay zero-valued.
+	_, _, plain := newTestServer(t, 100, Options{})
+	var st2 StatsResponse
+	if code := get(t, plain.URL+"/v1/stats", &st2); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st2.Cache.Enabled || st2.Cache.Hits != 0 {
+		t.Fatalf("cacheless server reported cache stats: %+v", st2.Cache)
 	}
 }

@@ -1,6 +1,7 @@
 package metricindex
 
 import (
+	"metricindex/internal/cache"
 	"metricindex/internal/core"
 	"metricindex/internal/epoch"
 )
@@ -27,6 +28,21 @@ type IndexBuilder = epoch.Builder
 // running (one swap at a time).
 var ErrSwapInProgress = epoch.ErrSwapInProgress
 
+// CacheOptions configures the epoch-keyed answer cache of a Live index:
+// a byte-budgeted, sharded LRU that memoizes whole query answers with
+// singleflight collapse of concurrent identical misses. Entries are
+// keyed by (query, kind, radius|k, epoch), so every committed
+// Add/Remove/Insert/Delete/Swap invalidates the working set for free —
+// a search that starts after a write commits can never be served a
+// pre-write answer. The zero value uses the defaults (32 MB, 16
+// shards).
+type CacheOptions = cache.Options
+
+// CacheStats is a snapshot of a Live index's answer-cache counters
+// (Live.CacheStats); its HitRate method is the fraction of lookups that
+// avoided computing.
+type CacheStats = cache.Stats
+
 // NewLive wraps an index and the dataset it was built over into an
 // update-synchronized, hot-swappable front:
 //
@@ -41,8 +57,20 @@ var ErrSwapInProgress = epoch.ErrSwapInProgress
 //		}
 //		return metricindex.NewLAESA(ds, pv)
 //	})
-func NewLive(ds *Dataset, idx Index) *Live {
-	return epoch.NewLive(ds, idx)
+//
+// Passing a CacheOptions attaches the epoch-keyed answer cache, so hot
+// queries are served memoized — byte-identical to a fresh search, zero
+// compdists, zero page accesses — until the next committed write bumps
+// the epoch:
+//
+//	live := metricindex.NewLive(ds, idx, metricindex.CacheOptions{MaxBytes: 64 << 20})
+//	hits, _ := live.CacheStats()
+func NewLive(ds *Dataset, idx Index, cacheOpts ...CacheOptions) *Live {
+	l := epoch.NewLive(ds, idx)
+	if len(cacheOpts) > 0 {
+		l.SetCache(cache.New(cacheOpts[0]))
+	}
+	return l
 }
 
 // ensure the alias stays an Index.

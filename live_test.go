@@ -138,3 +138,65 @@ func TestServerPublicAPI(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 }
+
+// TestCachedLivePublicAPI drives the answer cache through the public
+// surface: NewLive with CacheOptions, hit equivalence, zero compdists
+// on hits, epoch invalidation on write, and CacheStats accounting.
+func TestCachedLivePublicAPI(t *testing.T) {
+	gen, err := metricindex.GenerateDataset(metricindex.DatasetLA, 500, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Dataset
+	idx, err := laesaRebuild(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := metricindex.NewLive(ds, idx, metricindex.CacheOptions{MaxBytes: 4 << 20})
+
+	q := gen.Queries[0]
+	cold, err := live.KNNSearch(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Space().ResetCompDists()
+	hot, err := live.KNNSearch(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ds.Space().CompDists(); n != 0 {
+		t.Fatalf("hit computed %d distances", n)
+	}
+	if len(hot) != len(cold) {
+		t.Fatalf("hit %d neighbors, fresh %d", len(hot), len(cold))
+	}
+	for i := range hot {
+		if hot[i] != cold[i] {
+			t.Fatalf("neighbor %d: hit %+v, fresh %+v", i, hot[i], cold[i])
+		}
+	}
+
+	// A write invalidates; the inserted object must be served.
+	id, err := live.Add(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := live.KNNSearch(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post[0].ID != id || post[0].Dist != 0 {
+		t.Fatalf("post-insert nearest %+v, want %d at 0", post[0], id)
+	}
+
+	st, ok := live.CacheStats()
+	if !ok || st.Hits == 0 || st.Misses == 0 || st.HitRate() <= 0 {
+		t.Fatalf("cache stats malformed: ok=%v %+v", ok, st)
+	}
+
+	// Without CacheOptions there is no cache.
+	plain := metricindex.NewLive(ds, idx)
+	if _, ok := plain.CacheStats(); ok {
+		t.Fatal("uncached Live reported cache stats")
+	}
+}

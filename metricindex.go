@@ -93,8 +93,35 @@
 // The cmd/mserve binary is that server around any of the paper's
 // structures.
 //
-// Disk-based indexes run against a simulated page store that counts page
-// accesses exactly as the paper reports them; see NewSPBTree and friends.
+// # Caching
+//
+// The library has two caches at two different levels.
+//
+// The page cache is the paper's: disk-based indexes run against a
+// simulated page store that counts page accesses exactly as the paper
+// reports them, and DiskOptions.CacheBytes enables the §6.1 LRU buffer
+// (128 KB by default via DefaultCacheBytes) that reduces PA on MkNNQ.
+// It caches pages, so a hot query still pays all of its distance
+// computations on every arrival.
+//
+// The answer cache (CacheOptions, on NewLive and ServerOptions) sits
+// above the index and memoizes whole query answers. Entries are keyed by
+// (query object, query kind, radius|k, epoch) — the epoch being the
+// monotone write counter a Live index reports from inside every search's
+// read section. That keying makes invalidation free and exact: any
+// committed Add/Remove/Insert/Delete/Swap bumps the epoch, so every
+// cached answer self-invalidates at once, and a search that starts after
+// a write commits can never be served a pre-write answer. A hit is
+// byte-identical to a fresh search and costs zero compdists and zero
+// page accesses; concurrent identical misses collapse onto a single
+// search (singleflight). The batch engine probes the cache per query
+// before dispatching, so hot batches never wait on the worker pool:
+//
+//	live := metricindex.NewLive(ds, idx, metricindex.CacheOptions{MaxBytes: 64 << 20})
+//	live.KNNSearch(q, 10)  // computes and fills
+//	live.KNNSearch(q, 10)  // served memoized, 0 compdists
+//	live.Add(obj)          // epoch bump: every entry invalid
+//	st, _ := live.CacheStats()
 package metricindex
 
 import (

@@ -16,7 +16,10 @@ import (
 type Server = server.Server
 
 // ServerOptions configures NewServer; the zero value serves with
-// 4×GOMAXPROCS in-flight slots, a 4× deeper queue, and no swap builder.
+// 4×GOMAXPROCS in-flight slots, a 4× deeper queue, no swap builder, and
+// no answer cache. Setting Cache (a *CacheOptions) installs the
+// epoch-keyed answer cache on the live index, with hit/miss/eviction
+// counters reported in GET /v1/stats.
 type ServerOptions = server.Options
 
 // ServerStats is the GET /v1/stats response shape.
