@@ -15,6 +15,10 @@ STATICCHECK_VERSION ?= 2025.1.1
 # Tolerated q/s regression fraction of the bench gate.
 MAX_REGRESS ?= 0.25
 
+# Seconds each native fuzz target runs in the `make fuzz` smoke (two
+# targets: FuzzLevenshtein, FuzzDecodeQuery).
+FUZZTIME ?= 10s
+
 # Packages with a parallel build, the concurrent query engine, the
 # update/query synchronization layer, or the answer cache: the
 # race-detector gate of `make race`.
@@ -22,14 +26,15 @@ RACE_PKGS = ./internal/exec/... ./internal/epoch/... ./internal/server/... \
             ./internal/shard/... ./internal/table/... ./internal/mvpt/... \
             ./internal/ept/... ./internal/cpt/... ./internal/omni/... \
             ./internal/core/... ./internal/store/... ./internal/bench/... \
-            ./internal/cache/... .
+            ./internal/cache/... ./internal/bkt/... ./internal/fqt/... \
+            ./internal/mtree/... ./internal/pmtree/... .
 
 # The example programs CI runs end to end so example rot fails the
 # pipeline (each finishes in well under a second).
 EXAMPLES = ./examples/quickstart ./examples/wordsearch ./examples/geosearch \
            ./examples/imagesearch ./examples/cachedsearch
 
-.PHONY: all build test race bench bench-json bench-baseline bench-gate \
+.PHONY: all build test race fuzz bench bench-json bench-baseline bench-gate \
         staticcheck fmt vet examples serve-smoke ci
 
 all: build
@@ -42,6 +47,12 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Short native-fuzzing smoke: each target fuzzes for FUZZTIME (Go allows
+# one -fuzz target per invocation, hence two runs).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzLevenshtein -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) ./internal/server
 
 bench:
 	$(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -run=^$$ .
@@ -89,4 +100,4 @@ serve-smoke:
 # The full CI surface: the test job's steps plus the bench job's gate
 # (staticcheck and bench-gate need module downloads, so an offline run
 # can cherry-pick the other targets individually).
-ci: build vet fmt staticcheck test race examples serve-smoke bench-gate
+ci: build vet fmt staticcheck test race fuzz examples serve-smoke bench-gate

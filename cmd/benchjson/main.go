@@ -1,9 +1,10 @@
 // Command benchjson runs the repository's throughput benchmarks as a
 // plain program and emits machine-readable JSON — the measurement half
 // of the CI bench gate. It covers the batch-vs-sequential engine
-// comparison and the answer cache's cold/hot paths, reporting queries
-// per second (best of -reps repetitions, to shed scheduler noise) plus
-// the cache hit rate.
+// comparison, the answer cache's cold/hot paths, and sequential-vs-
+// parallel index construction (BKT node-level build, PM-tree bulk
+// load), reporting queries (or objects indexed) per second — best of
+// -reps repetitions, to shed scheduler noise — plus the cache hit rate.
 //
 // Two modes:
 //
@@ -227,6 +228,53 @@ func measure(n, queries, k, reps int, minDur time.Duration) (*Report, error) {
 		r := rep.Benchmarks["cache_hot_knn"]
 		r.HitRate = st.HitRate()
 		rep.Benchmarks["cache_hot_knn"] = r
+	}
+
+	// Construction benchmarks: objects indexed per second, sequential vs
+	// parallel, for one in-memory tree (BKT, node-level parallelism on
+	// the discrete Synthetic dataset) and one disk structure (PM-tree,
+	// insertion build vs partitioned bulk load on LA). The parallel
+	// builds produce identical trees / byte-identical bulk volumes; only
+	// the wall clock moves.
+	synth, err := metricindex.GenerateDataset(metricindex.DatasetSynthetic, n, 1, 11)
+	if err != nil {
+		return nil, err
+	}
+	buildBench := func(name string, fn func() error) error {
+		return bench(name, nil, func() (int64, error) {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			return int64(n), nil
+		})
+	}
+	if err := buildBench("build_bkt_seq", func() error {
+		_, err := metricindex.NewBKT(synth.Dataset, metricindex.TreeOptions{
+			Seed: 3, MaxDistance: synth.MaxDistance,
+		})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := buildBench("build_bkt_par", func() error {
+		_, err := metricindex.NewBKT(synth.Dataset, metricindex.TreeOptions{
+			Seed: 3, MaxDistance: synth.MaxDistance, Workers: -1,
+		})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := buildBench("build_pmtree_seq", func() error {
+		_, err := metricindex.NewPMTree(ds, pivots, metricindex.DiskOptions{})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := buildBench("build_pmtree_par", func() error {
+		_, err := metricindex.NewPMTreeParallel(ds, pivots, metricindex.DiskOptions{}, -1)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

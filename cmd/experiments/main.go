@@ -32,7 +32,7 @@ func main() {
 		pivots   = flag.Int("pivots", 5, "default number of pivots |P|")
 		seed     = flag.Int64("seed", 42, "generation seed")
 		datasets = flag.String("datasets", "", "comma-separated subset of LA,Words,Color,Synthetic (default all)")
-		workers  = flag.Int("workers", 0, "run query workloads and precompute-heavy builds through the concurrent engine with this many workers (0 = sequential, -1 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "run query workloads and every index construction (tables, trees, bulk loads) through this many concurrent workers (0 = sequential, -1 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 0, "partition each dataset across this many sub-indexes and scatter-gather every query (0/1 = unsharded)")
 	)
 	flag.Parse()

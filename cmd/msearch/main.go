@@ -32,7 +32,7 @@ func main() {
 		radius  = flag.Float64("radius", 0, "run MRQ with this radius")
 		verify  = flag.Bool("verify", false, "check every answer against a linear scan")
 		maxShow = flag.Int("show", 5, "results printed per query")
-		workers = flag.Int("workers", 0, "answer the whole workload through the concurrent batch engine with this many workers (0 = sequential per-query loop, -1 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "build the index with this many parallel workers and answer the whole workload through the concurrent batch engine (0 = sequential build and per-query loop, -1 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 0, "partition the dataset across this many sub-indexes and scatter-gather every query over them concurrently (0/1 = unsharded)")
 		cacheMB = flag.Int("cache-mb", 0, "epoch-keyed answer cache budget in MB; repeated queries are served memoized (0 disables)")
 		repeat  = flag.Int("repeat", 1, "passes over the workload (answers printed once); with -cache-mb, later passes demonstrate the hit path")
@@ -53,7 +53,7 @@ func main() {
 	fmt.Printf("loaded %s: %d objects (%s), %d queries\n",
 		*data, gen.Dataset.Count(), gen.Dataset.Space().Metric().Name(), len(gen.Queries))
 
-	cfg := bench.Config{N: gen.Dataset.Count(), Queries: len(gen.Queries), Pivots: *pivots, Shards: *shards, CacheMB: *cacheMB}.WithDefaults()
+	cfg := bench.Config{N: gen.Dataset.Count(), Queries: len(gen.Queries), Pivots: *pivots, Workers: *workers, Shards: *shards, CacheMB: *cacheMB}.WithDefaults()
 	env := &bench.Env{Cfg: cfg, Gen: gen}
 	pv, err := selectPivots(env)
 	if err != nil {

@@ -119,14 +119,22 @@ func NewDiskEPTStar(ds *Dataset, opts EPTOptions, disk DiskOptions) (*DiskIndex,
 }
 
 // NewCPT builds the Clustered Pivot Table (§3.3): in-memory distance
-// table plus a disk M-tree clustering the objects.
+// table plus a disk M-tree clustering the objects, both built
+// sequentially (the paper's methodology).
 func NewCPT(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, error) {
-	return NewCPTParallel(ds, pivots, opts, 1)
+	p := opts.pager()
+	idx, err := cpt.New(ds, p, pivots, cpt.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
 }
 
 // NewCPTParallel builds the same CPT with the distance-table precompute
-// fanned out across workers goroutines (<= 0 uses GOMAXPROCS); the M-tree
-// is still built sequentially. The result is identical to NewCPT.
+// fanned out across workers goroutines (<= 0 uses GOMAXPROCS) and the
+// M-tree constructed by the partitioned bulk load instead of one-by-one
+// insertion. Query answers are identical to NewCPT's; only the object
+// clustering on disk (and the build time) differs.
 func NewCPTParallel(ds *Dataset, pivots []int, opts DiskOptions, workers int) (*DiskIndex, error) {
 	if workers <= 0 {
 		workers = -1 // cpt: negative means GOMAXPROCS
@@ -151,10 +159,11 @@ type TreeOptions struct {
 	MaxDistance float64
 	// Seed drives BKT's random pivot choice.
 	Seed int64
-	// Workers parallelizes MVPT construction node-level (per-node pivot
-	// distances fan out and sibling subtrees build concurrently): 0 or 1
-	// builds sequentially, negative uses GOMAXPROCS. The tree is
-	// identical either way. Ignored by BKT/FQT.
+	// Workers parallelizes construction of all three trees node-level
+	// (per-node pivot distances fan out and sibling subtrees build
+	// concurrently, total concurrency bounded by a shared token pool):
+	// 0 or 1 builds sequentially, negative uses GOMAXPROCS. The tree is
+	// identical either way.
 	Workers int
 }
 
@@ -163,7 +172,7 @@ type TreeOptions struct {
 func NewBKT(ds *Dataset, opts TreeOptions) (Index, error) {
 	return bkt.New(ds, bkt.Options{
 		LeafCapacity: opts.LeafCapacity, MaxChildren: opts.MaxChildren,
-		Seed: opts.Seed, MaxDistance: opts.MaxDistance,
+		Seed: opts.Seed, MaxDistance: opts.MaxDistance, Workers: opts.Workers,
 	})
 }
 
@@ -172,7 +181,7 @@ func NewBKT(ds *Dataset, opts TreeOptions) (Index, error) {
 func NewFQT(ds *Dataset, pivots []int, opts TreeOptions) (Index, error) {
 	return fqt.New(ds, pivots, fqt.Options{
 		LeafCapacity: opts.LeafCapacity, MaxChildren: opts.MaxChildren,
-		MaxDistance: opts.MaxDistance,
+		MaxDistance: opts.MaxDistance, Workers: opts.Workers,
 	})
 }
 
@@ -190,11 +199,30 @@ func NewMVPT(ds *Dataset, pivots []int, opts TreeOptions) (Index, error) {
 }
 
 // NewPMTree builds the PM-tree (§5.1): an M-tree with per-entry pivot
-// rings. Objects live inside the tree pages, so high-dimensional data
-// needs LargePageSize.
+// rings, loaded by one-by-one insertion (the paper's methodology).
+// Objects live inside the tree pages, so high-dimensional data needs
+// LargePageSize.
 func NewPMTree(ds *Dataset, pivots []int, opts DiskOptions) (*DiskIndex, error) {
 	p := opts.pager()
 	idx, err := pmtree.New(ds, p, pivots, pmtree.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pager: p}, nil
+}
+
+// NewPMTreeParallel builds the same PM-tree with the partitioned bulk
+// load: objects are partitioned around deterministic samples, partition
+// subtrees build in parallel workers (<= 0 uses GOMAXPROCS), and a
+// sequential merge writes the pages, so the resulting volume is
+// byte-identical for every worker count. Answers match NewPMTree's;
+// only page clustering and build time differ.
+func NewPMTreeParallel(ds *Dataset, pivots []int, opts DiskOptions, workers int) (*DiskIndex, error) {
+	if workers <= 0 {
+		workers = -1 // pmtree: negative means GOMAXPROCS
+	}
+	p := opts.pager()
+	idx, err := pmtree.New(ds, p, pivots, pmtree.Options{Seed: 1, Workers: workers})
 	if err != nil {
 		return nil, err
 	}

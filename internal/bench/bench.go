@@ -52,11 +52,18 @@ type Config struct {
 	Seed int64
 	// Datasets restricts the run (nil = all four).
 	Datasets []dataset.Kind
-	// Workers routes query workloads through the concurrent batch engine:
-	// 0 keeps the sequential per-query loop (the paper's single-threaded
-	// methodology), negative uses GOMAXPROCS, otherwise that many worker
-	// goroutines. Per-query compdists and PA averages are identical either
-	// way; only CPU (wall time per query) changes.
+	// Workers routes query workloads through the concurrent batch engine
+	// and fans out every index construction (table precomputes, BKT/FQT/
+	// MVPT node-level builds, CPT/PM-tree partitioned bulk loads): 0
+	// keeps the sequential per-query loop and builds (the paper's
+	// single-threaded methodology), negative uses GOMAXPROCS, otherwise
+	// that many worker goroutines. Answers are identical either way, and
+	// for every structure except the two bulk-loaded ones so are
+	// per-query compdists and PA (only CPU moves). The exceptions are
+	// the PM-tree and CPT: Workers != 0 selects the partitioned M-tree
+	// *bulk load*, which clusters objects onto different pages than
+	// one-by-one insertion, so their per-query and update costs shift
+	// slightly.
 	Workers int
 	// Shards partitions the dataset across that many sub-indexes behind a
 	// scatter-gather front (internal/shard): every build wraps the chosen
@@ -215,12 +222,14 @@ func Builders() []Builder {
 		}},
 		{Name: "BKT", DiscreteOnly: true, Build: func(e *Env) (*Built, error) {
 			idx, err := bkt.New(e.Gen.Dataset, bkt.Options{
-				Seed: e.Cfg.Seed, MaxDistance: e.Gen.MaxDistance,
+				Seed: e.Cfg.Seed, MaxDistance: e.Gen.MaxDistance, Workers: e.Cfg.Workers,
 			})
 			return &Built{Name: "BKT", Index: idx}, err
 		}},
 		{Name: "FQT", DiscreteOnly: true, Build: func(e *Env) (*Built, error) {
-			idx, err := fqt.New(e.Gen.Dataset, e.Pivots, fqt.Options{MaxDistance: e.Gen.MaxDistance})
+			idx, err := fqt.New(e.Gen.Dataset, e.Pivots, fqt.Options{
+				MaxDistance: e.Gen.MaxDistance, Workers: e.Cfg.Workers,
+			})
 			return &Built{Name: "FQT", Index: idx}, err
 		}},
 		{Name: "MVPT", Build: func(e *Env) (*Built, error) {
@@ -229,7 +238,9 @@ func Builders() []Builder {
 		}},
 		{Name: "PM-tree", Build: func(e *Env) (*Built, error) {
 			p := pagerFor(e, true)
-			idx, err := pmtree.New(e.Gen.Dataset, p, e.Pivots, pmtree.Options{Seed: e.Cfg.Seed})
+			idx, err := pmtree.New(e.Gen.Dataset, p, e.Pivots, pmtree.Options{
+				Seed: e.Cfg.Seed, Workers: e.Cfg.Workers,
+			})
 			return &Built{Name: "PM-tree", Index: idx, Pager: p}, err
 		}},
 		{Name: "OmniR-tree", Build: func(e *Env) (*Built, error) {

@@ -3,7 +3,11 @@
 // holds a pivot, and objects at distance i from the pivot descend into the
 // i-th subtree. Pivots are selected at random per subtree (the paper keeps
 // this randomness; using the shared pivot set per level instead would turn
-// BKT into FQT).
+// BKT into FQT). The random choice is derived by hashing the subtree's own
+// identifiers with the seed, so it depends only on the subtree's content —
+// never on the order subtrees are built in — which makes construction
+// deterministic and lets sibling subtrees build concurrently with an
+// identical result.
 //
 // Following §4.1, only object identifiers live in the tree; object values
 // stay in the dataset table. To avoid empty subtrees under large distance
@@ -15,8 +19,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
+	"sync"
 
 	"metricindex/internal/core"
 )
@@ -34,6 +38,13 @@ type Options struct {
 	// MaxDistance is the distance-domain upper bound (d+), used to size
 	// buckets. Required.
 	MaxDistance float64
+	// Workers parallelizes construction node-level: the per-node pivot
+	// distances and sibling subtrees above a size cutoff spread over a
+	// pool of Workers goroutines shared by the whole build (a token
+	// scheme, so total concurrency stays bounded however wide the tree
+	// fans out). 0 or 1 builds sequentially, negative uses GOMAXPROCS.
+	// The tree is identical either way.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -54,8 +65,10 @@ type BKT struct {
 	ds   *core.Dataset
 	opts Options
 	root *node
-	rng  *rand.Rand
 	size int
+	// tokens bounds build parallelism to Workers total goroutines across
+	// the whole recursion; nil builds sequentially.
+	tokens *core.TokenPool
 }
 
 // node is either a leaf (ids != nil precisely when it has no pivot) or an
@@ -79,7 +92,7 @@ func New(ds *core.Dataset, opts Options) (*BKT, error) {
 		return nil, fmt.Errorf("bkt: metric %q is not discrete", ds.Space().Metric().Name())
 	}
 	opts = opts.withDefaults()
-	t := &BKT{ds: ds, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	t := &BKT{ds: ds, opts: opts, tokens: core.NewTokenPool(opts.Workers)}
 	ids := make([]int32, 0, ds.Count())
 	for _, id := range ds.LiveIDs() {
 		ids = append(ids, int32(id))
@@ -89,13 +102,35 @@ func New(ds *core.Dataset, opts Options) (*BKT, error) {
 	return t, nil
 }
 
+// pivotIndex picks the pivot as the identifier with the minimum seeded
+// hash (min-hash over the subtree's id *set*, ties to the smaller id).
+// The chosen pivot id is a function of the set alone — independent of
+// slice ordering — so concurrent sibling builds, and leaf rebuilds
+// whose ids arrived in insertion order, pick the same pivot a
+// sequential fresh build over the same ids would. The returned value is
+// that pivot's position in ids.
+func pivotIndex(seed int64, ids []int32) int {
+	best := 0
+	bestH := ^uint64(0)
+	for i, id := range ids {
+		h := core.Mix64(uint64(seed) ^ 0x9e3779b97f4a7c15 ^ uint64(uint32(id)))
+		if h < bestH || (h == bestH && id < ids[best]) {
+			best, bestH = i, h
+		}
+	}
+	return best
+}
+
 // build recursively partitions ids by distance to a randomly chosen pivot.
+// With Workers > 1 the per-node pivot distances and sibling subtrees above
+// core.ParallelNodeCutoff spread over the shared token pool — disjoint nodes and
+// slots, so the tree is identical to the sequential build.
 func (t *BKT) build(ids []int32) *node {
 	if len(ids) <= t.opts.LeafCapacity {
 		return &node{ids: ids}
 	}
 	// Random pivot from the subtree's own objects (§4.1).
-	pi := t.rng.Intn(len(ids))
+	pi := pivotIndex(t.opts.Seed, ids)
 	pid := ids[pi]
 	pv := t.ds.Object(int(pid))
 	rest := make([]int32, 0, len(ids)-1)
@@ -109,28 +144,45 @@ func (t *BKT) build(ids []int32) *node {
 		width:     bucketWidth(t.opts.MaxDistance, t.opts.MaxChildren),
 		children:  make(map[int]*node),
 	}
+	sp := t.ds.Space()
+	par := t.tokens != nil && len(ids) >= core.ParallelNodeCutoff
+	// Bucket index per object: the distance fill fans out over the token
+	// pool; the bucket aggregation that follows is sequential over rest's
+	// order, so bucket contents are order-identical either way.
+	bs := make([]int, len(rest))
+	fill := func(start, end int) {
+		for i := start; i < end; i++ {
+			bs[i] = int(sp.Distance(pv, t.ds.Object(int(rest[i]))) / n.width)
+		}
+	}
+	if par {
+		t.tokens.ChunkedFill(len(rest), fill)
+	} else {
+		fill(0, len(rest))
+	}
 	buckets := make(map[int][]int32)
 	allSame := true
-	var firstB int
-	sp := t.ds.Space()
 	for i, id := range rest {
-		b := int(sp.Distance(pv, t.ds.Object(int(id))) / n.width)
-		if i == 0 {
-			firstB = b
-		} else if b != firstB {
+		if bs[i] != bs[0] {
 			allSame = false
 		}
-		buckets[b] = append(buckets[b], id)
+		buckets[bs[i]] = append(buckets[bs[i]], id)
 	}
 	if allSame && len(rest) > t.opts.LeafCapacity {
 		// Degenerate split (e.g. many duplicates): stop here to guarantee
 		// termination; the single child becomes a leaf.
-		n.children[firstB] = &node{ids: buckets[firstB]}
+		n.children[bs[0]] = &node{ids: buckets[bs[0]]}
 		return n
 	}
+	var wg sync.WaitGroup
 	for b, bucket := range buckets {
-		n.children[b] = t.build(bucket)
+		child := &node{}
+		n.children[b] = child
+		if !par || !t.tokens.TryGo(&wg, func() { *child = *t.build(bucket) }) {
+			*child = *t.build(bucket)
+		}
 	}
+	wg.Wait()
 	return n
 }
 

@@ -1,6 +1,7 @@
 package bkt
 
 import (
+	"fmt"
 	"testing"
 
 	"metricindex/internal/core"
@@ -24,42 +25,20 @@ func TestBKTRejectsContinuousMetric(t *testing.T) {
 	}
 }
 
-func TestBKTRangeMatchesBruteForce(t *testing.T) {
-	idx, ds := newIntBKT(t, 400)
-	for qs := int64(0); qs < 5; qs++ {
-		q := testutil.RandomQuery(ds, qs)
-		for _, r := range []float64{0, 2, 10, 35, 120} {
-			testutil.CheckRange(t, idx, ds, q, r)
+// TestBKTEquivalence runs the shared metamorphic harness: parallel build
+// answers identical to sequential, both correct against a linear scan,
+// and invariant under insert-then-delete round trips — on integer
+// vectors and words.
+func TestBKTEquivalence(t *testing.T) {
+	for _, ed := range testutil.EquivDatasets(true, 400, 7) {
+		build := func(ds *core.Dataset, workers int) (testutil.EquivIndex, error) {
+			return New(ds, Options{Seed: 3, MaxDistance: ed.MaxDistance, Workers: workers})
 		}
+		testutil.CheckEquivalence(t, ed, build, testutil.EquivOptions{})
 	}
 }
 
-func TestBKTKNNMatchesBruteForce(t *testing.T) {
-	idx, ds := newIntBKT(t, 400)
-	for qs := int64(0); qs < 5; qs++ {
-		q := testutil.RandomQuery(ds, qs)
-		for _, k := range []int{1, 4, 25, 400} {
-			testutil.CheckKNN(t, idx, ds, q, k)
-		}
-	}
-}
-
-func TestBKTWordsDataset(t *testing.T) {
-	ds := testutil.WordDataset(300, 11)
-	idx, err := New(ds, Options{Seed: 5, MaxDistance: 12})
-	if err != nil {
-		t.Fatalf("New: %v", err)
-	}
-	for qs := int64(0); qs < 4; qs++ {
-		q := testutil.RandomQuery(ds, qs)
-		for _, r := range []float64{0, 1, 2, 4} {
-			testutil.CheckRange(t, idx, ds, q, r)
-		}
-		testutil.CheckKNN(t, idx, ds, q, 6)
-	}
-}
-
-func TestBKTInsertDelete(t *testing.T) {
+func TestBKTDeleteThenInsertMixed(t *testing.T) {
 	idx, ds := newIntBKT(t, 200)
 	for id := 0; id < 200; id += 4 {
 		if err := idx.Delete(id); err != nil {
@@ -82,6 +61,75 @@ func TestBKTInsertDelete(t *testing.T) {
 	testutil.CheckKNN(t, idx, ds, q, 17)
 	if idx.Len() != ds.Count() {
 		t.Fatalf("Len = %d, want %d", idx.Len(), ds.Count())
+	}
+}
+
+// sameTree deep-compares two BKT nodes: pivot, bucket width, child
+// bucket keys, and the exact identifier sequence of every leaf.
+func sameTree(a, b *node) error {
+	if a.leaf() != b.leaf() {
+		return fmt.Errorf("leaf/internal mismatch")
+	}
+	if a.leaf() {
+		if len(a.ids) != len(b.ids) {
+			return fmt.Errorf("leaf sizes %d vs %d", len(a.ids), len(b.ids))
+		}
+		for i := range a.ids {
+			if a.ids[i] != b.ids[i] {
+				return fmt.Errorf("leaf id %d: %d vs %d", i, a.ids[i], b.ids[i])
+			}
+		}
+		return nil
+	}
+	if a.pivotID != b.pivotID || a.width != b.width || a.pivotLive != b.pivotLive {
+		return fmt.Errorf("pivot %d/%v/%v vs %d/%v/%v", a.pivotID, a.width, a.pivotLive, b.pivotID, b.width, b.pivotLive)
+	}
+	if len(a.children) != len(b.children) {
+		return fmt.Errorf("fanout %d vs %d", len(a.children), len(b.children))
+	}
+	for bkey, ac := range a.children {
+		bc, ok := b.children[bkey]
+		if !ok {
+			return fmt.Errorf("bucket %d missing", bkey)
+		}
+		if err := sameTree(ac, bc); err != nil {
+			return fmt.Errorf("bucket %d: %w", bkey, err)
+		}
+	}
+	return nil
+}
+
+// TestBKTParallelBuildIdentical checks the node-level parallel build
+// produces exactly the sequential tree: the content-hashed pivot choice
+// is order-independent, so worker scheduling cannot change the result.
+func TestBKTParallelBuildIdentical(t *testing.T) {
+	ds := testutil.IntVectorDataset(3000, 4, 100, 7)
+	seq, err := New(ds, Options{Seed: 3, MaxDistance: 100, LeafCapacity: 4})
+	if err != nil {
+		t.Fatalf("sequential New: %v", err)
+	}
+	for _, workers := range []int{-1, 4} {
+		par, err := New(ds, Options{Seed: 3, MaxDistance: 100, LeafCapacity: 4, Workers: workers})
+		if err != nil {
+			t.Fatalf("parallel New(workers=%d): %v", workers, err)
+		}
+		if err := sameTree(seq.root, par.root); err != nil {
+			t.Fatalf("workers=%d tree differs from sequential: %v", workers, err)
+		}
+	}
+}
+
+// TestBKTBuildConcurrencyBounded asserts the token pool keeps the
+// build's total concurrency at Workers — not Workers per tree level (the
+// MVPT lesson from the serving-layer PR).
+func TestBKTBuildConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	ds, probe := testutil.ProbeDataset(testutil.IntVectorDataset(1500, 4, 100, 7), 0)
+	if _, err := New(ds, Options{Seed: 3, MaxDistance: 100, Workers: workers}); err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := probe.Max(); got > workers {
+		t.Fatalf("observed %d concurrent distance computations, Workers=%d", got, workers)
 	}
 }
 

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzLevenshtein checks the metric axioms of the rune-wise edit
+// distance on arbitrary strings: identity, symmetry, the triangle
+// inequality, and the rune-count bounds. The edit distance underpins
+// every pivot-filtering lemma on the Words dataset, so an axiom
+// violation here would silently corrupt query answers.
+func FuzzLevenshtein(f *testing.F) {
+	f.Add("kitten", "sitting", "")
+	f.Add("café", "cafe", "caffè")
+	f.Add("", "abc", "abd")
+	f.Add("aaaa", "aa", "aaa")
+	f.Add("日本語", "日本", "語")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		if len(a)+len(b)+len(c) > 256 {
+			t.Skip("bound the DP cost")
+		}
+		dab := editDistance(a, b)
+		if editDistance(a, a) != 0 {
+			t.Fatalf("d(%q,%q) != 0", a, a)
+		}
+		if dba := editDistance(b, a); dab != dba {
+			t.Fatalf("symmetry: d(%q,%q)=%d but d(%q,%q)=%d", a, b, dab, b, a, dba)
+		}
+		if dab < 0 {
+			t.Fatalf("negative distance d(%q,%q)=%d", a, b, dab)
+		}
+		ra, rb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+		lo, hi := ra-rb, rb
+		if lo < 0 {
+			lo = -lo
+		}
+		if ra > hi {
+			hi = ra
+		}
+		if dab < lo || dab > hi {
+			t.Fatalf("d(%q,%q)=%d outside rune-count bounds [%d,%d]", a, b, dab, lo, hi)
+		}
+		// Identity of indiscernibles holds on valid UTF-8 only: invalid
+		// byte sequences decode to U+FFFD replacement runes, so distinct
+		// invalid strings can coincide after decoding. That degrades the
+		// metric to a pseudometric, which every pruning lemma tolerates
+		// (they use symmetry and the triangle inequality).
+		if dab == 0 && a != b && utf8.ValidString(a) && utf8.ValidString(b) {
+			t.Fatalf("identity of indiscernibles: d(%q,%q)=0 for distinct strings", a, b)
+		}
+		dac, dcb := editDistance(a, c), editDistance(c, b)
+		if dab > dac+dcb {
+			t.Fatalf("triangle inequality: d(%q,%q)=%d > d(%q,%q)+d(%q,%q)=%d",
+				a, b, dab, a, c, c, b, dac+dcb)
+		}
+	})
+}

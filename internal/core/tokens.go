@@ -1,0 +1,114 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// TokenPool bounds the *total* concurrency of a recursive parallel build.
+// A build that spawns a goroutine per tree node would otherwise multiply
+// its worker budget at every level of the recursion; the pool hands out
+// Workers-1 tokens (the calling goroutine is the +1) shared by every
+// concurrently building node, so total concurrency never exceeds Workers
+// no matter how wide the structure fans out.
+//
+// The try-else-inline discipline — attempt to offload, run on the caller
+// when no token is free — is what makes the scheme deadlock-free: a
+// builder never blocks waiting for a token that one of its own children
+// might hold.
+//
+// A nil *TokenPool is valid and means "sequential": TryGo reports false
+// and Slots reports zero, so callers need no special-casing.
+type TokenPool struct {
+	tokens chan struct{}
+}
+
+// NewTokenPool sizes a pool for the given worker budget: 0 or 1 returns
+// nil (build sequentially), negative uses GOMAXPROCS, anything else
+// grants workers-1 tokens.
+func NewTokenPool(workers int) *TokenPool {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return nil
+	}
+	return &TokenPool{tokens: make(chan struct{}, workers-1)}
+}
+
+// TryGo runs fn on a new goroutine if a token is free, reporting whether
+// it did; wg tracks the spawned work. When no token is free (or the pool
+// is nil) it reports false and the caller must run fn inline.
+func (p *TokenPool) TryGo(wg *sync.WaitGroup, fn func()) bool {
+	if p == nil {
+		return false
+	}
+	select {
+	case p.tokens <- struct{}{}:
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-p.tokens }()
+			fn()
+		}()
+		return true
+	default:
+		return false
+	}
+}
+
+// Slots returns the number of tokens (extra goroutines beyond the
+// caller); zero for a nil pool.
+func (p *TokenPool) Slots() int {
+	if p == nil {
+		return 0
+	}
+	return cap(p.tokens)
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap bijective mixer whose
+// output bits all depend on all input bits. It seeds BKT's
+// content-hashed pivot choice and the sharded engine's hash
+// partitioner.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ParallelNodeCutoff is the node size below which the tree builders
+// (BKT, FQT, MVPT) keep construction on the calling goroutine: small
+// subtrees finish faster than goroutine handoff.
+const ParallelNodeCutoff = 1024
+
+// ChunkedFill splits [0, n) into Slots()+1 contiguous chunks and runs
+// fill over them through the pool: each chunk is offloaded if a token
+// is free, otherwise run inline; the last chunk always stays on the
+// caller. Returns after every chunk completes. fill must be safe to
+// call concurrently for disjoint ranges. A nil pool runs fill(0, n)
+// inline.
+func (p *TokenPool) ChunkedFill(n int, fill func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil {
+		fill(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + p.Slots()) / (p.Slots() + 1)
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		s, e := start, end
+		if end == n || !p.TryGo(&wg, func() { fill(s, e) }) {
+			fill(s, e) // last chunk, or no token free: stay inline
+		}
+	}
+	wg.Wait()
+}

@@ -21,11 +21,16 @@ import (
 type Options struct {
 	// Seed drives M-tree split sampling.
 	Seed int64
-	// Workers parallelizes the distance-table precompute (one row of
-	// pivot distances per object): 0 or 1 builds sequentially, negative
-	// uses GOMAXPROCS, otherwise that many goroutines. The M-tree is
-	// always built sequentially (its splits depend on insertion order).
-	// The resulting index is identical to a sequential build.
+	// Workers parallelizes construction: the distance-table precompute
+	// fans its rows out over this many goroutines (0 or 1 sequential,
+	// negative GOMAXPROCS), and any nonzero value additionally builds the
+	// object M-tree with the partitioned bulk load of internal/mtree
+	// instead of one-by-one insertion. The distance table is identical
+	// for every value, and the bulk-loaded M-tree's page image is
+	// identical for every nonzero value. Answers are identical either
+	// way, but because the bulk load clusters objects onto different
+	// pages than insertion, per-query PA (buffer-cache locality of
+	// candidate reads) and update costs shift slightly versus Workers=0.
 	Workers int
 }
 
@@ -42,20 +47,16 @@ type CPT struct {
 }
 
 // New builds the CPT: the in-memory distance table plus the disk M-tree
-// holding the objects (built by repeated insertion, which is where the
-// extra construction compdists of Table 4 come from).
+// holding the objects (built by repeated insertion — where the extra
+// construction compdists of Table 4 come from — or by the partitioned
+// bulk load when Workers != 0).
 func New(ds *core.Dataset, pager *store.Pager, pivots []int, opts Options) (*CPT, error) {
 	if len(pivots) == 0 {
 		return nil, fmt.Errorf("cpt: no pivots")
 	}
-	tree, err := mtree.New(ds, pager, nil, mtree.Options{Seed: opts.Seed})
-	if err != nil {
-		return nil, err
-	}
 	c := &CPT{
 		ds:       ds,
 		pager:    pager,
-		tree:     tree,
 		pivotIDs: append([]int(nil), pivots...),
 		rowOf:    make(map[int]int),
 	}
@@ -70,6 +71,22 @@ func New(ds *core.Dataset, pager *store.Pager, pivots []int, opts Options) (*CPT
 	c.ids, c.dists = core.BuildDistRows(ds, ids, c.pivotVals, opts.Workers)
 	for row, id := range ids {
 		c.rowOf[id] = row
+	}
+	if opts.Workers != 0 {
+		tree, err := mtree.Bulk(ds, pager, nil, mtree.Options{Seed: opts.Seed},
+			mtree.BulkOptions{Workers: opts.Workers})
+		if err != nil {
+			return nil, err
+		}
+		c.tree = tree
+		return c, nil
+	}
+	tree, err := mtree.New(ds, pager, nil, mtree.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	c.tree = tree
+	for _, id := range ids {
 		if err := c.tree.Insert(id); err != nil {
 			return nil, err
 		}

@@ -19,18 +19,19 @@ func build(t *testing.T, ds *core.Dataset, v Variant) *EPT {
 	return idx
 }
 
-func TestEPTVariantsMatchBruteForce(t *testing.T) {
+// TestEPTEquivalence runs the shared metamorphic harness over both EPT
+// variants (parallel == sequential answers, linear-scan correctness,
+// insert-then-delete invariance) on vectors and words.
+func TestEPTEquivalence(t *testing.T) {
 	for _, v := range []Variant{Original, Star} {
-		ds := testutil.VectorDataset(250, 4, 100, core.L2{}, 7)
-		idx := build(t, ds, v)
-		for qs := int64(0); qs < 4; qs++ {
-			q := testutil.RandomQuery(ds, qs)
-			for _, r := range testutil.Radii(ds, q) {
-				testutil.CheckRange(t, idx, ds, q, r)
+		for _, ed := range testutil.EquivDatasets(false, 250, 7) {
+			builder := func(ds *core.Dataset, workers int) (testutil.EquivIndex, error) {
+				return New(ds, v, Options{
+					L: 4, Radius: 10,
+					Sel: pivot.Options{Seed: 3, SampleSize: 128}, Workers: workers,
+				})
 			}
-			for _, k := range []int{1, 7, 40} {
-				testutil.CheckKNN(t, idx, ds, q, k)
-			}
+			testutil.CheckEquivalence(t, ed, builder, testutil.EquivOptions{})
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"metricindex/internal/core"
 )
@@ -24,6 +25,13 @@ type Options struct {
 	MaxChildren int
 	// MaxDistance is the distance-domain upper bound d+. Required.
 	MaxDistance float64
+	// Workers parallelizes construction node-level: the per-node pivot
+	// distances and sibling subtrees above a size cutoff spread over a
+	// pool of Workers goroutines shared by the whole build (a token
+	// scheme bounding total concurrency). 0 or 1 builds sequentially,
+	// negative uses GOMAXPROCS. The tree is identical either way — FQT
+	// construction has no randomness, only the level pivots.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +56,9 @@ type FQT struct {
 	width     float64
 	root      *node
 	size      int
+	// tokens bounds build parallelism to Workers total goroutines across
+	// the whole recursion; nil builds sequentially.
+	tokens *core.TokenPool
 }
 
 // node is a leaf (bucket of ids) or an internal node whose children are
@@ -74,6 +85,7 @@ func New(ds *core.Dataset, pivots []int, opts Options) (*FQT, error) {
 		opts:     opts,
 		pivotIDs: append([]int(nil), pivots...),
 		width:    bucketWidth(opts.MaxDistance, opts.MaxChildren),
+		tokens:   core.NewTokenPool(opts.Workers),
 	}
 	for _, p := range pivots {
 		v := ds.Object(p)
@@ -101,22 +113,45 @@ func bucketWidth(maxD float64, maxChildren int) float64 {
 
 // build partitions ids by distance to the level pivot; recursion stops at
 // the leaf capacity or when the pivots are exhausted (the tree height is
-// the number of pivots, §4.2).
+// the number of pivots, §4.2). With Workers > 1 the per-node distances
+// and sibling subtrees above core.ParallelNodeCutoff spread over the shared token
+// pool — disjoint nodes and slots, so the tree is identical to the
+// sequential build.
 func (t *FQT) build(ids []int32, level int) *node {
 	if len(ids) <= t.opts.LeafCapacity || level >= len(t.pivotVals) {
 		return &node{ids: ids}
 	}
 	sp := t.ds.Space()
 	pv := t.pivotVals[level]
+	par := t.tokens != nil && len(ids) >= core.ParallelNodeCutoff
+	// Bucket index per object: the distance fill fans out over the token
+	// pool; the aggregation that follows is sequential over ids' order, so
+	// bucket contents are order-identical either way.
+	bs := make([]int, len(ids))
+	fill := func(start, end int) {
+		for i := start; i < end; i++ {
+			bs[i] = int(sp.Distance(pv, t.ds.Object(int(ids[i]))) / t.width)
+		}
+	}
+	if par {
+		t.tokens.ChunkedFill(len(ids), fill)
+	} else {
+		fill(0, len(ids))
+	}
 	buckets := make(map[int][]int32)
-	for _, id := range ids {
-		b := int(sp.Distance(pv, t.ds.Object(int(id))) / t.width)
-		buckets[b] = append(buckets[b], id)
+	for i, id := range ids {
+		buckets[bs[i]] = append(buckets[bs[i]], id)
 	}
 	n := &node{children: make(map[int]*node, len(buckets))}
+	var wg sync.WaitGroup
 	for b, bucket := range buckets {
-		n.children[b] = t.build(bucket, level+1)
+		child := &node{}
+		n.children[b] = child
+		if !par || !t.tokens.TryGo(&wg, func() { *child = *t.build(bucket, level+1) }) {
+			*child = *t.build(bucket, level+1)
+		}
 	}
+	wg.Wait()
 	return n
 }
 

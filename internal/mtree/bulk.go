@@ -1,0 +1,264 @@
+package mtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"metricindex/internal/core"
+	"metricindex/internal/store"
+)
+
+// BulkOptions tunes the partitioned bulk load.
+type BulkOptions struct {
+	// Workers bounds the build's total concurrency: partition assignment
+	// and the per-partition subtree builds fan out over this many
+	// goroutines. 0 or 1 runs the whole load sequentially, negative uses
+	// GOMAXPROCS. The resulting page image is byte-identical for every
+	// value — parallelism only touches phases whose outputs are
+	// order-independent, and every page write happens in the sequential
+	// merge phase.
+	Workers int
+	// Partitions is the number of sample-based partitions (default 8,
+	// clamped so each partition averages at least minPartitionSize
+	// objects). The page image depends on Partitions but never on
+	// Workers.
+	Partitions int
+}
+
+// minPartitionSize is the average partition size below which extra
+// partitions stop paying for themselves (tiny subtrees plus a taller
+// merge root).
+const minPartitionSize = 32
+
+// defaultPartitions balances partition-build parallelism against root
+// fanout for datasets large enough to bulk load.
+const defaultPartitions = 8
+
+// Bulk builds a fully loaded tree over all live objects with a
+// partitioned bulk load instead of one-by-one root insertion:
+//
+//  1. sample Partitions routing objects (deterministically from
+//     Options.Seed) and assign every object to its nearest sample — the
+//     phase that dominates distance computations, fanned out over
+//     Workers;
+//  2. build each partition's subtree by sequential insertion into a
+//     private staging pager, partitions running in parallel workers;
+//  3. merge sequentially: copy each partition's pages into the real
+//     pager in partition order (rewriting child pointers), then pack the
+//     partition routing entries — whose covering radii are the *exact*
+//     maxima recorded during assignment — into the root level.
+//
+// Because sampling and assignment are deterministic, each partition
+// builds sequentially in its own staging space, and only the sequential
+// merge writes through the shared pager, the page layout is identical
+// for every Workers value; only wall-clock time changes.
+func Bulk(ds *core.Dataset, pager *store.Pager, pivotIDs []int, opts Options, bo BulkOptions) (*Tree, error) {
+	ids := ds.LiveIDs()
+	p := bo.Partitions
+	if p <= 0 {
+		p = defaultPartitions
+	}
+	if maxP := len(ids) / minPartitionSize; p > maxP {
+		p = maxP
+	}
+	if p <= 1 {
+		// Too small to partition: plain sequential insertion build.
+		t, err := New(ds, pager, pivotIDs, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if err := t.Insert(id); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+
+	t, err := newTree(ds, pager, pivotIDs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: sample partition routing objects and assign every object
+	// to its nearest sample (ties to the lowest sample index). The
+	// per-object distances also yield the exact covering radius of each
+	// partition.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(len(ids))[:p]
+	samples := make([]core.Object, p)
+	for i, pos := range perm {
+		samples[i] = ds.Object(ids[pos])
+	}
+	sp := ds.Space()
+	assign := make([]int32, len(ids))
+	distTo := make([]float64, len(ids))
+	core.ParallelFor(len(ids), bo.Workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			o := ds.Object(ids[i])
+			best, bestD := 0, sp.Distance(o, samples[0])
+			for j := 1; j < p; j++ {
+				if d := sp.Distance(o, samples[j]); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			assign[i], distTo[i] = int32(best), bestD
+		}
+	})
+	parts := make([][]int, p)
+	radius := make([]float64, p)
+	for i, id := range ids {
+		parts[assign[i]] = append(parts[assign[i]], id)
+		if distTo[i] > radius[assign[i]] {
+			radius[assign[i]] = distTo[i]
+		}
+	}
+
+	// Phase 2: per-partition subtree builds, each a sequential insertion
+	// run against a private staging pager, partitions spread over the
+	// workers.
+	staged := make([]*Tree, p)
+	errs := make([]error, p)
+	core.ParallelFor(p, bo.Workers, func(start, end int) {
+		for pi := start; pi < end; pi++ {
+			st, err := New(ds, store.NewPager(pager.PageSize()), pivotIDs,
+				Options{NumPivots: opts.NumPivots, Seed: opts.Seed + int64(pi) + 1})
+			if err == nil {
+				for _, id := range parts[pi] {
+					if err = st.Insert(id); err != nil {
+						break
+					}
+				}
+			}
+			staged[pi], errs[pi] = st, err
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: sequential merge. Copy each partition's pages into the
+	// real pager in partition order, rewriting child pointers through the
+	// remap table, then hand the partition routing entries to the root
+	// packer. The partition root's entries get their true parent
+	// distances to the sample, re-arming the parent-distance filter that
+	// the staged build left disabled (∞) at its root.
+	rootEntries := make([]entry, 0, p)
+	l := t.opts.NumPivots
+	for pi := 0; pi < p; pi++ {
+		st := staged[pi]
+		if len(parts[pi]) == 0 {
+			continue // empty partition (duplicate samples): nothing to merge
+		}
+		nPages := st.pager.Pages()
+		remap := make([]store.PageID, nPages)
+		for i := range remap {
+			remap[i] = pager.Alloc()
+		}
+		var rings []float64
+		for i := 0; i < nPages; i++ {
+			n, err := st.readNode(store.PageID(i))
+			if err != nil {
+				return nil, fmt.Errorf("mtree: bulk merge of partition %d: %w", pi, err)
+			}
+			if !n.leaf {
+				for j := range n.entries {
+					n.entries[j].child = remap[n.entries[j].child]
+				}
+			}
+			if store.PageID(i) == st.root {
+				for j := range n.entries {
+					n.entries[j].pd = sp.Distance(samples[pi], n.entries[j].obj)
+				}
+				if l > 0 {
+					if n.leaf {
+						rings = ringsOfLeaf(l, n.entries)
+					} else {
+						rings = ringsOfRouting(l, n.entries)
+					}
+				}
+			}
+			t.writeNode(remap[i], n)
+		}
+		for id, pid := range st.leafOf {
+			t.leafOf[id] = remap[pid]
+		}
+		t.size += st.size
+		rootEntries = append(rootEntries, entry{
+			obj:    samples[pi],
+			child:  remap[st.root],
+			radius: radius[pi],
+			rings:  rings,
+			pd:     math.Inf(1),
+		})
+	}
+	root, err := t.packUpper(rootEntries)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// packUpper writes the routing entries over the partition subtrees into
+// root-level nodes: one root page when they fit, otherwise greedy groups
+// (routing object = the group's first entry, covering radius =
+// max(pd+child radius), rings = the children's union) packed level by
+// level until one node holds everything.
+func (t *Tree) packUpper(entries []entry) (store.PageID, error) {
+	sp := t.ds.Space()
+	for {
+		if len(entries) == 1 {
+			// A single routing entry means its child already is the root.
+			return entries[0].child, nil
+		}
+		n := &node{leaf: false, entries: entries}
+		if t.nodeSize(n) <= t.pager.PageSize() {
+			for i := range n.entries {
+				n.entries[i].pd = math.Inf(1) // root level: no parent
+			}
+			pid := t.pager.Alloc()
+			t.writeNode(pid, n)
+			return pid, nil
+		}
+		var parents []entry
+		for i := 0; i < len(entries); {
+			g := &node{leaf: false}
+			for i < len(entries) {
+				g.entries = append(g.entries, entries[i])
+				if t.nodeSize(g) > t.pager.PageSize() {
+					g.entries = g.entries[:len(g.entries)-1]
+					break
+				}
+				i++
+			}
+			if len(g.entries) == 0 {
+				return 0, fmt.Errorf("mtree: routing entry exceeds the %d-byte page; increase the page size (§6.1 uses 40KB for high-dimensional data)",
+					t.pager.PageSize())
+			}
+			ro := g.entries[0].obj
+			var radius float64
+			for j := range g.entries {
+				e := &g.entries[j]
+				e.pd = sp.Distance(ro, e.obj)
+				if r := e.pd + e.radius; r > radius {
+					radius = r
+				}
+			}
+			rings := ringsOfRouting(t.opts.NumPivots, g.entries)
+			pid := t.pager.Alloc()
+			t.writeNode(pid, g)
+			parents = append(parents, entry{obj: ro, child: pid, radius: radius, rings: rings})
+		}
+		if len(parents) >= len(entries) {
+			// Every group held a single entry: two routing entries exceed a
+			// page, so packing cannot make progress.
+			return 0, fmt.Errorf("mtree: two routing entries exceed the %d-byte page; increase the page size (§6.1 uses 40KB for high-dimensional data)",
+				t.pager.PageSize())
+		}
+		entries = parents
+	}
+}

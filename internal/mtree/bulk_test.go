@@ -1,0 +1,167 @@
+package mtree
+
+import (
+	"bytes"
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/store"
+	"metricindex/internal/testutil"
+)
+
+// samePageImage requires the two pagers to hold byte-identical volumes
+// and the trees to hang off the same root page.
+func samePageImage(t *testing.T, a, b *Tree) {
+	t.Helper()
+	if a.root != b.root {
+		t.Fatalf("roots differ: page %d vs %d", a.root, b.root)
+	}
+	if a.pager.Pages() != b.pager.Pages() {
+		t.Fatalf("page counts differ: %d vs %d", a.pager.Pages(), b.pager.Pages())
+	}
+	for i := 0; i < a.pager.Pages(); i++ {
+		pa, err := a.pager.Read(store.PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.pager.Read(store.PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pa, pb) {
+			t.Fatalf("page %d differs between the two builds", i)
+		}
+	}
+	if len(a.leafOf) != len(b.leafOf) {
+		t.Fatalf("directory sizes differ: %d vs %d", len(a.leafOf), len(b.leafOf))
+	}
+	for id, pid := range a.leafOf {
+		if b.leafOf[id] != pid {
+			t.Fatalf("directory disagrees on object %d: page %d vs %d", id, pid, b.leafOf[id])
+		}
+	}
+}
+
+// TestBulkPageImageIdentical is the bulk load's core determinism proof:
+// for both the plain M-tree and the PM-tree, every worker count produces
+// a byte-identical page image (sampling and assignment are deterministic,
+// partition builds are isolated in staging pagers, and only the
+// sequential merge writes through the shared pager).
+func TestBulkPageImageIdentical(t *testing.T) {
+	for _, numPivots := range []int{0, 4} {
+		ds := testutil.VectorDataset(900, 4, 100, core.L2{}, 7)
+		pv := testutil.SpreadPivots(ds, 4)
+		opts := Options{NumPivots: numPivots, Seed: 7}
+		seq, err := Bulk(ds, store.NewPager(1024), pv, opts, BulkOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("l=%d sequential Bulk: %v", numPivots, err)
+		}
+		for _, workers := range []int{-1, 2, 4} {
+			par, err := Bulk(ds, store.NewPager(1024), pv, opts, BulkOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("l=%d Bulk(workers=%d): %v", numPivots, workers, err)
+			}
+			samePageImage(t, seq, par)
+		}
+	}
+}
+
+// TestBulkInvariants checks the bulk-loaded tree satisfies every
+// structural invariant Validate knows — covering radii, parent
+// distances, ring containment, directory — before and after updates.
+func TestBulkInvariants(t *testing.T) {
+	for _, numPivots := range []int{0, 4} {
+		ds := testutil.VectorDataset(700, 4, 100, core.L2{}, 11)
+		pv := testutil.SpreadPivots(ds, 4)
+		tr, err := Bulk(ds, store.NewPager(1024), pv, Options{NumPivots: numPivots, Seed: 7}, BulkOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("Bulk: %v", err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("l=%d after bulk load: %v", numPivots, err)
+		}
+		if tr.Len() != ds.Count() {
+			t.Fatalf("Len = %d, want %d", tr.Len(), ds.Count())
+		}
+		for id := 0; id < 200; id += 2 {
+			if err := tr.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := ds.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			id := ds.Insert(core.Vector{float64(i), 10, 20, 30})
+			if err := tr.Insert(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("l=%d after updates on bulk tree: %v", numPivots, err)
+		}
+	}
+}
+
+// TestBulkEquivalence runs the shared metamorphic harness over the
+// bulk-loaded plain M-tree (vectors and words).
+func TestBulkEquivalence(t *testing.T) {
+	for _, ed := range testutil.EquivDatasets(false, 400, 7) {
+		build := func(ds *core.Dataset, workers int) (testutil.EquivIndex, error) {
+			tr, err := Bulk(ds, store.NewPager(1024), nil, Options{Seed: 7}, BulkOptions{Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			return searcherAdapter{tr}, nil
+		}
+		testutil.CheckEquivalence(t, ed, build, testutil.EquivOptions{})
+	}
+}
+
+// TestBulkSmallFallsBackToInsertion: below the partitioning floor the
+// bulk load must degrade to the plain insertion build, page for page.
+func TestBulkSmallFallsBackToInsertion(t *testing.T) {
+	ds := testutil.VectorDataset(50, 4, 100, core.L2{}, 13)
+	ins, _ := buildTree(t, ds, 0, 512)
+	blk, err := Bulk(ds, store.NewPager(512), nil, Options{Seed: 7}, BulkOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("Bulk: %v", err)
+	}
+	samePageImage(t, ins, blk)
+}
+
+// TestBulkDuplicateObjects: heavy duplication collapses most partitions
+// to empty (ties assign to the lowest sample); the tree must still build,
+// validate, and answer correctly.
+func TestBulkDuplicateObjects(t *testing.T) {
+	objs := make([]core.Object, 400)
+	for i := range objs {
+		objs[i] = core.Vector{float64(i % 2), 1}
+	}
+	ds := core.NewDataset(core.NewSpace(core.L2{}), objs)
+	tr, err := Bulk(ds, store.NewPager(512), nil, Options{Seed: 7}, BulkOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("Bulk: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := searcherAdapter{tr}
+	q := core.Vector{0, 1}
+	testutil.CheckRange(t, s, ds, q, 0)
+	testutil.CheckRange(t, s, ds, q, 0.5)
+	testutil.CheckKNN(t, s, ds, q, 80)
+}
+
+// TestBulkConcurrencyBounded asserts the bulk load's total concurrency
+// stays at Workers across assignment and the partition builds.
+func TestBulkConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	ds, probe := testutil.ProbeDataset(testutil.VectorDataset(1200, 4, 100, core.L2{}, 7), 0)
+	if _, err := Bulk(ds, store.NewPager(1024), nil, Options{Seed: 7}, BulkOptions{Workers: workers}); err != nil {
+		t.Fatalf("Bulk: %v", err)
+	}
+	if got := probe.Max(); got > workers {
+		t.Fatalf("observed %d concurrent distance computations, Workers=%d", got, workers)
+	}
+}

@@ -69,6 +69,18 @@ type Tree struct {
 // New creates an empty tree. For the PM-tree variant, pivotIDs supplies
 // the shared pivot set whose values are snapshotted.
 func New(ds *core.Dataset, pager *store.Pager, pivotIDs []int, opts Options) (*Tree, error) {
+	t, err := newTree(ds, pager, pivotIDs, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.root = pager.Alloc()
+	t.writeNode(t.root, &node{leaf: true})
+	return t, nil
+}
+
+// newTree builds the handle — pivot snapshot, directory, split rng — but
+// allocates no pages; New adds the empty root leaf, Bulk writes its own.
+func newTree(ds *core.Dataset, pager *store.Pager, pivotIDs []int, opts Options) (*Tree, error) {
 	if opts.NumPivots > 0 && len(pivotIDs) < opts.NumPivots {
 		return nil, fmt.Errorf("mtree: need %d pivots, got %d", opts.NumPivots, len(pivotIDs))
 	}
@@ -86,8 +98,6 @@ func New(ds *core.Dataset, pager *store.Pager, pivotIDs []int, opts Options) (*T
 		}
 		t.pivots = append(t.pivots, v)
 	}
-	t.root = pager.Alloc()
-	t.writeNode(t.root, &node{leaf: true})
 	return t, nil
 }
 

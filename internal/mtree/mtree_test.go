@@ -42,6 +42,8 @@ func (s searcherAdapter) RangeSearch(q core.Object, r float64) ([]int, error) {
 func (s searcherAdapter) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 	return s.tr.KNNSearch(q, k, s.tr.QueryDists(q))
 }
+func (s searcherAdapter) Insert(id int) error { return s.tr.Insert(id) }
+func (s searcherAdapter) Delete(id int) error { return s.tr.Delete(id) }
 
 func TestMTreeRangeMatchesBruteForce(t *testing.T) {
 	ds := testutil.VectorDataset(500, 4, 100, core.L2{}, 7)

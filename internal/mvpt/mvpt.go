@@ -47,10 +47,6 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// parallelCutoff is the node size below which construction stays on the
-// calling goroutine: small subtrees finish faster than goroutine handoff.
-const parallelCutoff = 1024
-
 // MVPT is the multi-vantage-point tree index.
 type MVPT struct {
 	ds        *core.Dataset
@@ -59,11 +55,10 @@ type MVPT struct {
 	pivotVals []core.Object
 	root      *node
 	size      int
-	// tokens bounds build parallelism: Workers-1 slots (the calling
-	// goroutine is the +1), shared by every concurrently building node,
-	// so total build concurrency never exceeds Workers no matter how the
-	// tree fans out. nil builds sequentially.
-	tokens chan struct{}
+	// tokens bounds build parallelism to Workers total goroutines across
+	// the whole recursion (core.TokenPool's try-else-inline discipline);
+	// nil builds sequentially.
+	tokens *core.TokenPool
 }
 
 // node is a leaf bucket or an internal node with children split by cut
@@ -85,9 +80,7 @@ func New(ds *core.Dataset, pivots []int, opts Options) (*MVPT, error) {
 	}
 	opts = opts.withDefaults()
 	t := &MVPT{ds: ds, opts: opts, pivotIDs: append([]int(nil), pivots...)}
-	if opts.Workers > 1 {
-		t.tokens = make(chan struct{}, opts.Workers-1)
-	}
+	t.tokens = core.NewTokenPool(opts.Workers)
 	for _, p := range pivots {
 		v := ds.Object(p)
 		if v == nil {
@@ -109,28 +102,9 @@ func (t *MVPT) pivotAt(level int) core.Object {
 	return t.pivotVals[level%len(t.pivotVals)]
 }
 
-// tryOffload runs fn on another goroutine if a build token is free,
-// reporting whether it did; wg tracks the spawned work. The try-else-
-// inline discipline is what keeps total build concurrency bounded by
-// Workers with no risk of deadlock.
-func (t *MVPT) tryOffload(wg *sync.WaitGroup, fn func()) bool {
-	select {
-	case t.tokens <- struct{}{}:
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() { <-t.tokens }()
-			fn()
-		}()
-		return true
-	default:
-		return false
-	}
-}
-
 // build splits ids into m quantile bands of distance to the level pivot.
 // With Workers > 1 the per-node distances and sibling subtrees above
-// parallelCutoff spread over the shared token pool — disjoint nodes and
+// core.ParallelNodeCutoff spread over the shared token pool — disjoint nodes and
 // slots, so the tree is identical to the sequential build (§6.2's
 // object-independence, applied node-level).
 func (t *MVPT) build(ids []int32, level int) *node {
@@ -143,7 +117,7 @@ func (t *MVPT) build(ids []int32, level int) *node {
 		id int32
 		d  float64
 	}
-	par := t.tokens != nil && len(ids) >= parallelCutoff
+	par := t.tokens != nil && len(ids) >= core.ParallelNodeCutoff
 	all := make([]od, len(ids))
 	fill := func(start, end int) {
 		for i := start; i < end; i++ {
@@ -151,19 +125,7 @@ func (t *MVPT) build(ids []int32, level int) *node {
 		}
 	}
 	if par {
-		var wg sync.WaitGroup
-		chunk := (len(ids) + cap(t.tokens)) / (cap(t.tokens) + 1)
-		for start := 0; start < len(ids); start += chunk {
-			end := start + chunk
-			if end > len(ids) {
-				end = len(ids)
-			}
-			s, e := start, end
-			if end == len(ids) || !t.tryOffload(&wg, func() { fill(s, e) }) {
-				fill(s, e) // last chunk, or no token free: stay inline
-			}
-		}
-		wg.Wait()
+		t.tokens.ChunkedFill(len(ids), fill)
 	} else {
 		fill(0, len(ids))
 	}
@@ -199,8 +161,7 @@ func (t *MVPT) build(ids []int32, level int) *node {
 	n.children = make([]*node, len(bands))
 	var wg sync.WaitGroup
 	for b := range bands {
-		b := b
-		if !par || !t.tryOffload(&wg, func() { n.children[b] = t.build(bands[b], level+1) }) {
+		if !par || !t.tokens.TryGo(&wg, func() { n.children[b] = t.build(bands[b], level+1) }) {
 			n.children[b] = t.build(bands[b], level+1)
 		}
 	}

@@ -58,26 +58,19 @@ func TestMVPTNames(t *testing.T) {
 	}
 }
 
-func TestMVPTWords(t *testing.T) {
-	ds := testutil.WordDataset(300, 11)
-	pv, err := pivot.HFI(ds, 4, pivot.Options{Seed: 5})
-	if err != nil {
-		t.Fatalf("HFI: %v", err)
-	}
-	idx, err := New(ds, pv, Options{})
-	if err != nil {
-		t.Fatalf("New: %v", err)
-	}
-	for qs := int64(0); qs < 4; qs++ {
-		q := testutil.RandomQuery(ds, qs)
-		for _, r := range []float64{0, 1, 2, 4} {
-			testutil.CheckRange(t, idx, ds, q, r)
+// TestMVPTEquivalence runs the shared metamorphic harness (parallel ==
+// sequential answers, linear-scan correctness, insert-then-delete
+// invariance) on vectors and words.
+func TestMVPTEquivalence(t *testing.T) {
+	for _, ed := range testutil.EquivDatasets(false, 400, 7) {
+		build := func(ds *core.Dataset, workers int) (testutil.EquivIndex, error) {
+			return New(ds, ed.Pivots, Options{Workers: workers})
 		}
-		testutil.CheckKNN(t, idx, ds, q, 6)
+		testutil.CheckEquivalence(t, ed, build, testutil.EquivOptions{})
 	}
 }
 
-func TestMVPTInsertDelete(t *testing.T) {
+func TestMVPTDeleteThenInsertMixed(t *testing.T) {
 	idx, ds := newVPT(t, 250, 5)
 	for id := 0; id < 250; id += 4 {
 		if err := idx.Delete(id); err != nil {
@@ -100,6 +93,20 @@ func TestMVPTInsertDelete(t *testing.T) {
 	testutil.CheckKNN(t, idx, ds, q, 17)
 	if idx.Len() != ds.Count() {
 		t.Fatalf("Len = %d, want %d", idx.Len(), ds.Count())
+	}
+}
+
+// TestMVPTBuildConcurrencyBounded is the regression guard that the build
+// bounds *total* concurrency to Workers via the shared token pool — not
+// Workers per tree level.
+func TestMVPTBuildConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	ds, probe := testutil.ProbeDataset(testutil.VectorDataset(1500, 4, 100, core.L2{}, 7), 0)
+	if _, err := New(ds, testutil.SpreadPivots(ds, 5), Options{Workers: workers}); err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := probe.Max(); got > workers {
+		t.Fatalf("observed %d concurrent distance computations, Workers=%d", got, workers)
 	}
 }
 

@@ -16,8 +16,17 @@ import (
 
 // Options tunes construction.
 type Options struct {
-	// Seed drives split promotion sampling.
+	// Seed drives split promotion sampling and bulk-load partitioning.
 	Seed int64
+	// Workers selects the build strategy: 0 keeps the paper's one-by-one
+	// insertion build (the sequential methodology of §6.2); any other
+	// value runs the partitioned bulk load of internal/mtree with that
+	// many goroutines (1 = the bulk load run sequentially, negative =
+	// GOMAXPROCS). The bulk load's page image is byte-identical for every
+	// nonzero Workers value.
+	Workers int
+	// Partitions tunes the bulk load's partition count (0 = default).
+	Partitions int
 }
 
 // PMTree is the pivoting metric tree index.
@@ -29,12 +38,22 @@ type PMTree struct {
 
 // New builds a PM-tree over all live objects using the shared pivots.
 // Objects are stored inside the tree nodes (which is why high-dimensional
-// datasets need the 40 KB page size, §6.1).
+// datasets need the 40 KB page size, §6.1). Options.Workers != 0 switches
+// from one-by-one insertion to the partitioned bulk load.
 func New(ds *core.Dataset, pager *store.Pager, pivots []int, opts Options) (*PMTree, error) {
 	if len(pivots) == 0 {
 		return nil, fmt.Errorf("pmtree: no pivots")
 	}
-	tree, err := mtree.New(ds, pager, pivots, mtree.Options{NumPivots: len(pivots), Seed: opts.Seed})
+	mopts := mtree.Options{NumPivots: len(pivots), Seed: opts.Seed}
+	if opts.Workers != 0 {
+		tree, err := mtree.Bulk(ds, pager, pivots, mopts,
+			mtree.BulkOptions{Workers: opts.Workers, Partitions: opts.Partitions})
+		if err != nil {
+			return nil, err
+		}
+		return &PMTree{ds: ds, pager: pager, tree: tree}, nil
+	}
+	tree, err := mtree.New(ds, pager, pivots, mopts)
 	if err != nil {
 		return nil, err
 	}

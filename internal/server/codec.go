@@ -12,21 +12,32 @@ import (
 // array, IntVector ⇒ JSON integer array, Word ⇒ JSON string. The wire
 // shape is the natural JSON of each type, so clients post
 // {"query": [1.5, 2.0]} or {"query": "fuzzy"}.
+//
+// Vector dimensionalities are validated against the prototype: the
+// metrics treat a dimension mismatch as a programming error and panic,
+// so a short (or null) array from the wire must be rejected here —
+// found by FuzzDecodeQuery.
 func decodeObject(raw json.RawMessage, proto core.Object) (core.Object, error) {
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("missing object")
 	}
-	switch proto.(type) {
+	switch p := proto.(type) {
 	case core.Vector:
 		var v core.Vector
 		if err := json.Unmarshal(raw, &v); err != nil {
 			return nil, fmt.Errorf("object must be a number array: %w", err)
+		}
+		if len(v) != len(p) {
+			return nil, fmt.Errorf("object has %d dimensions, dataset has %d", len(v), len(p))
 		}
 		return v, nil
 	case core.IntVector:
 		var v core.IntVector
 		if err := json.Unmarshal(raw, &v); err != nil {
 			return nil, fmt.Errorf("object must be an integer array: %w", err)
+		}
+		if len(v) != len(p) {
+			return nil, fmt.Errorf("object has %d dimensions, dataset has %d", len(v), len(p))
 		}
 		return v, nil
 	case core.Word:

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+
+	"metricindex/internal/core"
+)
+
+// FuzzDecodeQuery feeds arbitrary bytes through the server's JSON object
+// codec against every prototype object type. The codec must never panic
+// — malformed or mis-shaped input returns an error — and anything it
+// accepts must be usable: a counted distance against the prototype (the
+// first thing every handler does with a decoded query) and a round trip
+// through encodeObject both have to succeed. Historically this caught
+// the missing dimensionality validation: [1] against a 2-D dataset
+// decoded fine and then panicked inside the metric.
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add([]byte(`[1.5, 2.0]`))
+	f.Add([]byte(`[1, 2]`))
+	f.Add([]byte(`"fuzzy"`))
+	f.Add([]byte(`[1]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"a": 1}`))
+	f.Add([]byte(`[1e309]`))
+	f.Add([]byte(`[2147483648, 0]`))
+	protos := []struct {
+		proto core.Object
+		m     core.Metric
+	}{
+		{core.Vector{1, 2}, core.L2{}},
+		{core.IntVector{1, 2}, core.IntLInf{}},
+		{core.Word("ab"), core.Edit{}},
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		for _, p := range protos {
+			o, err := decodeObject(json.RawMessage(raw), p.proto)
+			if err != nil {
+				continue
+			}
+			if o == nil {
+				t.Fatalf("decodeObject(%q, %T) returned nil object without error", raw, p.proto)
+			}
+			if d := p.m.Distance(o, p.proto); d < 0 {
+				t.Fatalf("negative distance %v for decoded %v", d, o)
+			}
+			if _, err := encodeObject(o); err != nil {
+				t.Fatalf("decoded object %v does not re-encode: %v", o, err)
+			}
+		}
+	})
+}

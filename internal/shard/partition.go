@@ -36,16 +36,5 @@ func (Hash) Name() string { return "hash" }
 
 // Place returns a splitmix64-mixed hash of the id modulo the shard count.
 func (Hash) Place(_, id int, _ core.Object, shards int) int {
-	return int(mix64(uint64(id)) % uint64(shards))
-}
-
-// mix64 is the splitmix64 finalizer: a cheap bijective mixer whose output
-// bits are uniform enough for shard routing.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	return int(core.Mix64(uint64(id)) % uint64(shards))
 }

@@ -1,0 +1,312 @@
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"metricindex/internal/core"
+)
+
+// EquivIndex is the index surface the equivalence harness drives: the
+// query subset plus updates. Every index in the library satisfies it.
+type EquivIndex interface {
+	Searcher
+	Insert(id int) error
+	Delete(id int) error
+}
+
+// EquivBuilder constructs one index over the dataset with the given
+// build parallelism. The harness calls it with workers 1 and workers 4
+// and requires the two structures to answer identically, so the builder
+// must map both values onto the *same* construction algorithm (for the
+// disk trees that means the bulk load, run sequentially for 1).
+type EquivBuilder func(ds *core.Dataset, workers int) (EquivIndex, error)
+
+// EquivDataset is one randomized dataset prepared for the harness.
+type EquivDataset struct {
+	Name string
+	DS   *core.Dataset
+	// MaxDistance is a safe distance-domain bound d+ for index families
+	// that need one (BKT/FQT, SPB-tree, ...).
+	MaxDistance float64
+	// Pivots is a deterministic shared pivot set (spread over the ids;
+	// pivot quality is irrelevant to correctness testing).
+	Pivots []int
+}
+
+// EquivDatasets builds the harness's randomized dataset pair: a vector
+// dataset (integer L∞ when discrete is set, for BKT/FQT; float L2
+// otherwise) and a words dataset under edit distance.
+func EquivDatasets(discrete bool, n int, seed int64) []EquivDataset {
+	var vec EquivDataset
+	if discrete {
+		vec = EquivDataset{Name: "intvectors", DS: IntVectorDataset(n, 4, 100, seed), MaxDistance: 100}
+	} else {
+		vec = EquivDataset{Name: "vectors", DS: VectorDataset(n, 4, 100, core.L2{}, seed), MaxDistance: 200}
+	}
+	words := EquivDataset{Name: "words", DS: WordDataset(n, seed+1), MaxDistance: 12}
+	out := []EquivDataset{vec, words}
+	for i := range out {
+		out[i].Pivots = SpreadPivots(out[i].DS, 4)
+	}
+	return out
+}
+
+// SpreadPivots picks k deterministic pivots evenly spaced over the live
+// identifiers — no selection quality, full determinism, no dependency on
+// the pivot package (whose tests import testutil).
+func SpreadPivots(ds *core.Dataset, k int) []int {
+	ids := ds.LiveIDs()
+	if k > len(ids) {
+		k = len(ids)
+	}
+	pv := make([]int, k)
+	for i := 0; i < k; i++ {
+		pv[i] = ids[i*len(ids)/k]
+	}
+	return pv
+}
+
+// EquivOptions tunes the harness; zero values pick defaults.
+type EquivOptions struct {
+	// QuerySeeds is the number of random query objects (default 3).
+	QuerySeeds int
+	// Ks are the MkNNQ sizes (default 1, 5, 20).
+	Ks []int
+	// Updates is the number of insert-then-delete round-trip objects
+	// (default 12).
+	Updates int
+}
+
+func (o EquivOptions) withDefaults() EquivOptions {
+	if o.QuerySeeds <= 0 {
+		o.QuerySeeds = 3
+	}
+	if len(o.Ks) == 0 {
+		o.Ks = []int{1, 5, 20}
+	}
+	if o.Updates <= 0 {
+		o.Updates = 12
+	}
+	return o
+}
+
+// CheckEquivalence is the shared metamorphic harness behind every
+// parallel-build index test. For the given builder and dataset it
+// checks, in order:
+//
+//	(a) the parallel build (workers=4) answers every MRQ and MkNNQ
+//	    *identically* — same ids, same distances, same tie-breaks — to
+//	    the sequential build (workers=1) of the same algorithm;
+//	(b) both builds answer correctly against a brute-force linear scan;
+//	(c) answers are invariant under insert-then-delete round trips: after
+//	    inserting Updates synthetic objects and deleting them again, MRQ
+//	    answers are unchanged and MkNNQ distances are unchanged (tie
+//	    winners may differ after structural churn).
+func CheckEquivalence(t *testing.T, ed EquivDataset, build EquivBuilder, o EquivOptions) {
+	t.Helper()
+	o = o.withDefaults()
+	ds := ed.DS
+	seq, err := build(ds, 1)
+	if err != nil {
+		t.Fatalf("%s: sequential build: %v", ed.Name, err)
+	}
+	par, err := build(ds, 4)
+	if err != nil {
+		t.Fatalf("%s: parallel build: %v", ed.Name, err)
+	}
+
+	type probe struct {
+		q     core.Object
+		radii []float64
+	}
+	probes := make([]probe, o.QuerySeeds)
+	for qs := range probes {
+		q := RandomQuery(ds, int64(qs))
+		probes[qs] = probe{q: q, radii: Radii(ds, q)}
+	}
+
+	// (a) + (b): parallel answers must equal sequential answers exactly,
+	// and both must match brute force.
+	for qs, pr := range probes {
+		for _, r := range pr.radii {
+			a, err := seq.RangeSearch(pr.q, r)
+			if err != nil {
+				t.Fatalf("%s: seq RangeSearch(r=%v): %v", ed.Name, r, err)
+			}
+			b, err := par.RangeSearch(pr.q, r)
+			if err != nil {
+				t.Fatalf("%s: par RangeSearch(r=%v): %v", ed.Name, r, err)
+			}
+			if !equalInts(a, b) {
+				t.Fatalf("%s: query %d MRQ(r=%v) differs between parallel and sequential build:\n seq %v\n par %v",
+					ed.Name, qs, r, a, b)
+			}
+			CheckRange(t, par, ds, pr.q, r)
+		}
+		for _, k := range o.Ks {
+			a, err := seq.KNNSearch(pr.q, k)
+			if err != nil {
+				t.Fatalf("%s: seq KNNSearch(k=%d): %v", ed.Name, k, err)
+			}
+			b, err := par.KNNSearch(pr.q, k)
+			if err != nil {
+				t.Fatalf("%s: par KNNSearch(k=%d): %v", ed.Name, k, err)
+			}
+			if err := sameNeighbors(a, b); err != nil {
+				t.Fatalf("%s: query %d MkNNQ(k=%d) differs between parallel and sequential build: %v\n seq %v\n par %v",
+					ed.Name, qs, k, err, a, b)
+			}
+			CheckKNN(t, par, ds, pr.q, k)
+		}
+	}
+
+	// (c) insert-then-delete round trip on the parallel build. Snapshot
+	// the answers, churn the structure, and require them back.
+	type snapshot struct {
+		ranges [][]int
+		knns   [][]float64
+	}
+	takeSnapshot := func() []snapshot {
+		snaps := make([]snapshot, len(probes))
+		for qs, pr := range probes {
+			for _, r := range pr.radii {
+				ids, err := par.RangeSearch(pr.q, r)
+				if err != nil {
+					t.Fatalf("%s: snapshot RangeSearch: %v", ed.Name, err)
+				}
+				snaps[qs].ranges = append(snaps[qs].ranges, ids)
+			}
+			for _, k := range o.Ks {
+				nns, err := par.KNNSearch(pr.q, k)
+				if err != nil {
+					t.Fatalf("%s: snapshot KNNSearch: %v", ed.Name, err)
+				}
+				dists := make([]float64, len(nns))
+				for i, nb := range nns {
+					dists[i] = nb.Dist
+				}
+				snaps[qs].knns = append(snaps[qs].knns, dists)
+			}
+		}
+		return snaps
+	}
+	before := takeSnapshot()
+	newIDs := make([]int, 0, o.Updates)
+	for u := 0; u < o.Updates; u++ {
+		obj := RandomQuery(ds, int64(1000+u))
+		id := ds.Insert(obj)
+		if err := par.Insert(id); err != nil {
+			t.Fatalf("%s: Insert(%d): %v", ed.Name, id, err)
+		}
+		newIDs = append(newIDs, id)
+	}
+	for i := len(newIDs) - 1; i >= 0; i-- {
+		id := newIDs[i]
+		if err := par.Delete(id); err != nil {
+			t.Fatalf("%s: Delete(%d): %v", ed.Name, id, err)
+		}
+		if err := ds.Delete(id); err != nil {
+			t.Fatalf("%s: dataset Delete(%d): %v", ed.Name, id, err)
+		}
+	}
+	after := takeSnapshot()
+	for qs := range probes {
+		for i, ids := range after[qs].ranges {
+			if !equalInts(ids, before[qs].ranges[i]) {
+				t.Fatalf("%s: query %d MRQ answer changed across insert-then-delete round trip:\n before %v\n after  %v",
+					ed.Name, qs, before[qs].ranges[i], ids)
+			}
+		}
+		for i, dists := range after[qs].knns {
+			if err := sameDists(dists, before[qs].knns[i]); err != nil {
+				t.Fatalf("%s: query %d MkNNQ distances changed across insert-then-delete round trip: %v\n before %v\n after  %v",
+					ed.Name, qs, err, before[qs].knns[i], dists)
+			}
+		}
+	}
+}
+
+// sameNeighbors requires exact equality — ids, distances, and order.
+func sameNeighbors(a, b []core.Neighbor) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+			return fmt.Errorf("position %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// sameDists compares distance multisets exactly (same metric over the
+// same objects, so no epsilon is needed).
+func sameDists(a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("lengths %d vs %d", len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return fmt.Errorf("sorted position %d: %v vs %v", i, as[i], bs[i])
+		}
+	}
+	return nil
+}
+
+// ConcurrencyProbe wraps a metric and tracks the maximum number of
+// concurrent Distance calls — the regression guard that parallel builds
+// bound their total concurrency to Workers (token pool, not per-level
+// fan-out). Every call yields the processor (or sleeps, when a delay is
+// set) while counted as in-flight, so unbounded goroutine spawning
+// registers even on a single-core machine.
+type ConcurrencyProbe struct {
+	core.Metric
+	delay    time.Duration
+	cur, max atomic.Int64
+}
+
+// NewConcurrencyProbe wraps the metric; a zero delay yields via the
+// scheduler instead of sleeping (cheap enough for distance-hungry
+// builds), a positive delay widens the in-flight window further.
+func NewConcurrencyProbe(m core.Metric, delay time.Duration) *ConcurrencyProbe {
+	return &ConcurrencyProbe{Metric: m, delay: delay}
+}
+
+// Distance counts the call as in-flight around the wrapped computation.
+func (p *ConcurrencyProbe) Distance(a, b core.Object) float64 {
+	n := p.cur.Add(1)
+	for {
+		m := p.max.Load()
+		if n <= m || p.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	} else {
+		runtime.Gosched()
+	}
+	d := p.Metric.Distance(a, b)
+	p.cur.Add(-1)
+	return d
+}
+
+// Max returns the highest concurrency observed.
+func (p *ConcurrencyProbe) Max() int64 { return p.max.Load() }
+
+// ProbeDataset clones the dataset's objects into a new dataset whose
+// metric is wrapped in a ConcurrencyProbe.
+func ProbeDataset(ds *core.Dataset, delay time.Duration) (*core.Dataset, *ConcurrencyProbe) {
+	probe := NewConcurrencyProbe(ds.Space().Metric(), delay)
+	objs := append([]core.Object(nil), ds.Objects()...)
+	return core.NewDataset(core.NewSpace(probe), objs), probe
+}

@@ -36,13 +36,23 @@
 //	}
 //	qps := res.Stats.Throughput()
 //
-// Construction parallelizes the same way for the precompute-heavy tables
-// and the MVPT: NewLAESAParallel, NewCPTParallel, and the Workers fields
-// of EPTOptions, OmniOptions and TreeOptions fan the construction work
-// across cores while building a structure identical to the sequential
-// one. A raw index does not synchronize updates with searches (finish
-// the batch, then update); wrap it in NewLive to lift that restriction —
-// see below.
+// Construction parallelizes for every index family: NewLAESAParallel,
+// NewCPTParallel, NewPMTreeParallel, and the Workers fields of
+// EPTOptions, OmniOptions and TreeOptions fan the construction work
+// across cores — chunked distance rows for the tables, node-level
+// builds bounded by a shared token pool for the trees (BKT/FQT/MVPT),
+// and a partitioned bulk load for the disk M-tree/PM-tree. The tables
+// and trees are identical to their sequential builds; the bulk load is
+// its own algorithm whose page image is byte-identical for every
+// worker count (it clusters objects differently than the sequential
+// one-by-one insertion of NewPMTree/NewCPT — answers match, per-query
+// page accesses may shift). Each of those identity claims is
+// enforced by internal/testutil's metamorphic equivalence harness
+// (parallel answers == sequential answers, both == a linear scan,
+// invariant under insert-then-delete round trips) plus deep structure
+// and page-image compares under the race detector. A raw index does not
+// synchronize updates with searches (finish the batch, then update);
+// wrap it in NewLive to lift that restriction — see below.
 //
 // # Sharding
 //
