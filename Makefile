@@ -15,8 +15,8 @@ STATICCHECK_VERSION ?= 2025.1.1
 # Tolerated q/s regression fraction of the bench gate.
 MAX_REGRESS ?= 0.25
 
-# Seconds each native fuzz target runs in the `make fuzz` smoke (two
-# targets: FuzzLevenshtein, FuzzDecodeQuery).
+# Seconds each native fuzz target runs in the `make fuzz` smoke (three
+# targets: FuzzLevenshtein, FuzzDecodeQuery, FuzzSnapshotHeader).
 FUZZTIME ?= 10s
 
 # Packages with a parallel build, the concurrent query engine, the
@@ -27,7 +27,7 @@ RACE_PKGS = ./internal/exec/... ./internal/epoch/... ./internal/server/... \
             ./internal/ept/... ./internal/cpt/... ./internal/omni/... \
             ./internal/core/... ./internal/store/... ./internal/bench/... \
             ./internal/cache/... ./internal/bkt/... ./internal/fqt/... \
-            ./internal/mtree/... ./internal/pmtree/... .
+            ./internal/mtree/... ./internal/pmtree/... ./internal/persist/... .
 
 # The example programs CI runs end to end so example rot fails the
 # pipeline (each finishes in well under a second).
@@ -49,10 +49,11 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Short native-fuzzing smoke: each target fuzzes for FUZZTIME (Go allows
-# one -fuzz target per invocation, hence two runs).
+# one -fuzz target per invocation, hence one run each).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLevenshtein -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotHeader -fuzztime=$(FUZZTIME) ./internal/persist
 
 bench:
 	$(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -run=^$$ .
@@ -90,12 +91,20 @@ examples:
 # Boot mserve on a generated dataset and exercise every endpoint plus a
 # live index swap, verifying each answer against the direct index call
 # and a linear scan (the same check msearch -verify runs, which also
-# gates the dataset first).
+# gates the dataset first). The last two legs prove durability: the
+# first -data-dir run builds, snapshots, and journals; the second must
+# restore from disk without rebuilding (-require-restore fails the boot
+# otherwise) and still pass every smoke check.
 serve-smoke:
 	$(GO) run ./cmd/datagen -kind LA -n 3000 -queries 10 -out /tmp/mserve-smoke.midx
 	$(GO) run ./cmd/msearch -data /tmp/mserve-smoke.midx -index LAESA -k 5 -verify >/dev/null
 	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index LAESA -smoke
 	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index SPB-tree -shards 2 -smoke
+	rm -rf /tmp/mserve-smoke-state
+	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index LAESA -smoke \
+		-data-dir /tmp/mserve-smoke-state
+	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index LAESA -smoke \
+		-data-dir /tmp/mserve-smoke-state -require-restore
 
 # The full CI surface: the test job's steps plus the bench job's gate
 # (staticcheck and bench-gate need module downloads, so an offline run

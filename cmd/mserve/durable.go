@@ -1,0 +1,171 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"metricindex/internal/core"
+	"metricindex/internal/epoch"
+	"metricindex/internal/persist"
+	"metricindex/internal/server"
+)
+
+// durable owns mserve's persistence state: the snapshot file, the
+// write-ahead log, and the counters /v1/stats reports. File formats are
+// specified in docs/PERSISTENCE.md.
+type durable struct {
+	dir      string
+	snapPath string
+	walPath  string
+	mode     persist.SyncMode
+	wal      *persist.WAL
+	restored bool
+
+	mu        sync.Mutex
+	snapEpoch uint64
+	snapBytes int64
+}
+
+func newDurable(dir string, mode persist.SyncMode) *durable {
+	return &durable{
+		dir:      dir,
+		snapPath: filepath.Join(dir, "snapshot.mxs"),
+		walPath:  filepath.Join(dir, "wal.mxl"),
+		mode:     mode,
+	}
+}
+
+// restore loads the snapshot (if present), replays the WAL over it at
+// exact epochs, and attaches the WAL as the live journal. It returns
+// (nil, nil) when no snapshot exists and (nil, nil) with a printed
+// warning when the snapshot belongs to a different metric than the
+// served dataset — both mean "build fresh, then call attach".
+func (d *durable) restore(wantMetric string) (*epoch.Live, error) {
+	if _, err := os.Stat(d.snapPath); err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	live, snap, err := persist.OpenLive(d.snapPath)
+	if err != nil {
+		return nil, fmt.Errorf("restore %s: %w", d.snapPath, err)
+	}
+	if snap.Metric != wantMetric {
+		fmt.Printf("snapshot %s indexes metric %q but -data uses %q; rebuilding fresh\n",
+			d.snapPath, snap.Metric, wantMetric)
+		return nil, nil
+	}
+	if snap.Pager != nil {
+		// Restored pagers come back with the buffer cache disabled.
+		snap.Pager.SetCacheBytes(0)
+	}
+	wal, recs, torn, err := persist.OpenWAL(d.walPath, d.mode)
+	if err != nil {
+		return nil, fmt.Errorf("open WAL %s: %w", d.walPath, err)
+	}
+	if torn {
+		fmt.Printf("WAL %s had a torn tail (crash mid-append); truncated to the last valid record\n", d.walPath)
+	}
+	applied, err := persist.Replay(live, recs)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("replay WAL %s: %w", d.walPath, err)
+	}
+	live.SetJournal(wal)
+	d.wal = wal
+	d.restored = true
+	d.snapEpoch = snap.Epoch
+	if fi, err := os.Stat(d.snapPath); err == nil {
+		d.snapBytes = fi.Size()
+	}
+	fmt.Printf("restored %s from %s: snapshot at epoch %d + %d WAL records replayed → epoch %d (no rebuild)\n",
+		snap.Kind, d.dir, snap.Epoch, applied, live.Epoch())
+	return live, nil
+}
+
+// attach makes a freshly built live durable: write the initial snapshot,
+// start a clean WAL (any stale log from a discarded snapshot is removed),
+// and attach it as the journal.
+func (d *durable) attach(live *epoch.Live) error {
+	if err := d.checkpointLive(live); err != nil {
+		return fmt.Errorf("initial snapshot: %w", err)
+	}
+	if err := os.Remove(d.walPath); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	wal, _, _, err := persist.OpenWAL(d.walPath, d.mode)
+	if err != nil {
+		return fmt.Errorf("open WAL %s: %w", d.walPath, err)
+	}
+	live.SetJournal(wal)
+	d.wal = wal
+	fmt.Printf("durable: snapshot at %s (epoch %d), WAL at %s (fsync %s)\n",
+		d.snapPath, d.snapEpoch, d.walPath, d.mode)
+	return nil
+}
+
+// checkpointLive snapshots the live state atomically and records the
+// captured epoch and image size.
+func (d *durable) checkpointLive(live *epoch.Live) error {
+	var ep uint64
+	var data []byte
+	err := live.Snapshot(func(ds *core.Dataset, idx core.Index, e uint64) error {
+		var err error
+		data, err = persist.Encode(ds, idx, e)
+		ep = e
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if err := persist.SaveFile(d.snapPath, data); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.snapEpoch = ep
+	d.snapBytes = int64(len(data))
+	d.mu.Unlock()
+	return nil
+}
+
+// afterSwap is the server's post-swap durability hook: re-snapshot the
+// fresh structure, then drop the WAL records the snapshot made redundant.
+func (d *durable) afterSwap(live *epoch.Live) func(epoch uint64) error {
+	return func(uint64) error {
+		if err := d.checkpointLive(live); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		ep := d.snapEpoch
+		d.mu.Unlock()
+		return d.wal.TruncateThrough(ep)
+	}
+}
+
+// stats supplies the /v1/stats persistence block.
+func (d *durable) stats() server.PersistenceStats {
+	d.mu.Lock()
+	ep, bytes := d.snapEpoch, d.snapBytes
+	d.mu.Unlock()
+	ws := d.wal.Stats()
+	return server.PersistenceStats{
+		Enabled:       true,
+		Dir:           d.dir,
+		Restored:      d.restored,
+		SnapshotEpoch: ep,
+		SnapshotBytes: bytes,
+		WALRecords:    ws.Records,
+		WALBytes:      ws.Bytes,
+		Fsync:         ws.Mode.String(),
+	}
+}
+
+// close flushes and closes the WAL on shutdown.
+func (d *durable) close() {
+	if d.wal != nil {
+		_ = d.wal.Close()
+	}
+}

@@ -11,6 +11,13 @@
 //	mserve -data words.midx -index SPB-tree -addr :8080
 //	mserve -data words.midx -index LAESA -shards 4 -workers -1
 //	mserve -data words.midx -index MVPT -smoke        # self-test all endpoints
+//	mserve -data words.midx -index MVPT -data-dir ./state   # durable: snapshot + WAL
+//
+// With -data-dir the server is durable: the built index is snapshotted
+// to <dir>/snapshot.mxs, every committed write is appended to
+// <dir>/wal.mxl before it is acknowledged, and a restart restores the
+// exact pre-crash state — snapshot load, WAL replay at exact epochs, no
+// rebuild (formats: docs/PERSISTENCE.md).
 //
 // Endpoints: POST /v1/range, /v1/knn, /v1/batch, /v1/insert,
 // /v1/delete, /v1/swap; GET /v1/stats, /healthz.
@@ -18,6 +25,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -31,21 +39,25 @@ import (
 	"metricindex/internal/core"
 	"metricindex/internal/dataset"
 	"metricindex/internal/epoch"
+	"metricindex/internal/persist"
 	"metricindex/internal/server"
 )
 
 func main() {
 	var (
-		data     = flag.String("data", "", "dataset file from datagen (required)")
-		index    = flag.String("index", "SPB-tree", "index: LAESA, EPT, EPT*, CPT, BKT, FQT, MVPT, PM-tree, OmniR-tree, M-index, M-index*, SPB-tree")
-		pivots   = flag.Int("pivots", 5, "number of pivots |P|")
-		shards   = flag.Int("shards", 0, "partition the dataset across this many sub-indexes (0/1 = unsharded)")
-		workers  = flag.Int("workers", -1, "batch engine and build parallelism (-1 = GOMAXPROCS)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		inflight = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0 = 4×GOMAXPROCS)")
-		queue    = flag.Int("max-queue", 0, "admission: max requests waiting for a slot (0 = 4×max-inflight)")
-		cacheMB  = flag.Int("cache-mb", 64, "epoch-keyed answer cache budget in MB; hot queries are served memoized until the next committed write (0 disables)")
-		smoke    = flag.Bool("smoke", false, "boot on a loopback port, exercise every endpoint plus a live swap against a linear scan, and exit")
+		data           = flag.String("data", "", "dataset file from datagen (required)")
+		index          = flag.String("index", "SPB-tree", "index: LAESA, EPT, EPT*, CPT, BKT, FQT, MVPT, PM-tree, OmniR-tree, M-index, M-index*, SPB-tree")
+		pivots         = flag.Int("pivots", 5, "number of pivots |P|")
+		shards         = flag.Int("shards", 0, "partition the dataset across this many sub-indexes (0/1 = unsharded)")
+		workers        = flag.Int("workers", -1, "batch engine and build parallelism (-1 = GOMAXPROCS)")
+		addr           = flag.String("addr", ":8080", "listen address")
+		inflight       = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0 = 4×GOMAXPROCS)")
+		queue          = flag.Int("max-queue", 0, "admission: max requests waiting for a slot (0 = 4×max-inflight)")
+		cacheMB        = flag.Int("cache-mb", 64, "epoch-keyed answer cache budget in MB; hot queries are served memoized until the next committed write (0 disables)")
+		smoke          = flag.Bool("smoke", false, "boot on a loopback port, exercise every endpoint plus a live swap against a linear scan, and exit")
+		dataDir        = flag.String("data-dir", "", "durability directory: snapshot.mxs + wal.mxl live here; boot restores from them, every committed write is logged, every swap re-snapshots (empty = volatile)")
+		fsync          = flag.String("fsync", "interval", "WAL fsync policy: always (per append), interval (background 200ms), off")
+		requireRestore = flag.Bool("require-restore", false, "fail the boot unless the state was restored from -data-dir (no fresh build) — used by the restart smoke leg")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -77,15 +89,52 @@ func main() {
 			*index, gen.Dataset.Space().Metric().Name()))
 	}
 
-	built, cost, err := bench.MeasureBuild(env, builder)
-	if err != nil {
-		fail(err)
+	var dur *durable
+	if *dataDir != "" {
+		if cfg.Shards > 1 {
+			fail(fmt.Errorf("-data-dir does not support -shards > 1 (sharded fronts have no snapshot format yet)"))
+		}
+		mode, err := persist.ParseSyncMode(*fsync)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			fail(err)
+		}
+		dur = newDurable(*dataDir, mode)
 	}
-	fmt.Printf("built %s in %v: %d compdists, %d KB memory, %d KB disk\n",
-		built.Index.Name(), cost.Time.Round(time.Millisecond),
-		cost.CompDists, cost.MemBytes/1024, cost.DiskBytes/1024)
 
-	live := epoch.NewLive(gen.Dataset, built.Index)
+	var live *epoch.Live
+	if dur != nil {
+		restored, err := dur.restore(gen.Dataset.Space().Metric().Name())
+		if err != nil {
+			fail(err)
+		}
+		live = restored
+	}
+	if live == nil {
+		if *requireRestore {
+			fail(errors.New("-require-restore: no usable snapshot in " + *dataDir))
+		}
+		built, cost, err := bench.MeasureBuild(env, builder)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("built %s in %v: %d compdists, %d KB memory, %d KB disk\n",
+			built.Index.Name(), cost.Time.Round(time.Millisecond),
+			cost.CompDists, cost.MemBytes/1024, cost.DiskBytes/1024)
+		live = epoch.NewLive(gen.Dataset, built.Index)
+		if dur != nil {
+			if err := dur.attach(live); err != nil {
+				fail(err)
+			}
+		}
+	}
+	defer func() {
+		if dur != nil {
+			dur.close()
+		}
+	}()
 	// The swap rebuild re-runs the same builder (re-sharded if sharded)
 	// over the drifted live dataset, with fresh HFI pivots selected on it.
 	rebuild := func(ds *core.Dataset) (core.Index, error) {
@@ -106,6 +155,12 @@ func main() {
 	sopts := server.Options{
 		MaxInFlight: *inflight, MaxQueue: *queue,
 		Workers: cfg.Workers, Builder: rebuild,
+	}
+	if dur != nil {
+		// Snapshot-on-swap: each graceful rebuild re-snapshots the fresh
+		// structure and truncates the now-redundant WAL prefix.
+		sopts.AfterSwap = dur.afterSwap(live)
+		sopts.PersistStats = dur.stats
 	}
 	if *cacheMB > 0 {
 		sopts.Cache = &cache.Options{MaxBytes: int64(*cacheMB) << 20}
@@ -128,7 +183,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("serving %s on %s\n", built.Index.Name(), ln.Addr())
+	fmt.Printf("serving %s on %s\n", live.Name(), ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -53,6 +53,10 @@ func (d *DiskIndex) SetCacheBytes(n int) { d.pager.SetCacheBytes(n) }
 // DropCache empties the cache so a measurement starts cold.
 func (d *DiskIndex) DropCache() { d.pager.DropCache() }
 
+// Unwrap exposes the wrapped index, letting Save serialize the
+// underlying structure (persist.Unwrapper).
+func (d *DiskIndex) Unwrap() Index { return d.Index }
+
 // NewAESA builds the O(n²) AESA table (§3.1) — exact but only viable for
 // small datasets.
 func NewAESA(ds *Dataset) (Index, error) { return table.NewAESA(ds) }

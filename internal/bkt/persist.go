@@ -1,0 +1,133 @@
+package bkt
+
+import (
+	"fmt"
+	"sort"
+
+	"metricindex/internal/core"
+	"metricindex/internal/persist"
+	"metricindex/internal/store"
+)
+
+// Snapshot payload encoding for the BKT (spec: docs/PERSISTENCE.md §BKT).
+
+const bktFormatVersion = 1
+
+// maxTreeDepth bounds node-decoding recursion so corrupt payloads cannot
+// exhaust the stack.
+const maxTreeDepth = 10000
+
+func init() {
+	persist.Register("BKT", loadBKT)
+}
+
+// EncodeSnapshot writes the BKT payload: the (defaulted) build options,
+// the object count and the tree. Pivot objects are stored with their
+// nodes — a pivot may already be deleted from the dataset (pivotLive
+// false) yet still route queries.
+func (t *BKT) EncodeSnapshot(w *persist.Writer) error {
+	w.U16(bktFormatVersion)
+	w.U32(uint32(t.opts.LeafCapacity))
+	w.U32(uint32(t.opts.MaxChildren))
+	w.I64(t.opts.Seed)
+	w.F64(t.opts.MaxDistance)
+	w.I64(int64(t.opts.Workers))
+	w.U32(uint32(t.size))
+	encodeBKTNode(w, t.root)
+	return nil
+}
+
+// Node tags: 0 = nil, 1 = leaf bucket, 2 = internal node with pivot and
+// bucket-keyed children.
+func encodeBKTNode(w *persist.Writer, n *node) {
+	switch {
+	case n == nil:
+		w.U8(0)
+	case n.leaf():
+		w.U8(1)
+		w.Int32s(n.ids)
+	default:
+		w.U8(2)
+		w.U32(uint32(n.pivotID))
+		w.Object(n.pivotVal)
+		w.Bool(n.pivotLive)
+		w.F64(n.width)
+		keys := make([]int, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		w.U32(uint32(len(keys)))
+		for _, k := range keys {
+			w.U32(uint32(k))
+			encodeBKTNode(w, n.children[k])
+		}
+	}
+}
+
+func decodeBKTNode(r *persist.Reader, depth int) (*node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("bkt: tree deeper than %d", maxTreeDepth)
+	}
+	switch tag := r.U8(); tag {
+	case 0:
+		return nil, r.Err()
+	case 1:
+		return &node{ids: r.Int32s()}, r.Err()
+	case 2:
+		n := &node{
+			pivotID:   int32(r.U32()),
+			pivotVal:  r.Object(),
+			pivotLive: r.Bool(),
+			width:     r.F64(),
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if n.pivotVal == nil {
+			return nil, fmt.Errorf("bkt: internal node without pivot object")
+		}
+		if n.width <= 0 {
+			return nil, fmt.Errorf("bkt: non-positive bucket width %v", n.width)
+		}
+		cnt := r.Count(5) // key + at least a tag byte per child
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		n.children = make(map[int]*node, cnt)
+		for i := 0; i < cnt; i++ {
+			k := int(r.U32())
+			child, err := decodeBKTNode(r, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.children[k] = child
+		}
+		return n, r.Err()
+	default:
+		return nil, fmt.Errorf("bkt: unknown node tag %d", tag)
+	}
+}
+
+func loadBKT(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
+	if v := r.U16(); r.Err() == nil && v != bktFormatVersion {
+		return nil, nil, fmt.Errorf("bkt: unsupported payload version %d", v)
+	}
+	t := &BKT{ds: ds}
+	t.opts.LeafCapacity = int(r.U32())
+	t.opts.MaxChildren = int(r.U32())
+	t.opts.Seed = r.I64()
+	t.opts.MaxDistance = r.F64()
+	t.opts.Workers = int(r.I64())
+	t.size = int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	root, err := decodeBKTNode(r, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.root = root
+	t.tokens = core.NewTokenPool(t.opts.Workers)
+	return t, nil, nil
+}

@@ -1,0 +1,32 @@
+package bptree
+
+import (
+	"fmt"
+
+	"metricindex/internal/store"
+)
+
+// Restore rebinds a tree handle over a reopened pager volume whose pages
+// already hold the nodes. Node capacities are re-derived from the page
+// size; only the root page and entry count need to be supplied (they come
+// from the owning index's snapshot payload).
+func Restore(p *store.Pager, aug Augmenter, root store.PageID, size int) (*Tree, error) {
+	if int(root) >= p.Pages() {
+		return nil, fmt.Errorf("bptree: root page %d beyond volume (%d pages)", root, p.Pages())
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("bptree: negative size %d", size)
+	}
+	t := &Tree{
+		pager:   p,
+		aug:     aug,
+		root:    root,
+		size:    size,
+		leafCap: (p.PageSize() - leafHeader) / leafEntrySize,
+		intCap:  (p.PageSize() - internalHeader) / intEntrySize,
+	}
+	if t.leafCap < 4 || t.intCap < 4 {
+		return nil, fmt.Errorf("bptree: page size %d too small", p.PageSize())
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package cpt
+
+import (
+	"fmt"
+
+	"metricindex/internal/core"
+	"metricindex/internal/mtree"
+	"metricindex/internal/persist"
+	"metricindex/internal/store"
+)
+
+// Snapshot payload encoding for the CPT (spec: docs/PERSISTENCE.md
+// §CPT): the pager volume image, the clustering M-tree handle state, and
+// the in-memory pivot table.
+
+const cptFormatVersion = 1
+
+func init() {
+	persist.Register("CPT", loadCPT)
+}
+
+// EncodeSnapshot writes the CPT payload.
+func (c *CPT) EncodeSnapshot(w *persist.Writer) error {
+	w.U16(cptFormatVersion)
+	w.Blob(c.pager.Serialize())
+	if err := c.tree.EncodeState(w); err != nil {
+		return err
+	}
+	w.Ints(c.pivotIDs)
+	w.Objects(c.pivotVals)
+	w.Int32s(c.ids)
+	w.Floats(c.dists)
+	return nil
+}
+
+func loadCPT(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
+	if v := r.U16(); r.Err() == nil && v != cptFormatVersion {
+		return nil, nil, fmt.Errorf("cpt: unsupported payload version %d", v)
+	}
+	blob := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	pager, err := store.LoadPager(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := mtree.RestoreState(ds, pager, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &CPT{
+		ds:        ds,
+		pager:     pager,
+		tree:      tree,
+		pivotIDs:  r.Ints(),
+		pivotVals: r.Objects(),
+		ids:       r.Int32s(),
+		dists:     r.Floats(),
+		rowOf:     make(map[int]int),
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(c.pivotVals) != len(c.pivotIDs) || len(c.pivotIDs) == 0 {
+		return nil, nil, fmt.Errorf("cpt: %d pivot values for %d pivot ids", len(c.pivotVals), len(c.pivotIDs))
+	}
+	if len(c.dists) != len(c.ids)*len(c.pivotIDs) {
+		return nil, nil, fmt.Errorf("cpt: %d distances for %d rows × %d pivots", len(c.dists), len(c.ids), len(c.pivotIDs))
+	}
+	for row, id := range c.ids {
+		c.rowOf[int(id)] = row
+	}
+	return c, pager, nil
+}

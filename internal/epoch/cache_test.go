@@ -1,4 +1,4 @@
-package epoch
+package epoch_test
 
 import (
 	"context"
@@ -12,11 +12,12 @@ import (
 
 	"metricindex/internal/cache"
 	"metricindex/internal/core"
+	"metricindex/internal/epoch"
 	"metricindex/internal/exec"
 )
 
 // newCachedLive builds a Live with an answer cache over one index family.
-func newCachedLive(t *testing.T, name string, build Builder, n int) (*Live, *cache.Cache) {
+func newCachedLive(t *testing.T, name string, build epoch.Builder, n int) (*epoch.Live, *cache.Cache) {
 	t.Helper()
 	l := newLive(t, name, build, n)
 	c := cache.New(cache.Options{})
@@ -275,7 +276,7 @@ func TestCacheNoStaleAnswersUnderChurn(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				for !stop.Load() {
-					if err := l.Swap(build); err != nil && !errors.Is(err, ErrSwapInProgress) {
+					if err := l.Swap(build); err != nil && !errors.Is(err, epoch.ErrSwapInProgress) {
 						abort(fmt.Errorf("Swap: %w", err))
 						return
 					}

@@ -1,32 +1,3 @@
-// Package epoch synchronizes index updates with in-flight searches, and
-// makes the index itself a hot-swappable artifact: Live wraps any
-// core.Index (tables, trees, disk structures, the sharded scatter-gather
-// front) behind reader/writer epochs so Insert/Delete interleave safely
-// with concurrent queries, and Swap replaces the structure wholesale —
-// rebuilt in the background, cut over atomically — without dropping or
-// corrupting a single answer.
-//
-// The library's indexes answer read-only queries against immutable
-// structure state (which is what lets internal/exec run whole batches
-// concurrently), but none of them synchronize updates with searches; the
-// historical contract was "finish the batch, then update". Live removes
-// that caveat. Searches run in shared read sections; Add/Remove (and the
-// core.Index Insert/Delete) run in exclusive write sections; every
-// committed write advances the epoch, a monotone counter that names the
-// dataset version a search observed. The answer cache keys off exactly
-// that counter (SetCache attaches one from internal/cache): answers are
-// memoized under the epoch they were observed at, so every committed
-// write invalidates the whole working set with no flush path at all.
-//
-// Swap is the graceful-rebuild path a long-lived server needs: the
-// current dataset is snapshotted in one write section, the replacement
-// index is built over the snapshot with no locks held (searches and
-// updates proceed on the live structure the whole time), updates that
-// arrived during the build are recorded in an operation log, and one
-// final write section replays the log onto the replacement and flips it
-// in. Searches before the flip see the old index with every update
-// applied; searches after see the new index with every update applied;
-// there is no window in which either misses a committed write.
 package epoch
 
 import (
@@ -46,6 +17,39 @@ type Builder func(ds *core.Dataset) (core.Index, error)
 
 // ErrSwapInProgress is returned by Swap when a rebuild is already running.
 var ErrSwapInProgress = errors.New("epoch: swap already in progress")
+
+// Op names a journaled write, mirroring the four update paths of Live
+// plus the swap marker. The numeric values are part of the on-disk WAL
+// format (docs/PERSISTENCE.md) and must not be renumbered.
+type Op uint8
+
+const (
+	// OpAdd is a Live.Add / Live.AddAt: object inserted into dataset and
+	// index. The record carries the object.
+	OpAdd Op = 1
+	// OpRemove is a Live.Remove / Live.RemoveAt: object deleted from
+	// index and dataset.
+	OpRemove Op = 2
+	// OpInsert is the index-only Live.Insert compatibility path. The
+	// record carries the object (fetched from the dataset at append
+	// time) so replay can restore it even if the snapshot predates it.
+	OpInsert Op = 3
+	// OpDelete is the index-only Live.Delete compatibility path.
+	OpDelete Op = 4
+	// OpSwap marks a committed Swap. The structure rebuild changes no
+	// answers, so replay only advances the epoch.
+	OpSwap Op = 5
+)
+
+// Journal receives every committed write with the epoch it committed at,
+// inside the committing write section and before the commit is
+// acknowledged to the caller — the durability contract a write-ahead log
+// needs. An Append error aborts the write: Live rolls the update back
+// and returns the error. internal/persist.WAL is the on-disk
+// implementation.
+type Journal interface {
+	Append(op Op, epoch uint64, id int, obj core.Object) error
+}
 
 // logEntry is one update recorded while a swap builds, for replay onto
 // the replacement at cutover.
@@ -71,6 +75,7 @@ type Live struct {
 	epoch    uint64
 	swapping bool
 	log      []logEntry
+	journal  Journal
 	// cache is the optional epoch-keyed answer cache. Entries are keyed
 	// by the epoch a search observed, so every committed write or swap
 	// invalidates the whole working set for free; see SetCache.
@@ -127,6 +132,99 @@ func (l *Live) PeekKNN(q core.Object, k int) ([]core.Neighbor, bool) {
 	return c.GetKNN(q, k, l.Epoch())
 }
 
+// SetJournal attaches (or, with nil, detaches) a write-ahead journal.
+// Every subsequently committed Add/Remove/Insert/Delete/Swap is appended
+// to it — with the epoch the write committed at — inside the committing
+// write section, so the journal observes exactly the committed sequence.
+// If Append fails the write is rolled back and the error returned, so a
+// caller never sees a commit the journal missed.
+func (l *Live) SetJournal(j Journal) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journal = j
+}
+
+// SetEpoch overwrites the epoch counter. It exists for restore paths
+// that resurrect a Live at the epoch a snapshot was taken (see
+// internal/persist); do not call it on a serving index — epochs must
+// stay monotone for cache correctness.
+func (l *Live) SetEpoch(e uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.epoch = e
+}
+
+// Snapshot runs fn in a read section over the current dataset, index and
+// epoch — like View, but exposing the epoch observed by the same read
+// section (which an Epoch() call after View cannot guarantee) and
+// propagating fn's error. It is the consistency primitive behind
+// persist's snapshot writer.
+func (l *Live) Snapshot(fn func(ds *core.Dataset, idx core.Index, epoch uint64) error) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return fn(l.ds, l.idx, l.epoch)
+}
+
+// Apply replays one journal record onto the live structure without
+// re-journaling it, setting the epoch to the record's epoch — the
+// recovery path (records must arrive in their original order). OpAdd
+// restores the object under its exact original id; OpInsert inserts the
+// recorded object into the dataset first if the snapshot predates it;
+// OpSwap only advances the epoch (a rebuild changes no answers).
+func (l *Live) Apply(op Op, epoch uint64, id int, obj core.Object) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch op {
+	case OpAdd:
+		if err := l.ds.InsertAt(id, obj); err != nil {
+			return err
+		}
+		if err := l.idx.Insert(id); err != nil {
+			return err
+		}
+	case OpRemove:
+		if err := l.idx.Delete(id); err != nil {
+			return err
+		}
+		if err := l.ds.Delete(id); err != nil {
+			return err
+		}
+	case OpInsert:
+		if l.ds.Object(id) == nil {
+			if err := l.ds.InsertAt(id, obj); err != nil {
+				return err
+			}
+		}
+		if err := l.idx.Insert(id); err != nil {
+			return err
+		}
+	case OpDelete:
+		if err := l.idx.Delete(id); err != nil {
+			return err
+		}
+	case OpSwap:
+		// Structure rebuild: answers unchanged, only the epoch moves.
+	default:
+		return fmt.Errorf("epoch: unknown journal op %d", op)
+	}
+	if epoch > l.epoch {
+		l.epoch = epoch
+	}
+	return nil
+}
+
+// journalAppend writes the record for the write section about to commit
+// at epoch+1. Caller holds the write lock and must roll back on error.
+func (l *Live) journalAppend(op Op, id int, obj core.Object) error {
+	if l.journal == nil {
+		return nil
+	}
+	if err := l.journal.Append(op, l.epoch+1, id, obj); err != nil {
+		return fmt.Errorf("epoch: journal append: %w", err)
+	}
+	return nil
+}
+
 // Epoch returns the number of committed write sections (updates and
 // swaps). Two searches returning the same epoch observed the same dataset
 // version.
@@ -166,6 +264,11 @@ func (l *Live) AddAt(o core.Object) (int, uint64, error) {
 		_ = l.ds.Delete(id) // roll the dataset back
 		return 0, l.epoch, err
 	}
+	if err := l.journalAppend(OpAdd, id, o); err != nil {
+		_ = l.idx.Delete(id)
+		_ = l.ds.Delete(id)
+		return 0, l.epoch, err
+	}
 	l.record(logEntry{insert: true, id: id, obj: o})
 	l.epoch++
 	return id, l.epoch, nil
@@ -182,10 +285,16 @@ func (l *Live) Remove(id int) error {
 func (l *Live) RemoveAt(id int) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	o := l.ds.Object(id) // captured for journal-failure rollback
 	if err := l.idx.Delete(id); err != nil {
 		return l.epoch, err
 	}
 	if err := l.ds.Delete(id); err != nil {
+		return l.epoch, err
+	}
+	if err := l.journalAppend(OpRemove, id, nil); err != nil {
+		_ = l.ds.InsertAt(id, o)
+		_ = l.idx.Insert(id)
 		return l.epoch, err
 	}
 	l.record(logEntry{id: id})
@@ -207,6 +316,10 @@ func (l *Live) Insert(id int) error {
 	if err := l.idx.Insert(id); err != nil {
 		return err
 	}
+	if err := l.journalAppend(OpInsert, id, o); err != nil {
+		_ = l.idx.Delete(id)
+		return err
+	}
 	l.record(logEntry{insert: true, id: id, obj: o})
 	l.epoch++
 	return nil
@@ -220,6 +333,13 @@ func (l *Live) Delete(id int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.idx.Delete(id); err != nil {
+		return err
+	}
+	if err := l.journalAppend(OpDelete, id, nil); err != nil {
+		o := l.ds.Object(id)
+		if o != nil {
+			_ = l.idx.Insert(id)
+		}
 		return err
 	}
 	l.record(logEntry{id: id})
@@ -280,6 +400,14 @@ func (l *Live) Swap(build Builder) error {
 	idx.ResetStats()
 	l.ds, l.idx = snap, idx
 	l.epoch++
+	if l.journal != nil {
+		// The swap has committed — searches already see the new structure
+		// (which answers identically) — so the marker cannot be rolled
+		// back; surface the journal failure to the caller instead.
+		if err := l.journal.Append(OpSwap, l.epoch, 0, nil); err != nil {
+			return fmt.Errorf("epoch: swap committed but journal append failed: %w", err)
+		}
+	}
 	return nil
 }
 

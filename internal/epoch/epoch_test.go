@@ -1,4 +1,4 @@
-package epoch
+package epoch_test
 
 import (
 	"context"
@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"metricindex/internal/core"
+	"metricindex/internal/epoch"
 	"metricindex/internal/exec"
 	"metricindex/internal/mvpt"
 	"metricindex/internal/pivot"
@@ -23,13 +24,13 @@ import (
 // builders returns one constructor per family — a table (LAESA), a tree
 // (MVPT), a disk index (SPB-tree), and the sharded scatter-gather front —
 // so the epoch guard is exercised against every update-path style in the
-// repository. Each is a Builder, so the same function drives both initial
+// repository. Each is an epoch.Builder, so the same function drives both initial
 // construction and Swap rebuilds.
-func builders() map[string]Builder {
+func builders() map[string]epoch.Builder {
 	sel := func(ds *core.Dataset) ([]int, error) {
 		return pivot.HFI(ds, 4, pivot.Options{Seed: 3})
 	}
-	return map[string]Builder{
+	return map[string]epoch.Builder{
 		"LAESA": func(ds *core.Dataset) (core.Index, error) {
 			pv, err := sel(ds)
 			if err != nil {
@@ -63,19 +64,19 @@ func builders() map[string]Builder {
 	}
 }
 
-func newLive(t *testing.T, name string, build Builder, n int) *Live {
+func newLive(t *testing.T, name string, build epoch.Builder, n int) *epoch.Live {
 	t.Helper()
 	ds := testutil.VectorDataset(n, 4, 100, core.L2{}, 9)
 	idx, err := build(ds)
 	if err != nil {
 		t.Fatalf("%s: build: %v", name, err)
 	}
-	return NewLive(ds, idx)
+	return epoch.NewLive(ds, idx)
 }
 
 // randomQuery synthesizes a query object from the live dataset in a read
 // section.
-func randomQuery(l *Live, seed int64) core.Object {
+func randomQuery(l *epoch.Live, seed int64) core.Object {
 	var q core.Object
 	l.View(func(ds *core.Dataset, _ core.Index) { q = testutil.RandomQuery(ds, seed) })
 	return q
@@ -83,7 +84,7 @@ func randomQuery(l *Live, seed int64) core.Object {
 
 // checkQuiesced compares the live index's answers against a brute-force
 // scan of its current dataset with no concurrent activity.
-func checkQuiesced(t *testing.T, l *Live) {
+func checkQuiesced(t *testing.T, l *epoch.Live) {
 	t.Helper()
 	l.View(func(ds *core.Dataset, idx core.Index) {
 		for qs := int64(0); qs < 3; qs++ {
@@ -355,8 +356,8 @@ func TestSwapInProgress(t *testing.T) {
 		})
 	}()
 	<-building
-	if err := l.Swap(build); !errors.Is(err, ErrSwapInProgress) {
-		t.Fatalf("concurrent swap: got %v, want ErrSwapInProgress", err)
+	if err := l.Swap(build); !errors.Is(err, epoch.ErrSwapInProgress) {
+		t.Fatalf("concurrent swap: got %v, want epoch.ErrSwapInProgress", err)
 	}
 	close(finish)
 	if err := <-done; err == nil {

@@ -1,0 +1,84 @@
+package mtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"metricindex/internal/core"
+	"metricindex/internal/persist"
+	"metricindex/internal/store"
+)
+
+// Snapshot state encoding for the (P)M-tree handle (spec:
+// docs/PERSISTENCE.md §M-tree). The nodes themselves already live on
+// pager pages in their own format; what a snapshot adds is the handle
+// state — options, pivot values, root page, size, and the id→leaf
+// directory. The split rng is reseeded from Options.Seed: future splits
+// may promote differently than an uninterrupted run, but every resulting
+// tree is valid and answers identically.
+
+const mtreeFormatVersion = 1
+
+// EncodeState writes the handle state. The pager volume itself is written
+// by the owning index (PM-tree, CPT), which may share the volume with
+// other structures.
+func (t *Tree) EncodeState(w *persist.Writer) error {
+	w.U16(mtreeFormatVersion)
+	w.U32(uint32(t.opts.NumPivots))
+	w.I64(t.opts.Seed)
+	w.Objects(t.pivots)
+	w.U32(uint32(t.root))
+	w.U32(uint32(t.size))
+	ids := make([]int, 0, len(t.leafOf))
+	for id := range t.leafOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U32(uint32(id))
+		w.U32(uint32(t.leafOf[id]))
+	}
+	return nil
+}
+
+// RestoreState rebinds a tree handle over an already-reopened pager.
+func RestoreState(ds *core.Dataset, pager *store.Pager, r *persist.Reader) (*Tree, error) {
+	if v := r.U16(); r.Err() == nil && v != mtreeFormatVersion {
+		return nil, fmt.Errorf("mtree: unsupported payload version %d", v)
+	}
+	t := &Tree{ds: ds, pager: pager}
+	t.opts.NumPivots = int(r.U32())
+	t.opts.Seed = r.I64()
+	t.pivots = r.Objects()
+	t.root = store.PageID(r.U32())
+	t.size = int(r.U32())
+	n := r.Count(8)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.pivots) != t.opts.NumPivots {
+		return nil, fmt.Errorf("mtree: %d pivot values for NumPivots=%d", len(t.pivots), t.opts.NumPivots)
+	}
+	if len(t.pivots) == 0 {
+		t.pivots = nil // plain M-tree: keep the nil sentinel
+	}
+	if int(t.root) >= pager.Pages() {
+		return nil, fmt.Errorf("mtree: root page %d beyond volume (%d pages)", t.root, pager.Pages())
+	}
+	t.leafOf = make(map[int]store.PageID, n)
+	for i := 0; i < n; i++ {
+		id := int(r.U32())
+		pid := store.PageID(r.U32())
+		if int(pid) >= pager.Pages() {
+			return nil, fmt.Errorf("mtree: leaf page %d beyond volume (%d pages)", pid, pager.Pages())
+		}
+		t.leafOf[id] = pid
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	t.rng = rand.New(rand.NewSource(t.opts.Seed))
+	return t, nil
+}

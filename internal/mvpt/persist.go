@@ -1,0 +1,119 @@
+package mvpt
+
+import (
+	"fmt"
+
+	"metricindex/internal/core"
+	"metricindex/internal/persist"
+	"metricindex/internal/store"
+)
+
+// Snapshot payload encoding for the MVPT (spec: docs/PERSISTENCE.md
+// §MVPT). The same payload serves both registry kinds: the index names
+// itself "VPT" at arity 2 and "MVPT" otherwise.
+
+const mvptFormatVersion = 1
+
+// maxTreeDepth bounds node-decoding recursion so corrupt payloads cannot
+// exhaust the stack.
+const maxTreeDepth = 10000
+
+func init() {
+	persist.Register("MVPT", loadMVPT)
+	persist.Register("VPT", loadMVPT)
+}
+
+// EncodeSnapshot writes the MVPT payload: the (defaulted) build options,
+// the pivots, the object count and the tree.
+func (t *MVPT) EncodeSnapshot(w *persist.Writer) error {
+	w.U16(mvptFormatVersion)
+	w.U32(uint32(t.opts.Arity))
+	w.U32(uint32(t.opts.LeafCapacity))
+	w.I64(int64(t.opts.Workers))
+	w.Ints(t.pivotIDs)
+	w.Objects(t.pivotVals)
+	w.U32(uint32(t.size))
+	encodeMVPTNode(w, t.root)
+	return nil
+}
+
+// Node tags: 0 = nil, 1 = leaf bucket, 2 = internal node with per-child
+// distance bands.
+func encodeMVPTNode(w *persist.Writer, n *node) {
+	switch {
+	case n == nil:
+		w.U8(0)
+	case n.leaf():
+		w.U8(1)
+		w.Int32s(n.ids)
+	default:
+		w.U8(2)
+		w.Floats(n.lo)
+		w.Floats(n.hi)
+		w.U32(uint32(len(n.children)))
+		for _, c := range n.children {
+			encodeMVPTNode(w, c)
+		}
+	}
+}
+
+func decodeMVPTNode(r *persist.Reader, depth int) (*node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("mvpt: tree deeper than %d", maxTreeDepth)
+	}
+	switch tag := r.U8(); tag {
+	case 0:
+		return nil, r.Err()
+	case 1:
+		return &node{ids: r.Int32s()}, r.Err()
+	case 2:
+		n := &node{lo: r.Floats(), hi: r.Floats()}
+		cnt := r.Count(1) // at least a tag byte per child
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if len(n.lo) != cnt || len(n.hi) != cnt {
+			return nil, fmt.Errorf("mvpt: %d/%d bands for %d children", len(n.lo), len(n.hi), cnt)
+		}
+		n.children = make([]*node, cnt)
+		for i := range n.children {
+			child, err := decodeMVPTNode(r, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.children[i] = child
+		}
+		return n, r.Err()
+	default:
+		return nil, fmt.Errorf("mvpt: unknown node tag %d", tag)
+	}
+}
+
+func loadMVPT(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
+	if v := r.U16(); r.Err() == nil && v != mvptFormatVersion {
+		return nil, nil, fmt.Errorf("mvpt: unsupported payload version %d", v)
+	}
+	t := &MVPT{ds: ds}
+	t.opts.Arity = int(r.U32())
+	t.opts.LeafCapacity = int(r.U32())
+	t.opts.Workers = int(r.I64())
+	t.pivotIDs = r.Ints()
+	t.pivotVals = r.Objects()
+	t.size = int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(t.pivotVals) != len(t.pivotIDs) || len(t.pivotIDs) == 0 {
+		return nil, nil, fmt.Errorf("mvpt: %d pivot values for %d pivot ids", len(t.pivotVals), len(t.pivotIDs))
+	}
+	if t.opts.Arity < 2 {
+		return nil, nil, fmt.Errorf("mvpt: arity %d below 2", t.opts.Arity)
+	}
+	root, err := decodeMVPTNode(r, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.root = root
+	t.tokens = core.NewTokenPool(t.opts.Workers)
+	return t, nil, nil
+}

@@ -1,0 +1,228 @@
+package omni
+
+import (
+	"fmt"
+	"sort"
+
+	"metricindex/internal/bptree"
+	"metricindex/internal/core"
+	"metricindex/internal/persist"
+	"metricindex/internal/rtree"
+	"metricindex/internal/store"
+)
+
+// Snapshot payload encodings for the Omni family (spec:
+// docs/PERSISTENCE.md §Omni). All three members share the base encoding:
+// pager volume image, RAF state, pivot ids and values; the member state
+// follows.
+
+const omniFormatVersion = 1
+
+func init() {
+	persist.Register("Omni-seq", loadSeqFile)
+	persist.Register("OmniB+-tree", loadBPlus)
+	persist.Register("OmniR-tree", loadRTree)
+}
+
+func (b *base) encodeBase(w *persist.Writer) {
+	w.Blob(b.pager.Serialize())
+	w.Blob(b.raf.Serialize())
+	w.Ints(b.pivotIDs)
+	w.Objects(b.pivotVals)
+}
+
+func decodeBase(ds *core.Dataset, r *persist.Reader) (*base, error) {
+	pagerBlob := r.Blob()
+	rafBlob := r.Blob()
+	pivotIDs := r.Ints()
+	pivotVals := r.Objects()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(pivotVals) != len(pivotIDs) || len(pivotIDs) == 0 {
+		return nil, fmt.Errorf("omni: %d pivot values for %d pivot ids", len(pivotVals), len(pivotIDs))
+	}
+	pager, err := store.LoadPager(pagerBlob)
+	if err != nil {
+		return nil, err
+	}
+	raf, err := store.LoadRAF(pager, rafBlob)
+	if err != nil {
+		return nil, err
+	}
+	return &base{ds: ds, pager: pager, raf: raf, pivotIDs: pivotIDs, pivotVals: pivotVals}, nil
+}
+
+// EncodeSnapshot writes the Omni-sequential-file payload: base state, the
+// table page list, the row count and the row directory.
+func (t *SeqFile) EncodeSnapshot(w *persist.Writer) error {
+	w.U16(omniFormatVersion)
+	t.encodeBase(w)
+	w.PageIDs(t.pages)
+	w.U32(uint32(t.rows))
+	ids := make([]int, 0, len(t.rowOf))
+	for id := range t.rowOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U32(uint32(id))
+		w.U32(uint32(t.rowOf[id]))
+	}
+	return nil
+}
+
+func loadSeqFile(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
+	if v := r.U16(); r.Err() == nil && v != omniFormatVersion {
+		return nil, nil, fmt.Errorf("omni: unsupported payload version %d", v)
+	}
+	b, err := decodeBase(ds, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &SeqFile{
+		base:    b,
+		rowOf:   make(map[int]int),
+		rowSize: 4 + 8*len(b.pivotIDs),
+	}
+	if t.rowsPerPage() < 1 {
+		return nil, nil, fmt.Errorf("omni: page size %d below one row (%d bytes)", b.pager.PageSize(), t.rowSize)
+	}
+	t.pages = r.PageIDs()
+	t.rows = int(r.U32())
+	n := r.Count(8)
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	for _, pid := range t.pages {
+		if int(pid) >= b.pager.Pages() {
+			return nil, nil, fmt.Errorf("omni: table page %d beyond volume (%d pages)", pid, b.pager.Pages())
+		}
+	}
+	if t.rows < 0 || (len(t.pages) > 0 && (t.rows+t.rowsPerPage()-1)/t.rowsPerPage() > len(t.pages)) {
+		return nil, nil, fmt.Errorf("omni: %d rows overflow %d table pages", t.rows, len(t.pages))
+	}
+	for i := 0; i < n; i++ {
+		id := int(r.U32())
+		row := int(r.U32())
+		if row < 0 || row >= t.rows {
+			return nil, nil, fmt.Errorf("omni: directory row %d out of range (%d rows)", row, t.rows)
+		}
+		t.rowOf[id] = row
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	return t, b.pager, nil
+}
+
+// EncodeSnapshot writes the OmniB+-tree payload: base state, the indexed
+// id set, and each per-pivot B+-tree's root and size.
+func (t *BPlus) EncodeSnapshot(w *persist.Writer) error {
+	w.U16(omniFormatVersion)
+	t.encodeBase(w)
+	w.U32(uint32(t.size))
+	ids := make([]int, 0, len(t.ids))
+	for id := range t.ids {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.Ints(ids)
+	w.U32(uint32(len(t.trees)))
+	for _, tr := range t.trees {
+		w.U32(uint32(tr.Root()))
+		w.U32(uint32(tr.Len()))
+	}
+	return nil
+}
+
+func loadBPlus(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
+	if v := r.U16(); r.Err() == nil && v != omniFormatVersion {
+		return nil, nil, fmt.Errorf("omni: unsupported payload version %d", v)
+	}
+	b, err := decodeBase(ds, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &BPlus{base: b, ids: make(map[int]bool)}
+	t.size = int(r.U32())
+	for _, id := range r.Ints() {
+		t.ids[id] = true
+	}
+	n := r.Count(8)
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if n != len(b.pivotIDs) {
+		return nil, nil, fmt.Errorf("omni: %d B+-trees for %d pivots", n, len(b.pivotIDs))
+	}
+	t.trees = make([]*bptree.Tree, n)
+	for i := range t.trees {
+		root := store.PageID(r.U32())
+		sz := int(r.U32())
+		if r.Err() != nil {
+			return nil, nil, r.Err()
+		}
+		t.trees[i], err = bptree.Restore(b.pager, nil, root, sz)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, b.pager, nil
+}
+
+// EncodeSnapshot writes the OmniR-tree payload: base state, the R-tree
+// root/size/bound, and the id→coordinates table used by deletes.
+func (t *RTree) EncodeSnapshot(w *persist.Writer) error {
+	w.U16(omniFormatVersion)
+	t.encodeBase(w)
+	w.U32(uint32(t.tree.Root()))
+	w.U32(uint32(t.tree.Len()))
+	w.F64(t.tree.MaxCoord())
+	ids := make([]int, 0, len(t.points))
+	for id := range t.points {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U32(uint32(id))
+		w.Floats(t.points[id])
+	}
+	return nil
+}
+
+func loadRTree(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
+	if v := r.U16(); r.Err() == nil && v != omniFormatVersion {
+		return nil, nil, fmt.Errorf("omni: unsupported payload version %d", v)
+	}
+	b, err := decodeBase(ds, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := store.PageID(r.U32())
+	sz := int(r.U32())
+	maxCoord := r.F64()
+	n := r.Count(8)
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	tree, err := rtree.Restore(b.pager, len(b.pivotIDs), maxCoord, root, sz)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &RTree{base: b, tree: tree, points: make(map[int][]float64, n)}
+	for i := 0; i < n; i++ {
+		id := int(r.U32())
+		pt := r.Floats()
+		if r.Err() != nil {
+			return nil, nil, r.Err()
+		}
+		if len(pt) != len(b.pivotIDs) {
+			return nil, nil, fmt.Errorf("omni: point %d has %d coordinates, want %d", id, len(pt), len(b.pivotIDs))
+		}
+		t.points[id] = pt
+	}
+	return t, b.pager, nil
+}

@@ -1,0 +1,23 @@
+// Package persist makes the library's indexes durable artifacts: it
+// defines the versioned on-disk snapshot format every index family
+// serializes itself into, the write-ahead log (WAL) that captures
+// epoch.Live's committed updates between snapshots, and the recovery
+// path that restores a snapshot and replays the WAL so a restarted
+// process answers exactly like the one that died — same answers, same
+// epochs — without rebuilding anything.
+//
+// The package owns the container formats (snapshot header, section
+// framing, dataset encoding, WAL record framing) and a registry mapping
+// an index kind — its Name() string — to the loader that decodes its
+// payload. Each index package implements the Snapshotter interface for
+// its structures and registers its loader in an init function, so any
+// program that can build an index can also save and load it. The
+// payload encodings themselves live next to the structures they
+// serialize (a persist.go file per index package); the bytes are
+// specified normatively in docs/PERSISTENCE.md, which must be kept in
+// lockstep with the code.
+//
+// All decoding is defensive: a loader fed corrupt or truncated bytes
+// returns an error, never panics and never allocates proportionally to
+// unvalidated lengths (fuzzed by FuzzSnapshotHeader).
+package persist

@@ -1,0 +1,47 @@
+package persist_test
+
+import (
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/persist"
+	"metricindex/internal/spb"
+	"metricindex/internal/store"
+	"metricindex/internal/table"
+	"metricindex/internal/testutil"
+)
+
+// FuzzSnapshotHeader throws arbitrary bytes at the snapshot decoder —
+// including the registered per-family payload loaders behind it — and
+// requires an error, never a panic, never a runaway allocation. Seeded
+// with valid images (in-memory and disk-resident kinds) so the fuzzer
+// starts past the magic/version checks and mutates real section and
+// payload bytes.
+func FuzzSnapshotHeader(f *testing.F) {
+	ds := testutil.VectorDataset(30, 3, 100, core.L2{}, 5)
+	pv := testutil.SpreadPivots(ds, 3)
+	laesa, err := table.NewLAESA(ds, pv)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if data, err := persist.Encode(ds, laesa, 1); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	} else {
+		f.Fatal(err)
+	}
+	if idx, err := spb.New(ds, store.NewPager(512), pv, spb.Options{MaxDistance: 200}); err == nil {
+		if data, err := persist.Encode(ds, idx, 2); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte("MXSNAP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := persist.Decode(data)
+		if err == nil && snap == nil {
+			t.Fatal("Decode returned neither snapshot nor error")
+		}
+	})
+}

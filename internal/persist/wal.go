@@ -1,0 +1,392 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"metricindex/internal/core"
+	"metricindex/internal/epoch"
+)
+
+// WAL file format, version 1 (normative spec in docs/PERSISTENCE.md):
+//
+//	file    := magic "MXWAL1" | version u16 | record*
+//	record  := length u32 | crc32 u32 (IEEE, over payload) | payload
+//	payload := op u8 | epoch u64 | id u64 | object? (store codec,
+//	           present iff op is OpAdd or OpInsert)
+//
+// Appends are sequential; a crash can only tear the tail. On open the
+// file is scanned front to back and the first record that is short,
+// oversized, or checksum-broken ends the valid prefix — everything
+// before it is replayed, everything from it on is truncated away.
+const (
+	walMagic   = "MXWAL1"
+	walVersion = 1
+	walHeader  = len(walMagic) + 2
+	// maxWALRecord bounds one record's payload; larger lengths are torn
+	// tails or corruption by construction.
+	maxWALRecord = 1 << 28
+)
+
+// Record is one decoded WAL entry: a committed Live write and the epoch
+// it committed at.
+type Record struct {
+	Op    epoch.Op
+	Epoch uint64
+	ID    int
+	Obj   core.Object
+}
+
+// SyncMode selects the WAL's fsync policy — the durability/latency
+// trade-off. See docs/PERSISTENCE.md.
+type SyncMode uint8
+
+const (
+	// SyncAlways fsyncs after every append: no committed write is ever
+	// lost, at one disk flush per update.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs in the background every walSyncInterval: a
+	// crash loses at most the last interval's commits.
+	SyncInterval
+	// SyncOff never fsyncs explicitly: the OS flushes on its schedule.
+	// A process crash loses nothing (the page cache survives); an OS
+	// crash may lose recent commits.
+	SyncOff
+)
+
+const walSyncInterval = 200 * time.Millisecond
+
+// String names the mode as the -fsync flag spells it.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", uint8(m))
+	}
+}
+
+// ParseSyncMode parses "always", "interval" or "off".
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("persist: unknown fsync mode %q (want always, interval or off)", s)
+	}
+}
+
+// WAL is the write-ahead log of a Live index. It implements
+// epoch.Journal, so attaching it via Live.SetJournal makes every
+// committed write durable before the commit is acknowledged (modulo the
+// sync mode). WAL is safe for concurrent use.
+type WAL struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	mode    SyncMode
+	size    int64 // valid bytes (header + records)
+	records int64
+	dirty   bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// WALStats snapshots the log's counters for /v1/stats.
+type WALStats struct {
+	Records int64
+	Bytes   int64
+	Mode    SyncMode
+}
+
+// OpenWAL opens (creating if absent) the log at path, validates it, and
+// returns the valid records for replay. A torn tail — a crash mid-append
+// — is detected by record framing and checksum, reported via truncated,
+// and cut off so the file ends at the last valid record.
+func OpenWAL(path string, mode SyncMode) (w *WAL, recs []Record, truncated bool, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	w = &WAL{path: path, f: f, mode: mode}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	if len(data) == 0 {
+		hdr := append([]byte(walMagic), 0, 0)
+		binary.LittleEndian.PutUint16(hdr[len(walMagic):], walVersion)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+		w.size = int64(len(hdr))
+	} else {
+		if len(data) < walHeader || string(data[:len(walMagic)]) != walMagic {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("persist: %s is not a WAL (bad magic)", path)
+		}
+		if ver := binary.LittleEndian.Uint16(data[len(walMagic):]); ver != walVersion {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("persist: unsupported WAL version %d (want %d)", ver, walVersion)
+		}
+		var end int64
+		recs, end = scanWAL(data)
+		w.records = int64(len(recs))
+		w.size = end
+		if end < int64(len(data)) {
+			truncated = true
+			if err := f.Truncate(end); err != nil {
+				f.Close()
+				return nil, nil, false, err
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, false, err
+			}
+		}
+	}
+	if _, err := f.Seek(w.size, 0); err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	if mode == SyncInterval {
+		w.startSyncLoop()
+	}
+	return w, recs, truncated, nil
+}
+
+// scanWAL walks the records after the header, returning the decoded
+// valid prefix and the byte offset it ends at.
+func scanWAL(data []byte) ([]Record, int64) {
+	var recs []Record
+	off := walHeader
+	for {
+		if len(data)-off < 8 {
+			return recs, int64(off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n < 17 || n > maxWALRecord || n > len(data)-off-8 {
+			return recs, int64(off)
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, int64(off)
+		}
+		rec, ok := decodeWALRecord(payload)
+		if !ok {
+			return recs, int64(off)
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+}
+
+func decodeWALRecord(payload []byte) (Record, bool) {
+	r := NewReader(payload)
+	rec := Record{
+		Op:    epoch.Op(r.U8()),
+		Epoch: r.U64(),
+		ID:    int(r.U64()),
+	}
+	switch rec.Op {
+	case epoch.OpAdd, epoch.OpInsert:
+		rec.Obj = r.Object()
+	case epoch.OpRemove, epoch.OpDelete, epoch.OpSwap:
+	default:
+		return Record{}, false
+	}
+	r.ExpectEOF()
+	return rec, r.Err() == nil
+}
+
+func encodeWALRecord(rec Record) []byte {
+	p := NewWriter()
+	p.U8(uint8(rec.Op))
+	p.U64(rec.Epoch)
+	p.U64(uint64(rec.ID))
+	if rec.Op == epoch.OpAdd || rec.Op == epoch.OpInsert {
+		p.Object(rec.Obj)
+	}
+	payload := p.Bytes()
+	f := NewWriter()
+	f.U32(uint32(len(payload)))
+	f.U32(crc32.ChecksumIEEE(payload))
+	f.buf = append(f.buf, payload...)
+	return f.Bytes()
+}
+
+// Append writes one committed update; it is the epoch.Journal hook. With
+// SyncAlways the record is fsynced before returning, so the write
+// section that called us cannot acknowledge a commit the disk has not
+// seen.
+func (w *WAL) Append(op epoch.Op, ep uint64, id int, obj core.Object) error {
+	frame := encodeWALRecord(Record{Op: op, Epoch: ep, ID: id, Obj: obj})
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("persist: WAL is closed")
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	w.size += int64(len(frame))
+	w.records++
+	if w.mode == SyncAlways {
+		return w.f.Sync()
+	}
+	w.dirty = true
+	return nil
+}
+
+// TruncateThrough drops every record with epoch <= ep — called after a
+// snapshot at ep lands, which makes those records redundant. The
+// surviving tail is rewritten to a temp file and renamed in, so a crash
+// mid-truncation leaves a valid log either way.
+func (w *WAL) TruncateThrough(ep uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("persist: WAL is closed")
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return err
+	}
+	recs, _ := scanWAL(data)
+	out := append([]byte(walMagic), 0, 0)
+	binary.LittleEndian.PutUint16(out[len(walMagic):], walVersion)
+	kept := int64(0)
+	for _, rec := range recs {
+		if rec.Epoch <= ep {
+			continue
+		}
+		out = append(out, encodeWALRecord(rec)...)
+		kept++
+	}
+	dir := filepath.Dir(w.path)
+	tmp, err := os.CreateTemp(dir, ".wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return err
+	}
+	w.f.Close()
+	w.f = f
+	w.size = int64(len(out))
+	w.records = kept
+	return nil
+}
+
+// Stats snapshots the log's size and record counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WALStats{Records: w.records, Bytes: w.size, Mode: w.mode}
+}
+
+// Sync forces an fsync regardless of mode.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	w.dirty = false
+	return w.f.Sync()
+}
+
+// Close stops the background sync (if any), fsyncs, and closes the file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.stop != nil {
+		close(w.stop)
+		w.stop = nil
+	}
+	done := w.done
+	w.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+func (w *WAL) startSyncLoop() {
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	stop, done := w.stop, w.done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(walSyncInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				w.mu.Lock()
+				if w.dirty && w.f != nil {
+					w.dirty = false
+					_ = w.f.Sync()
+				}
+				w.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// interface check: the WAL is Live's journal.
+var _ epoch.Journal = (*WAL)(nil)

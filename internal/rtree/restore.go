@@ -1,0 +1,42 @@
+package rtree
+
+import (
+	"fmt"
+
+	"metricindex/internal/store"
+)
+
+// MaxCoord returns the coordinate bound used for Hilbert quantization.
+func (t *Tree) MaxCoord() float64 { return t.maxCoord }
+
+// Restore rebinds a tree handle over a reopened pager volume whose pages
+// already hold the nodes. Node capacities are re-derived from the page
+// size; the root page, entry count and coordinate bound come from the
+// owning index's snapshot payload.
+func Restore(p *store.Pager, dims int, maxCoord float64, root store.PageID, size int) (*Tree, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("rtree: dims must be positive, got %d", dims)
+	}
+	if maxCoord <= 0 {
+		maxCoord = 1
+	}
+	if int(root) >= p.Pages() {
+		return nil, fmt.Errorf("rtree: root page %d beyond volume (%d pages)", root, p.Pages())
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("rtree: negative size %d", size)
+	}
+	t := &Tree{
+		pager:    p,
+		dims:     dims,
+		maxCoord: maxCoord,
+		root:     root,
+		size:     size,
+		leafCap:  (p.PageSize() - 3) / (4 + 8 + 8*dims),
+		intCap:   (p.PageSize() - 3) / (4 + 16*dims),
+	}
+	if t.leafCap < 2 || t.intCap < 2 {
+		return nil, fmt.Errorf("rtree: page size %d too small for %d dims", p.PageSize(), dims)
+	}
+	return t, nil
+}

@@ -59,6 +59,15 @@ type Options struct {
 	// keyed by, so cached answers never outlive a write. nil leaves the
 	// live index's caching as the caller configured it.
 	Cache *cache.Options
+	// AfterSwap, when non-nil, runs synchronously after each successful
+	// /v1/swap cutover with the committed epoch — the durability hook:
+	// mserve uses it to snapshot the fresh structure and truncate the
+	// write-ahead log. An error is reported to the caller (the swap
+	// itself stays committed).
+	AfterSwap func(epoch uint64) error
+	// PersistStats, when non-nil, supplies the persistence block of
+	// /v1/stats. nil omits the block.
+	PersistStats func() PersistenceStats
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +92,8 @@ type Server struct {
 	eng       *exec.Engine
 	adm       *admission
 	builder   epoch.Builder
+	afterSwap func(epoch uint64) error
+	persStats func() PersistenceStats
 	clientHdr string
 	start     time.Time
 	endpoints *statSet
@@ -117,6 +128,8 @@ func New(live *epoch.Live, opts Options) (*Server, error) {
 		eng:       exec.New(space, exec.Options{Workers: opts.Workers}),
 		adm:       newAdmission(opts.MaxInFlight, opts.MaxQueue),
 		builder:   opts.Builder,
+		afterSwap: opts.AfterSwap,
+		persStats: opts.PersistStats,
 		clientHdr: opts.ClientHeader,
 		start:     time.Now(),
 		endpoints: newStatSet(),
@@ -511,7 +524,14 @@ func (s *Server) handleSwap(r *http.Request) (any, error) {
 	if err := s.live.Swap(s.builder); err != nil {
 		return nil, err
 	}
-	return SwapResponse{Epoch: s.live.Epoch(), BuildMillis: time.Since(start).Milliseconds()}, nil
+	ep := s.live.Epoch()
+	if s.afterSwap != nil {
+		if err := s.afterSwap(ep); err != nil {
+			// The cutover is committed; only the durability hook failed.
+			return nil, fmt.Errorf("swap committed at epoch %d, but persistence failed: %w", ep, err)
+		}
+	}
+	return SwapResponse{Epoch: ep, BuildMillis: time.Since(start).Milliseconds()}, nil
 }
 
 // IndexStats describes the live index in /v1/stats.
@@ -538,11 +558,27 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// PersistenceStats describes the durability state in /v1/stats: where the
+// snapshot and write-ahead log live, the epoch the last snapshot captured,
+// and the log's growth since. All fields are zero (Enabled false) when the
+// server runs without a data directory.
+type PersistenceStats struct {
+	Enabled       bool   `json:"enabled"`
+	Dir           string `json:"dir,omitempty"`
+	Restored      bool   `json:"restored"`
+	SnapshotEpoch uint64 `json:"snapshot_epoch"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	WALRecords    int64  `json:"wal_records"`
+	WALBytes      int64  `json:"wal_bytes"`
+	Fsync         string `json:"fsync,omitempty"`
+}
+
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Index         IndexStats              `json:"index"`
 	Cache         CacheStats              `json:"cache"`
+	Persistence   PersistenceStats        `json:"persistence"`
 	Admission     AdmissionStats          `json:"admission"`
 	Endpoints     map[string]TrackerStats `json:"endpoints"`
 	Clients       map[string]TrackerStats `json:"clients"`
@@ -578,10 +614,15 @@ func (s *Server) handleStats(*http.Request) (any, error) {
 		}
 	})
 	info.Epoch = s.live.Epoch()
+	var pers PersistenceStats
+	if s.persStats != nil {
+		pers = s.persStats()
+	}
 	return StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Index:         info,
 		Cache:         s.cacheStats(),
+		Persistence:   pers,
 		Admission:     s.adm.stats(),
 		Endpoints:     s.endpoints.stats(),
 		Clients:       s.clients.stats(),

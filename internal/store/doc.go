@@ -1,0 +1,19 @@
+// Package store provides the simulated disk substrate shared by the
+// disk-based indexes: a fixed-size page store (Pager) with page-access
+// accounting, an LRU buffer cache (the paper's 128 KB query cache),
+// object serialization, and a random-access file (RAF) that stores
+// objects separately from index structures, as the Omni-family, M-index,
+// and SPB-tree require.
+//
+// The paper measures I/O as the number of page accesses (PA), not raw
+// latency, so an in-memory page store that counts every fetch and flush
+// through the buffer manager reproduces the experiment faithfully while
+// remaining laptop-friendly.
+//
+// A Pager (and the RAF directory laid over it) is also durable: Serialize
+// writes a self-describing, checksummed volume image ("MXVOL1") that
+// LoadPager reopens without rebuilding, which is how the disk-resident
+// index families snapshot themselves (see internal/persist and
+// docs/PERSISTENCE.md for the normative byte layout). Reopened pagers
+// start with fresh counters and the buffer cache disabled.
+package store

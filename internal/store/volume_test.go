@@ -1,0 +1,139 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPagerVolumeRoundTrip(t *testing.T) {
+	p := NewPager(256)
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id := p.Alloc()
+		ids = append(ids, id)
+		if err := p.Write(id, bytes.Repeat([]byte{byte(i + 1)}, 100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Free(ids[2])
+
+	img := p.Serialize()
+	q, err := LoadPager(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PageSize() != 256 || q.Pages() != 5 {
+		t.Fatalf("reopened volume: pageSize=%d pages=%d", q.PageSize(), q.Pages())
+	}
+	for i, id := range ids {
+		if i == 2 {
+			continue
+		}
+		pg, err := q.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bytes.Repeat([]byte{byte(i + 1)}, 100+i)
+		if !bytes.Equal(pg[:len(want)], want) {
+			t.Fatalf("page %d content mismatch after reopen", id)
+		}
+	}
+	// The freed page must be reused first, as before serialization.
+	if got := q.Alloc(); got != ids[2] {
+		t.Fatalf("reopened volume allocated %d, want reuse of freed %d", got, ids[2])
+	}
+}
+
+func TestLoadPagerRejectsCorruption(t *testing.T) {
+	p := NewPager(128)
+	id := p.Alloc()
+	if err := p.Write(id, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	img := p.Serialize()
+
+	cases := map[string]func([]byte) []byte{
+		"bad magic":    func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"bad version":  func(b []byte) []byte { b[6] = 99; return b },
+		"dirty flag":   func(b []byte) []byte { b[8] &^= 1; return b },
+		"flipped page": func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b },
+		"truncated":    func(b []byte) []byte { return b[:len(b)-10] },
+		"short header": func(b []byte) []byte { return b[:8] },
+		"extra tail":   func(b []byte) []byte { return append(b, 0xAB) },
+		"bogus pageSz": func(b []byte) []byte { b[9], b[10], b[11], b[12] = 0xFF, 0xFF, 0xFF, 0xFF; return b },
+		"bogus nFree":  func(b []byte) []byte { b[17], b[18], b[19], b[20] = 0xFF, 0xFF, 0xFF, 0xFF; return b },
+	}
+	for name, corrupt := range cases {
+		img2 := corrupt(append([]byte(nil), img...))
+		if _, err := LoadPager(img2); err == nil {
+			t.Errorf("%s: corrupt volume loaded without error", name)
+		}
+	}
+}
+
+func TestRAFRoundTrip(t *testing.T) {
+	p := NewPager(64)
+	r := NewRAF(p)
+	payloads := map[int][]byte{
+		1: []byte("first record"),
+		2: bytes.Repeat([]byte("x"), 200), // spans pages
+		7: []byte("third"),
+	}
+	for id, pl := range payloads {
+		if _, err := r.Append(id, pl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := LoadPager(p.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LoadRAF(q, r.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 || r2.SizeBytes() != r.SizeBytes() {
+		t.Fatalf("reopened RAF: len=%d size=%d, want len=2 size=%d", r2.Len(), r2.SizeBytes(), r.SizeBytes())
+	}
+	for _, id := range []int{1, 2} {
+		got, err := r2.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payloads[id]) {
+			t.Fatalf("record %d mismatch after reopen", id)
+		}
+	}
+	if _, err := r2.Read(7); err == nil {
+		t.Fatal("deleted record resurrected by reopen")
+	}
+	// Appends continue where the log left off.
+	if _, err := r2.Append(9, []byte("post-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.Read(9)
+	if err != nil || !bytes.Equal(got, []byte("post-reopen")) {
+		t.Fatalf("post-reopen append failed: %v", err)
+	}
+}
+
+func TestLoadRAFRejectsCorruption(t *testing.T) {
+	p := NewPager(64)
+	r := NewRAF(p)
+	if _, err := r.Append(1, []byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Serialize()
+	if _, err := LoadRAF(p, st[:3]); err == nil {
+		t.Error("truncated RAF state loaded")
+	}
+	bad := append([]byte(nil), st...)
+	bad[0] = 0xFF // absurd page count
+	if _, err := LoadRAF(p, bad); err == nil {
+		t.Error("RAF state with absurd page count loaded")
+	}
+}

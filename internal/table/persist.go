@@ -1,0 +1,95 @@
+package table
+
+import (
+	"fmt"
+
+	"metricindex/internal/core"
+	"metricindex/internal/persist"
+	"metricindex/internal/store"
+)
+
+// Snapshot payload encodings for the table family (spec:
+// docs/PERSISTENCE.md §LAESA, §AESA). Both payloads begin with a u16
+// family version.
+
+const tableFormatVersion = 1
+
+func init() {
+	persist.Register("LAESA", loadLAESA)
+	persist.Register("AESA", loadAESA)
+}
+
+// EncodeSnapshot writes the LAESA payload: pivots (ids and snapshotted
+// values), the row ids, and the flat distance table. The row directory
+// is derivable and not stored.
+func (t *LAESA) EncodeSnapshot(w *persist.Writer) error {
+	w.U16(tableFormatVersion)
+	w.Ints(t.pivotIDs)
+	w.Objects(t.pivotVals)
+	w.Int32s(t.ids)
+	w.Floats(t.dists)
+	return nil
+}
+
+func loadLAESA(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
+	if v := r.U16(); r.Err() == nil && v != tableFormatVersion {
+		return nil, nil, fmt.Errorf("laesa: unsupported payload version %d", v)
+	}
+	t := &LAESA{
+		ds:        ds,
+		pivotIDs:  r.Ints(),
+		pivotVals: r.Objects(),
+		ids:       r.Int32s(),
+		dists:     r.Floats(),
+		rowOf:     make(map[int]int),
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(t.pivotVals) != len(t.pivotIDs) || len(t.pivotIDs) == 0 {
+		return nil, nil, fmt.Errorf("laesa: %d pivot values for %d pivot ids", len(t.pivotVals), len(t.pivotIDs))
+	}
+	if len(t.dists) != len(t.ids)*len(t.pivotIDs) {
+		return nil, nil, fmt.Errorf("laesa: %d distances for %d rows × %d pivots", len(t.dists), len(t.ids), len(t.pivotIDs))
+	}
+	for row, id := range t.ids {
+		t.rowOf[int(id)] = row
+	}
+	return t, nil, nil
+}
+
+// EncodeSnapshot writes the AESA payload: the row ids and the full n×n
+// distance matrix, row by row.
+func (a *AESA) EncodeSnapshot(w *persist.Writer) error {
+	w.U16(tableFormatVersion)
+	w.Int32s(a.ids)
+	for _, row := range a.dist {
+		w.Floats(row)
+	}
+	return nil
+}
+
+func loadAESA(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
+	if v := r.U16(); r.Err() == nil && v != tableFormatVersion {
+		return nil, nil, fmt.Errorf("aesa: unsupported payload version %d", v)
+	}
+	a := &AESA{ds: ds, ids: r.Int32s(), rowOf: make(map[int]int)}
+	n := len(a.ids)
+	a.dist = make([][]float64, n)
+	for i := range a.dist {
+		a.dist[i] = r.Floats()
+		if r.Err() != nil {
+			return nil, nil, r.Err()
+		}
+		if len(a.dist[i]) != n {
+			return nil, nil, fmt.Errorf("aesa: matrix row %d has %d entries, want %d", i, len(a.dist[i]), n)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	for row, id := range a.ids {
+		a.rowOf[int(id)] = row
+	}
+	return a, nil, nil
+}

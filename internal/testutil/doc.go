@@ -1,0 +1,14 @@
+// Package testutil provides the shared correctness machinery behind the
+// index test suites: deterministic small datasets of every object type
+// (vectors, integer vectors, words), comparators that check an index's
+// answers against the brute-force baseline, a ConcurrencyProbe metric
+// that asserts parallel builds respect their Workers budget, and the
+// metamorphic equivalence harness CheckEquivalence.
+//
+// CheckEquivalence is the proof obligation every index family adopts:
+// two builds of the same algorithm (sequential and parallel — or a
+// fresh build and its snapshot round trip, in internal/persist's tests)
+// must answer every MRQ and MkNNQ identically, both must match a linear
+// scan, and answers must be invariant under insert-then-delete round
+// trips.
+package testutil

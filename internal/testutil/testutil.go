@@ -1,6 +1,3 @@
-// Package testutil provides shared helpers for the index test suites:
-// deterministic small datasets of every object type and comparators that
-// check an index's answers against the brute-force baseline.
 package testutil
 
 import (
