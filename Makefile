@@ -12,6 +12,14 @@ BENCHTIME ?= 2x
 # step (bump both by changing only this line).
 STATICCHECK_VERSION ?= 2025.1.1
 
+# Pinned govulncheck release for `make govulncheck` (known-vulnerability
+# scan of the module and its stdlib usage).
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# Pinned golang.org/x/tools release for the extra vet-style analyzers
+# (nilness, shadow) that plain `go vet` does not run.
+XTOOLS_VERSION ?= v0.30.0
+
 # Tolerated q/s regression fraction of the bench gate.
 MAX_REGRESS ?= 0.25
 
@@ -27,7 +35,8 @@ RACE_PKGS = ./internal/exec/... ./internal/epoch/... ./internal/server/... \
             ./internal/ept/... ./internal/cpt/... ./internal/omni/... \
             ./internal/core/... ./internal/store/... ./internal/bench/... \
             ./internal/cache/... ./internal/bkt/... ./internal/fqt/... \
-            ./internal/mtree/... ./internal/pmtree/... ./internal/persist/... .
+            ./internal/mtree/... ./internal/pmtree/... ./internal/persist/... \
+            ./internal/bptree/... ./internal/rtree/... ./internal/spb/... .
 
 # The example programs CI runs end to end so example rot fails the
 # pipeline (each finishes in well under a second).
@@ -35,7 +44,7 @@ EXAMPLES = ./examples/quickstart ./examples/wordsearch ./examples/geosearch \
            ./examples/imagesearch ./examples/cachedsearch
 
 .PHONY: all build test race fuzz bench bench-json bench-baseline bench-gate \
-        staticcheck fmt vet examples serve-smoke ci
+        staticcheck govulncheck lint fmt vet examples serve-smoke ci
 
 all: build
 
@@ -75,12 +84,28 @@ bench-gate: bench-json
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# The repo's own static-analysis suite (internal/analysis, run by
+# cmd/metriclint): epoch lock-section discipline, wire-codec symmetry +
+# frozen on-disk constants, noalloc hot-path annotations, and error
+# consumption in the durability packages. Pure stdlib — runs offline.
+# See docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/metriclint ./...
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# go vet plus the x/tools analyzers it does not include: nilness (nil
+# dereference paths) and shadow (shadowed variable rebinding). The extra
+# analyzers download x/tools on first run, like staticcheck.
 vet:
 	$(GO) vet ./...
+	$(GO) run golang.org/x/tools/go/analysis/passes/nilness/cmd/nilness@$(XTOOLS_VERSION) ./...
+	$(GO) run golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow@$(XTOOLS_VERSION) ./...
 
 examples:
 	@for e in $(EXAMPLES); do \
@@ -106,7 +131,8 @@ serve-smoke:
 	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index LAESA -smoke \
 		-data-dir /tmp/mserve-smoke-state -require-restore
 
-# The full CI surface: the test job's steps plus the bench job's gate
-# (staticcheck and bench-gate need module downloads, so an offline run
-# can cherry-pick the other targets individually).
-ci: build vet fmt staticcheck test race fuzz examples serve-smoke bench-gate
+# The full CI surface: the test and lint jobs' steps plus the bench
+# job's gate (vet's extra analyzers, staticcheck, govulncheck and
+# bench-gate need module downloads, so an offline run can cherry-pick
+# the other targets individually — lint itself is pure stdlib).
+ci: build vet fmt lint staticcheck govulncheck test race fuzz examples serve-smoke bench-gate

@@ -1,0 +1,105 @@
+// Package analysis is a self-contained static-analysis framework in the
+// spirit of golang.org/x/tools/go/analysis, built only on the standard
+// library so `make lint` runs offline (the toolchain ships go/types and
+// a source importer; x/tools would need a module download).
+//
+// It deliberately implements just what the metriclint analyzers need: a
+// loader that type-checks the module's packages from source, an Analyzer
+// value with a Run function over a type-checked package, positioned
+// diagnostics, and //metriclint: comment directives (annotations on
+// functions, per-line suppression). See docs/STATIC_ANALYSIS.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in
+	// //metriclint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	directives *directives
+	diags      *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //metriclint:ignore
+// directive for this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.directives.ignored(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// HasAnnotation reports whether fn carries the //metriclint:<name>
+// function annotation in its doc comment (e.g. noalloc, locked).
+func (p *Pass) HasAnnotation(fn *ast.FuncDecl, name string) bool {
+	return hasAnnotation(fn, name)
+}
+
+// Run applies the analyzers to pkg and returns their findings sorted by
+// position. Analyzer errors (not findings) abort the run.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			directives: dirs,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,126 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its findings against `// want "regex"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only
+// framework in internal/analysis.
+//
+// Testdata layout follows the x/tools convention: each analyzer keeps
+// Go packages under testdata/src/<name>/, and every expected finding is
+// annotated on its line with one or more quoted regular expressions:
+//
+//	bad()        // want `dropped error`
+//	also(bad())  // want "first" "second"
+//
+// Lines without a want comment must produce no finding.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"metricindex/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads the package rooted at dir (relative to the test's working
+// directory), applies the analyzer, and reports any divergence between
+// actual findings and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := filepath.Join(cwd, dir)
+	pkg, err := loader.LoadDir(abs, "testdata/"+filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type loc struct {
+		file string
+		line int
+	}
+	wants := make(map[loc][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		collectWants(t, pkg.Fset, f, func(file string, line int, re *regexp.Regexp) {
+			k := loc{file, line}
+			wants[k] = append(wants[k], re)
+		})
+	}
+
+	for _, d := range diags {
+		k := loc{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected finding: %s", position(d.Pos), d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no finding matched %q", k.file, k.line, re.String())
+		}
+	}
+}
+
+func position(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, emit func(file string, line int, re *regexp.Regexp)) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			idx := strings.Index(text, "want ")
+			if idx < 0 {
+				continue
+			}
+			rest := text[idx+len("want "):]
+			ms := wantRE.FindAllStringSubmatch(rest, -1)
+			if len(ms) == 0 {
+				t.Errorf("%s: malformed want comment: %s", position(fset.Position(c.Pos())), c.Text)
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, m := range ms {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Errorf("%s: bad want regexp %q: %v", position(pos), pat, err)
+					continue
+				}
+				emit(pos.Filename, pos.Line, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package epochsection checks the epoch.Live locking discipline: in a
+// Live-like wrapper (a struct carrying a mutex, an index field, an
+// epoch counter and optionally the owned dataset), the guarded fields
+// may only be touched inside a lock section, and the epoch a caller
+// hands out must be the one read inside that same section — the bug
+// class where an answer is paired with an epoch captured before or
+// after its read section.
+package epochsection
+
+import (
+	"go/ast"
+	"go/types"
+
+	"metricindex/internal/analysis"
+)
+
+// Analyzer is the epochsection pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochsection",
+	Doc: "guarded Live fields (index, dataset, epoch) must only be used " +
+		"inside the wrapper's own lock sections; Epoch() must not be " +
+		"called by a function that manages a section itself",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			lv := liveShape(pass, fn)
+			if lv == nil {
+				continue
+			}
+			if pass.HasAnnotation(fn, "locked") {
+				continue // caller-holds-lock helper, asserted by annotation
+			}
+			s := &scanner{pass: pass, lv: lv, locksItself: acquiresLock(pass, lv, fn.Body)}
+			s.stmts(fn.Body.List, false)
+		}
+	}
+	return nil
+}
+
+// live describes one Live-like receiver: the receiver variable, its
+// mutex field, and the guarded fields.
+type live struct {
+	recv    *types.Var
+	mutex   *types.Var
+	guarded map[*types.Var]bool
+}
+
+// liveShape decides whether fn is a method of a Live-like struct: one
+// with a sync mutex, a search-index interface field (RangeSearch +
+// KNNSearch) and an unsigned epoch counter. The dataset field (ds
+// *Dataset) is guarded too when present. Anything else — plain caches,
+// WALs, servers — is out of scope.
+func liveShape(pass *analysis.Pass, fn *ast.FuncDecl) *live {
+	field := fn.Recv.List[0]
+	if len(field.Names) == 0 {
+		return nil
+	}
+	recv, _ := pass.TypesInfo.Defs[field.Names[0]].(*types.Var)
+	if recv == nil {
+		return nil
+	}
+	st, ok := structOf(recv.Type())
+	if !ok {
+		return nil
+	}
+	lv := &live{recv: recv, guarded: make(map[*types.Var]bool)}
+	hasEpoch, hasIndex := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch {
+		case isSyncMutex(f.Type()):
+			lv.mutex = f
+		case isIndexInterface(f.Type()):
+			lv.guarded[f] = true
+			hasIndex = true
+		case f.Name() == "epoch" && isUnsignedInt(f.Type()):
+			lv.guarded[f] = true
+			hasEpoch = true
+		case f.Name() == "ds" && isDatasetPtr(f.Type()):
+			lv.guarded[f] = true
+		}
+	}
+	if lv.mutex == nil || !hasEpoch || !hasIndex {
+		return nil
+	}
+	return lv
+}
+
+func structOf(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func isSyncMutex(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+func isIndexInterface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	hasRange, hasKNN := false, false
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "RangeSearch":
+			hasRange = true
+		case "KNNSearch":
+			hasKNN = true
+		}
+	}
+	return hasRange && hasKNN
+}
+
+func isUnsignedInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+func isDatasetPtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Dataset"
+}
+
+// acquiresLock reports whether body contains any Lock/RLock on the
+// receiver's mutex — i.e. the function manages its own section.
+func acquiresLock(pass *analysis.Pass, lv *live, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if kind, isRecv := lockCallKind(pass, lv, call); isRecv && (kind == "Lock" || kind == "RLock") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// lockCallKind matches recv.mu.Lock / RLock / Unlock / RUnlock calls.
+func lockCallKind(pass *analysis.Pass, lv *live, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := inner.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != lv.recv {
+		return "", false
+	}
+	if s := pass.TypesInfo.Selections[inner]; s == nil || s.Obj() != lv.mutex {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// scanner walks a method body tracking whether the receiver's lock is
+// held on the linear path. Branch bodies are scanned with a copy of the
+// state: a lock state change confined to one arm (early-unlock-return,
+// Swap's mid-function section break) does not leak past the branch.
+type scanner struct {
+	pass        *analysis.Pass
+	lv          *live
+	locksItself bool
+}
+
+func (s *scanner) stmts(list []ast.Stmt, held bool) bool {
+	for _, stmt := range list {
+		held = s.stmt(stmt, held)
+	}
+	return held
+}
+
+func (s *scanner) stmt(stmt ast.Stmt, held bool) bool {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if kind, isLock := lockCallKind(s.pass, s.lv, call); isLock {
+				switch kind {
+				case "Lock", "RLock":
+					return true
+				case "Unlock", "RUnlock":
+					return false
+				}
+			}
+		}
+		s.check(st, held)
+	case *ast.DeferStmt:
+		if kind, isLock := lockCallKind(s.pass, s.lv, st.Call); isLock {
+			_ = kind // deferred unlock: section reaches the function end
+			return held
+		}
+		s.check(st, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		s.check(st.Cond, held)
+		s.stmts(st.Body.List, held)
+		if st.Else != nil {
+			s.stmt(st.Else, held)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.check(st.Cond, held)
+		}
+		body := st.Body.List
+		if st.Post != nil {
+			body = append(body[:len(body):len(body)], st.Post)
+		}
+		s.stmts(body, held)
+	case *ast.RangeStmt:
+		s.check(st.X, held)
+		s.stmts(st.Body.List, held)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.check(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					s.check(e, held)
+				}
+				s.stmts(cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		s.check(st.Assign, held)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					s.stmt(cc.Comm, held)
+				}
+				s.stmts(cc.Body, held)
+			}
+		}
+	case *ast.BlockStmt:
+		held = s.stmts(st.List, held)
+	case *ast.LabeledStmt:
+		held = s.stmt(st.Stmt, held)
+	default:
+		s.check(stmt, held)
+	}
+	return held
+}
+
+// check inspects the expressions of one non-compound node for guarded
+// field uses and Epoch() calls.
+func (s *scanner) check(n ast.Node, held bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Epoch" {
+				if id, ok := sel.X.(*ast.Ident); ok && s.pass.TypesInfo.Uses[id] == s.lv.recv {
+					switch {
+					case held:
+						s.pass.Reportf(e.Pos(), "%s.Epoch() inside a lock section opens a nested section; read the epoch field directly", id.Name)
+					case s.locksItself:
+						s.pass.Reportf(e.Pos(), "epoch captured outside the lock section: %s.Epoch() in a function that manages its own section; return the epoch field read inside the section", id.Name)
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := e.X.(*ast.Ident)
+			if !ok || s.pass.TypesInfo.Uses[id] != s.lv.recv {
+				return true
+			}
+			selInfo := s.pass.TypesInfo.Selections[e]
+			if selInfo == nil {
+				return true
+			}
+			if f, ok := selInfo.Obj().(*types.Var); ok && s.lv.guarded[f] && !held {
+				s.pass.Reportf(e.Pos(), "guarded field %s.%s used outside the %s lock section", id.Name, f.Name(), s.lv.mutex.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package epochsection
+
+import (
+	"testing"
+
+	"metricindex/internal/analysis/analysistest"
+)
+
+func TestEpochSection(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/live")
+}

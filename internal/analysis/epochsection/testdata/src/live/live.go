@@ -1,0 +1,104 @@
+// Package live models the epoch.Live wrapper shape the analyzer
+// recognizes: mutex + index interface + unsigned epoch counter.
+package live
+
+import "sync"
+
+type Dataset struct {
+	N int
+}
+
+type Index interface {
+	RangeSearch(q []float64, r float64) []int
+	KNNSearch(q []float64, k int) []int
+}
+
+type Live struct {
+	mu    sync.RWMutex
+	ds    *Dataset
+	idx   Index
+	epoch uint64
+}
+
+// Epoch opens its own read section; recognized as lock-managed.
+func (l *Live) Epoch() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.epoch
+}
+
+// good: guarded fields only inside the section.
+func (l *Live) good(q []float64, r float64) ([]int, uint64) {
+	l.mu.RLock()
+	ids := l.idx.RangeSearch(q, r)
+	e := l.epoch
+	l.mu.RUnlock()
+	return ids, e
+}
+
+// goodDefer: deferred unlock keeps the section open to the end.
+func (l *Live) goodDefer(q []float64, k int) ([]int, uint64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.idx.KNNSearch(q, k), l.epoch
+}
+
+// badUnlocked touches guarded fields with no section at all.
+func (l *Live) badUnlocked(q []float64, r float64) []int {
+	return l.idx.RangeSearch(q, r) // want `guarded field l\.idx used outside the mu lock section`
+}
+
+// badEarlyUnlock closes the section and then reads the epoch.
+func (l *Live) badEarlyUnlock(q []float64, r float64) ([]int, uint64) {
+	l.mu.RLock()
+	ids := l.idx.RangeSearch(q, r)
+	l.mu.RUnlock()
+	return ids, l.epoch // want `guarded field l\.epoch used outside the mu lock section`
+}
+
+// badCapturedEpoch pairs an answer with an epoch captured outside the
+// section it manages.
+func (l *Live) badCapturedEpoch(q []float64, k int) ([]int, uint64) {
+	e := l.Epoch() // want `epoch captured outside the lock section`
+	l.mu.RLock()
+	ids := l.idx.KNNSearch(q, k)
+	l.mu.RUnlock()
+	return ids, e
+}
+
+// badNestedEpoch calls Epoch() while already holding the lock — a
+// nested section (self-deadlock under mu.Lock).
+func (l *Live) badNestedEpoch(q []float64, k int) ([]int, uint64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.idx.KNNSearch(q, k), l.Epoch() // want `nested section`
+}
+
+// bumpLocked is a caller-holds-lock helper; the annotation asserts it.
+//
+//metriclint:locked
+func (l *Live) bumpLocked() {
+	l.epoch++
+	l.ds.N++
+}
+
+// swapLike mirrors epoch.Swap: a branch-local unlock must not leak its
+// lock state past the branch.
+func (l *Live) swapLike(idx Index, fail bool) uint64 {
+	l.mu.Lock()
+	if fail {
+		l.mu.Unlock()
+		return 0
+	}
+	l.idx = idx
+	l.epoch++
+	e := l.epoch
+	l.mu.Unlock()
+	return e
+}
+
+// delegates reads no guarded state itself; calling Epoch() without
+// managing a section is the sanctioned pattern.
+func (l *Live) delegates() uint64 {
+	return l.Epoch()
+}

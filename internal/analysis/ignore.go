@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Comment directives (documented in docs/STATIC_ANALYSIS.md):
+//
+//	//metriclint:ignore <analyzer> <reason>
+//	    Suppresses <analyzer> findings on the same line as the comment
+//	    and on the line directly below it (for standalone directives
+//	    placed above the offending statement). The reason is mandatory;
+//	    a directive without one is not recognized.
+//
+//	//metriclint:noalloc
+//	//metriclint:locked
+//	    Function annotations, written in the function's doc comment.
+//	    noalloc opts the function into the noalloc analyzer; locked
+//	    asserts the caller holds the receiver's lock (epochsection).
+
+const directivePrefix = "//metriclint:"
+
+// directives is the per-package index of ignore directives: for each
+// file, the set of lines an analyzer is suppressed on.
+type directives struct {
+	// suppressed maps filename -> line -> analyzer names suppressed
+	// there.
+	suppressed map[string]map[int]map[string]bool
+}
+
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{suppressed: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix+"ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // analyzer name and reason are both required
+				}
+				analyzer := fields[0]
+				pos := fset.Position(c.Pos())
+				lines := d.suppressed[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					d.suppressed[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if lines[line] == nil {
+						lines[line] = make(map[string]bool)
+					}
+					lines[line][analyzer] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) ignored(analyzer string, pos token.Position) bool {
+	return d.suppressed[pos.Filename][pos.Line][analyzer]
+}
+
+// hasAnnotation reports whether fn's doc comment contains the bare
+// directive //metriclint:<name>.
+func hasAnnotation(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directivePrefix+name {
+			return true
+		}
+	}
+	return false
+}

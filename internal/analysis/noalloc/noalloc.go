@@ -1,0 +1,213 @@
+// Package noalloc reports heap-allocating constructs inside functions
+// annotated //metriclint:noalloc — the kNN/range hot paths (KNNHeap
+// push, pivot-table filters, the cache hit path) whose per-candidate
+// cost must stay free of allocation.
+//
+// The pass is deliberately syntactic-plus-types, not a full escape
+// analysis: it flags the constructs that allocate (or defeat the
+// inliner's escape analysis) in practice — make/new/append, slice, map
+// and channel literals, &composite literals, closures, go statements,
+// string building, and interface boxing of concrete non-pointer values.
+// Calls to non-annotated functions are trusted; annotate the callee too
+// if it is part of the hot path. testing.AllocsPerRun regression tests
+// are the runtime witness for the same functions.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"metricindex/internal/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //metriclint:noalloc must not contain heap-allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.HasAnnotation(fn, "noalloc") {
+				continue
+			}
+			checkBody(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "closure literal may escape to the heap; use a named helper or inline the logic")
+			return false // the closure body is not part of this function's budget
+		case *ast.GoStmt:
+			pass.Reportf(e.Pos(), "go statement allocates a goroutine stack")
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					pass.Reportf(e.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(e.Pos(), "slice literal allocates its backing array")
+			case *types.Map:
+				pass.Reportf(e.Pos(), "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isString(pass, e) && !isConstant(pass, e) {
+				pass.Reportf(e.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, e)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Type conversions: string<->[]byte/[]rune copy; conversion to an
+	// interface type boxes.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		to := tv.Type
+		argTV := pass.TypesInfo.Types[call.Args[0]]
+		switch {
+		case isStringByteConv(to, argTV.Type):
+			if argTV.Value == nil { // constant conversions fold away
+				pass.Reportf(call.Pos(), "string/byte-slice conversion copies and allocates")
+			}
+		case types.IsInterface(to) && boxes(argTV.Type):
+			pass.Reportf(call.Pos(), "conversion to interface boxes a %s on the heap", typeName(argTV.Type))
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates")
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array; reslice within capacity instead")
+			}
+			return
+		}
+	}
+
+	// Interface boxing through call arguments: a concrete non-pointer
+	// value passed where the parameter is an interface.
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			if i == params.Len()-1 && call.Ellipsis.IsValid() {
+				continue // s... passes the slice through
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg]
+		if at.IsNil() || at.Type == nil {
+			continue
+		}
+		if at.Value != nil {
+			continue // constants box from read-only data, no allocation
+		}
+		if boxes(at.Type) {
+			pass.Reportf(arg.Pos(), "argument boxes a %s into interface parameter", typeName(at.Type))
+		}
+	}
+}
+
+// typeName prints t qualified by package name, not import path.
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// boxes reports whether storing a value of concrete type t in an
+// interface allocates: true for all non-interface kinds except
+// pointer-shaped ones (pointers, funcs, chans, maps, unsafe pointers),
+// which fit the interface word directly.
+func boxes(t types.Type) bool {
+	if types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		if b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil {
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,11 @@
+package noalloc
+
+import (
+	"testing"
+
+	"metricindex/internal/analysis/analysistest"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/hot")
+}

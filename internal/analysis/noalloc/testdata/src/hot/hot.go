@@ -1,0 +1,111 @@
+// Package hot exercises the noalloc annotation on model hot-path code.
+package hot
+
+type neighbor struct {
+	id   int
+	dist float64
+}
+
+type sink interface{ accept(v any) }
+
+var global []neighbor
+
+// push is a model zero-alloc hot path: reslice within capacity, value
+// assignment, arithmetic only.
+//
+//metriclint:noalloc
+func push(items []neighbor, n neighbor) []neighbor {
+	if len(items) < cap(items) {
+		items = items[:len(items)+1]
+		items[len(items)-1] = n
+	}
+	return items
+}
+
+// filter shows pointer-shaped values passing through interfaces freely.
+//
+//metriclint:noalloc
+func filter(s sink, p *neighbor) {
+	s.accept(p) // pointers fit the interface word: no boxing
+	s.accept(nil)
+	s.accept("radius") // constants live in read-only data: no boxing
+}
+
+// unannotated functions may allocate at will.
+func coldPath(n int) []neighbor {
+	return make([]neighbor, n)
+}
+
+//metriclint:noalloc
+func badMake(n int) []neighbor {
+	return make([]neighbor, n) // want `make allocates`
+}
+
+//metriclint:noalloc
+func badNew() *neighbor {
+	return new(neighbor) // want `new allocates`
+}
+
+//metriclint:noalloc
+func badAppend(items []neighbor, n neighbor) []neighbor {
+	return append(items, n) // want `append may grow its backing array`
+}
+
+//metriclint:noalloc
+func badCompositeRef() *neighbor {
+	return &neighbor{id: 1} // want `&composite literal escapes to the heap`
+}
+
+//metriclint:noalloc
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates its backing array`
+}
+
+//metriclint:noalloc
+func badMapLit() map[int]bool {
+	return map[int]bool{1: true} // want `map literal allocates`
+}
+
+//metriclint:noalloc
+func badClosure(items []neighbor) func() int {
+	return func() int { return len(items) } // want `closure literal may escape to the heap`
+}
+
+//metriclint:noalloc
+func badGo() {
+	go coldPath(1) // want `go statement allocates a goroutine stack`
+}
+
+//metriclint:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//metriclint:noalloc
+func badConv(b []byte) string {
+	return string(b) // want `string/byte-slice conversion copies and allocates`
+}
+
+//metriclint:noalloc
+func badBoxConv(n neighbor) any {
+	return any(n) // want `conversion to interface boxes a hot.neighbor on the heap`
+}
+
+//metriclint:noalloc
+func badBoxArg(s sink, n neighbor) {
+	s.accept(n) // want `argument boxes a hot.neighbor into interface parameter`
+}
+
+//metriclint:noalloc
+func badBoxVariadic(f float64, vals ...any) {
+	badBoxVariadic(f, vals...) // pass-through: no boxing
+	badBoxVariadic(f, f)       // want `argument boxes a float64 into interface parameter`
+}
+
+// Suppression: a justified allocation is silenced per line.
+//
+//metriclint:noalloc
+func suppressed(n int) []neighbor {
+	//metriclint:ignore noalloc one-time warmup allocation, amortized
+	return make([]neighbor, n)
+}

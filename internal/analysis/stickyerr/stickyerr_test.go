@@ -1,0 +1,15 @@
+package stickyerr
+
+import (
+	"testing"
+
+	"metricindex/internal/analysis/analysistest"
+)
+
+func TestStickyErr(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/persist")
+}
+
+func TestUncheckedPackage(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/other")
+}

@@ -1,0 +1,17 @@
+// Package other is outside the durability layer (persist/store/epoch):
+// the stickyerr rules do not apply, so nothing below is flagged.
+package other
+
+import "os"
+
+type Reader struct{ err error }
+
+func (r *Reader) U32() uint32 { return 0 }
+
+func drops(f *os.File) {
+	f.Sync()
+}
+
+func reads(r *Reader) uint32 {
+	return r.U32()
+}

@@ -1,0 +1,89 @@
+// Package persist exercises the stickyerr rules on a model of the
+// durability layer: dropped error results and unconsulted sticky
+// readers.
+package persist
+
+import (
+	"errors"
+	"os"
+)
+
+// Reader is a sticky-error wire reader double.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+func (r *Reader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	return 0
+}
+
+func (r *Reader) F64() float64 { return 0 }
+
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(err error) { r.err = err }
+
+// ---- dropped error results ----
+
+func sync(f *os.File) {
+	f.Sync()     // want `Sync\(\) drops its error result`
+	_ = f.Sync() // explicit discard is the sanctioned form
+}
+
+func cleanup(f *os.File) error {
+	defer f.Close() // deferred best-effort cleanup is exempt
+	go f.Sync()     // want `go Sync\(\) drops its error result`
+	return nil
+}
+
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ---- sticky reader consumption ----
+
+func decodeGood(r *Reader) (uint32, error) {
+	v := r.U32()
+	return v, r.Err()
+}
+
+func decodeErrField(r *Reader) (float64, error) {
+	v := r.F64()
+	return v, r.err
+}
+
+func decodeBad(r *Reader) uint32 {
+	return r.U32() // want `values read from sticky reader r but its error is never consulted`
+}
+
+func decodeDelegates(r *Reader) uint32 {
+	v := r.U32()
+	sub(r) // handing the reader on transfers the obligation
+	return v
+}
+
+func sub(r *Reader) { _ = r.Err() }
+
+func decodeReturnsReader(r *Reader) (uint32, *Reader) {
+	return r.U32(), r
+}
+
+type frame struct {
+	r *Reader
+	v uint32
+}
+
+func decodeStores(r *Reader) frame {
+	return frame{r: r, v: r.U32()}
+}
+
+func poison(r *Reader) {
+	r.fail(errors.New("persist: bad frame")) // fail() writes the error; it is not a read
+}

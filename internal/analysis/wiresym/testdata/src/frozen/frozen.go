@@ -1,0 +1,27 @@
+// Package frozen exercises the frozen on-disk constant check: the
+// names are matched wherever they are declared, and their values may
+// never change (docs/PERSISTENCE.md).
+package frozen
+
+const (
+	OpAdd    = 1
+	OpRemove = 7 // want `frozen on-disk constant OpRemove renumbered to 7 \(must stay 2`
+	OpInsert = 3
+	OpDelete = 4
+	OpSwap   = 5
+)
+
+const (
+	tagVector    = 1
+	tagIntVector = 2
+	tagWord      = 3
+)
+
+const (
+	walMagic      = "MXWAL2" // want `frozen on-disk constant walMagic changed to "MXWAL2" \(must stay "MXWAL1"`
+	snapshotMagic = "MXSNAP"
+	volumeMagic   = "MXVOL1"
+)
+
+// Unrelated constants are never matched.
+const OpAddendum = 99

@@ -1,0 +1,15 @@
+package wiresym
+
+import (
+	"testing"
+
+	"metricindex/internal/analysis/analysistest"
+)
+
+func TestWireSymmetry(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/codec")
+}
+
+func TestFrozenConstants(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/frozen")
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/testutil"
+)
+
+// TestKNNHeapPushAllocs is the runtime witness for the noalloc
+// annotations on KNNHeap: Push runs once per surviving candidate in
+// every kNN search, and must not allocate — neither while filling (all
+// storage is reserved by NewKNNHeap) nor while replacing the top.
+func TestKNNHeapPushAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race detector instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	h := core.NewKNNHeap(16)
+	id := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Distances cycle so the heap keeps both inserting (while
+		// filling) and replacing the top (when full).
+		h.Push(id, float64(id%97))
+		id++
+	})
+	if allocs != 0 {
+		t.Fatalf("KNNHeap.Push allocated %.1f times per call; want 0", allocs)
+	}
+	if h.Len() != 16 {
+		t.Fatalf("heap retained %d candidates; want 16", h.Len())
+	}
+}

@@ -8,6 +8,8 @@ import "math"
 
 // PivotLowerBound returns max_i |d(q,p_i) - d(o,p_i)|, the tightest lower
 // bound of d(q, o) available from the pivots (the quantity D(q,o) of §3.2).
+//
+//metriclint:noalloc
 func PivotLowerBound(qd, od []float64) float64 {
 	var m float64
 	for i := range qd {
@@ -21,6 +23,8 @@ func PivotLowerBound(qd, od []float64) float64 {
 
 // PivotUpperBound returns min_i d(q,p_i) + d(o,p_i), an upper bound of
 // d(q, o) by the triangle inequality.
+//
+//metriclint:noalloc
 func PivotUpperBound(qd, od []float64) float64 {
 	m := math.Inf(1)
 	for i := range qd {
@@ -34,6 +38,8 @@ func PivotUpperBound(qd, od []float64) float64 {
 // PruneObject implements Lemma 1 (pivot filtering) for a single object:
 // it reports true when the object provably lies outside MRQ(q, r), i.e.
 // when its pivot-space image falls outside the search region SR(q).
+//
+//metriclint:noalloc
 func PruneObject(qd, od []float64, r float64) bool {
 	for i := range qd {
 		if od[i] > qd[i]+r || od[i] < qd[i]-r {
@@ -47,6 +53,8 @@ func PruneObject(qd, od []float64, r float64) bool {
 // when the object is provably inside MRQ(q, r) — some pivot satisfies
 // d(o,p_i) <= r - d(q,p_i) — so the actual distance computation can be
 // skipped for result membership (not for result distance).
+//
+//metriclint:noalloc
 func ValidateObject(qd, od []float64, r float64) bool {
 	for i := range qd {
 		if od[i] <= r-qd[i] {

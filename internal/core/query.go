@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 )
@@ -30,47 +29,82 @@ func SortNeighbors(ns []Neighbor) {
 // It is a bounded max-heap: Radius() is the distance of the current k-th
 // nearest neighbor (the search radius that verification tightens), or +Inf
 // while fewer than k candidates have been collected.
+//
+// The heap is hand-sifted rather than built on container/heap: Push sits
+// on the per-candidate kNN hot path, and heap.Push boxes each Neighbor
+// into an `any` — one heap allocation per candidate. All storage is
+// reserved once in NewKNNHeap; Push is allocation-free (see the noalloc
+// annotations and the AllocsPerRun test).
 type KNNHeap struct {
 	k     int
-	items knnItems
+	items []Neighbor
 }
 
-type knnItems []Neighbor
-
-func (h knnItems) Len() int      { return len(h) }
-func (h knnItems) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h knnItems) Less(i, j int) bool {
-	if h[i].Dist != h[j].Dist {
-		return h[i].Dist > h[j].Dist // max-heap on distance
+// above reports whether item i outranks item j in the max-heap: greater
+// distance first, greater id first among ties (so the evicted candidate
+// is always the worst, and answers stay deterministic).
+//
+//metriclint:noalloc
+func (h *KNNHeap) above(i, j int) bool {
+	if h.items[i].Dist != h.items[j].Dist {
+		return h.items[i].Dist > h.items[j].Dist
 	}
-	return h[i].ID > h[j].ID // evict larger id first among ties
+	return h.items[i].ID > h.items[j].ID
 }
-func (h *knnItems) Push(x any) { *h = append(*h, x.(Neighbor)) }
-func (h *knnItems) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+//metriclint:noalloc
+func (h *KNNHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.above(i, parent) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+//metriclint:noalloc
+func (h *KNNHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		top := i
+		if l := 2*i + 1; l < n && h.above(l, top) {
+			top = l
+		}
+		if r := 2*i + 2; r < n && h.above(r, top) {
+			top = r
+		}
+		if top == i {
+			return
+		}
+		h.items[i], h.items[top] = h.items[top], h.items[i]
+		i = top
+	}
 }
 
 // NewKNNHeap creates a heap that retains the k nearest candidates. A
 // non-positive k yields a zero-capacity heap: every candidate is rejected
 // and the answer is empty, matching the MkNNQ definition (not one
-// neighbor, as a silent k=1 coercion would produce).
+// neighbor, as a silent k=1 coercion would produce). All storage is
+// reserved here; Push never reallocates.
 func NewKNNHeap(k int) *KNNHeap {
 	if k < 0 {
 		k = 0
 	}
-	return &KNNHeap{k: k, items: make(knnItems, 0, k+1)}
+	return &KNNHeap{k: k, items: make([]Neighbor, 0, k)}
 }
 
 // K returns the heap capacity.
+//
+//metriclint:noalloc
 func (h *KNNHeap) K() int { return h.k }
 
 // Radius returns the current pruning radius: the k-th best distance, or
 // +Inf while the heap is not yet full. A zero-capacity heap wants nothing,
 // so its radius is -Inf (every candidate is prunable).
+//
+//metriclint:noalloc
 func (h *KNNHeap) Radius() float64 {
 	if h.k == 0 {
 		return math.Inf(-1)
@@ -82,22 +116,28 @@ func (h *KNNHeap) Radius() float64 {
 }
 
 // Push offers a candidate; it is kept only if it improves the answer.
+//
+//metriclint:noalloc
 func (h *KNNHeap) Push(id int, dist float64) {
 	if h.k == 0 {
 		return
 	}
-	if len(h.items) < h.k {
-		heap.Push(&h.items, Neighbor{ID: id, Dist: dist})
+	if n := len(h.items); n < h.k {
+		h.items = h.items[:n+1] // within the capacity reserved by NewKNNHeap
+		h.items[n] = Neighbor{ID: id, Dist: dist}
+		h.siftUp(n)
 		return
 	}
 	top := h.items[0]
 	if dist < top.Dist || (dist == top.Dist && id < top.ID) {
 		h.items[0] = Neighbor{ID: id, Dist: dist}
-		heap.Fix(&h.items, 0)
+		h.siftDown(0)
 	}
 }
 
 // Len returns the number of candidates currently held.
+//
+//metriclint:noalloc
 func (h *KNNHeap) Len() int { return len(h.items) }
 
 // Result extracts the k nearest neighbors sorted by ascending distance.

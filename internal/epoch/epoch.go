@@ -215,6 +215,8 @@ func (l *Live) Apply(op Op, epoch uint64, id int, obj core.Object) error {
 
 // journalAppend writes the record for the write section about to commit
 // at epoch+1. Caller holds the write lock and must roll back on error.
+//
+//metriclint:locked
 func (l *Live) journalAppend(op Op, id int, obj core.Object) error {
 	if l.journal == nil {
 		return nil

@@ -1,0 +1,35 @@
+package ept
+
+import (
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/testutil"
+)
+
+// eptKNNAllocBudget bounds the allocations of one uncached EPT kNN
+// query (measured 9/op: query-pivot distances, the per-group scan
+// state, the candidate heap, the sorted answer, and sort.Slice
+// internals). Headroom covers toolchain drift; per-candidate allocation
+// regressions blow far past it.
+const eptKNNAllocBudget = 12
+
+func TestEPTKNNSearchAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race detector instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	ds := testutil.VectorDataset(500, 4, 100, core.L2{}, 7)
+	idx, err := New(ds, Original, Options{L: 5, Radius: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q core.Object = ds.Objects()[42]
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := idx.KNNSearch(q, 10); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > eptKNNAllocBudget {
+		t.Fatalf("EPT.KNNSearch allocated %.1f times per query; budget is %d", allocs, eptKNNAllocBudget)
+	}
+}

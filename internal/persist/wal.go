@@ -124,28 +124,28 @@ func OpenWAL(path string, mode SyncMode) (w *WAL, recs []Record, truncated bool,
 	w = &WAL{path: path, f: f, mode: mode}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, false, err
 	}
 	if len(data) == 0 {
 		hdr := append([]byte(walMagic), 0, 0)
 		binary.LittleEndian.PutUint16(hdr[len(walMagic):], walVersion)
 		if _, err := f.Write(hdr); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, false, err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, false, err
 		}
 		w.size = int64(len(hdr))
 	} else {
 		if len(data) < walHeader || string(data[:len(walMagic)]) != walMagic {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, false, fmt.Errorf("persist: %s is not a WAL (bad magic)", path)
 		}
 		if ver := binary.LittleEndian.Uint16(data[len(walMagic):]); ver != walVersion {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, false, fmt.Errorf("persist: unsupported WAL version %d (want %d)", ver, walVersion)
 		}
 		var end int64
@@ -155,17 +155,17 @@ func OpenWAL(path string, mode SyncMode) (w *WAL, recs []Record, truncated bool,
 		if end < int64(len(data)) {
 			truncated = true
 			if err := f.Truncate(end); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, nil, false, err
 			}
 			if err := f.Sync(); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, nil, false, err
 			}
 		}
 	}
 	if _, err := f.Seek(w.size, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, false, err
 	}
 	if mode == SyncInterval {
@@ -293,11 +293,11 @@ func (w *WAL) TruncateThrough(ep uint64) error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(out); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -311,10 +311,10 @@ func (w *WAL) TruncateThrough(ep uint64) error {
 		return err
 	}
 	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
-	w.f.Close()
+	_ = w.f.Close()
 	w.f = f
 	w.size = int64(len(out))
 	w.records = kept

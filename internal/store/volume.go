@@ -49,7 +49,7 @@ func (p *Pager) Serialize() []byte {
 	}
 	crc := crc32.NewIEEE()
 	for _, pg := range p.pages {
-		crc.Write(pg)
+		_, _ = crc.Write(pg)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc.Sum32())
 	for _, pg := range p.pages {

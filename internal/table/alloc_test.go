@@ -1,0 +1,35 @@
+package table
+
+import (
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/testutil"
+)
+
+// laesaKNNAllocBudget bounds the allocations of one uncached LAESA kNN
+// query (measured 6/op: the query-distance row, the candidate heap, the
+// sorted answer, and sort.Slice internals). The budget leaves modest
+// headroom for toolchain drift; a regression that adds per-candidate
+// allocation blows far past it.
+const laesaKNNAllocBudget = 8
+
+func TestLAESAKNNSearchAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race detector instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	ds := testutil.VectorDataset(500, 4, 100, core.L2{}, 7)
+	idx, err := NewLAESA(ds, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q core.Object = ds.Objects()[42]
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := idx.KNNSearch(q, 10); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > laesaKNNAllocBudget {
+		t.Fatalf("LAESA.KNNSearch allocated %.1f times per query; budget is %d", allocs, laesaKNNAllocBudget)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// detector instruments every memory access with calls that allocate, so
+// testing.AllocsPerRun budgets are meaningless under -race; allocation
+// regression tests consult this to skip themselves.
+const RaceEnabled = true
