@@ -36,7 +36,8 @@ RACE_PKGS = ./internal/exec/... ./internal/epoch/... ./internal/server/... \
             ./internal/core/... ./internal/store/... ./internal/bench/... \
             ./internal/cache/... ./internal/bkt/... ./internal/fqt/... \
             ./internal/mtree/... ./internal/pmtree/... ./internal/persist/... \
-            ./internal/bptree/... ./internal/rtree/... ./internal/spb/... .
+            ./internal/bptree/... ./internal/rtree/... ./internal/spb/... \
+            ./internal/obs/... .
 
 # The example programs CI runs end to end so example rot fails the
 # pipeline (each finishes in well under a second).

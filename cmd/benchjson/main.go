@@ -30,6 +30,8 @@ import (
 	"time"
 
 	"metricindex"
+	"metricindex/internal/obs"
+	"metricindex/internal/store"
 )
 
 // Result is one benchmark's measurement.
@@ -49,6 +51,11 @@ type Report struct {
 	Workers    int               `json:"workers"`
 	GoMaxProcs int               `json:"gomaxprocs"`
 	Benchmarks map[string]Result `json:"benchmarks"`
+	// Obs is a flat snapshot of the run's observability registry —
+	// cost counters (compdists, page traffic, cache hits) and Go
+	// runtime numbers — alongside the q/s figures. Informational: the
+	// gate compares only Benchmarks.
+	Obs map[string]float64 `json:"obs,omitempty"`
 }
 
 func main() {
@@ -276,7 +283,64 @@ func measure(n, queries, k, reps int, minDur time.Duration) (*Report, error) {
 	}); err != nil {
 		return nil, err
 	}
+	rep.Obs = obsSnapshot(ds, hot)
 	return rep, nil
+}
+
+// obsSnapshot registers pull-based views over the run's cost counters —
+// the same sources mserve's /metrics exposes — plus Go runtime numbers,
+// and returns one flat scrape of them.
+func obsSnapshot(ds *metricindex.Dataset, hot *metricindex.Live) map[string]float64 {
+	reg := obs.NewRegistry()
+	reg.CounterFunc("mx_compdists_total",
+		"Distance computations over the whole run.",
+		func() float64 { return float64(ds.Space().CompDists()) })
+	reg.CounterFunc("mx_store_page_reads_total",
+		"Physical page reads across all pager volumes.",
+		func() float64 { r, _, _ := store.GlobalPageStats(); return float64(r) })
+	reg.CounterFunc("mx_store_page_writes_total",
+		"Page writes across all pager volumes.",
+		func() float64 { _, w, _ := store.GlobalPageStats(); return float64(w) })
+	reg.CounterFunc("mx_store_cache_hits_total",
+		"Pager buffer-cache hits.",
+		func() float64 { _, _, h := store.GlobalPageStats(); return float64(h) })
+	cacheVal := func(sel func(metricindex.CacheStats) int64) func() float64 {
+		return func() float64 {
+			st, ok := hot.CacheStats()
+			if !ok {
+				return 0
+			}
+			return float64(sel(st))
+		}
+	}
+	reg.CounterFunc("mx_cache_hits_total",
+		"Answer-cache hits on the hot-cache fixture.",
+		cacheVal(func(st metricindex.CacheStats) int64 { return st.Hits }))
+	reg.CounterFunc("mx_cache_misses_total",
+		"Answer-cache misses on the hot-cache fixture.",
+		cacheVal(func(st metricindex.CacheStats) int64 { return st.Misses }))
+	reg.GaugeFunc("mx_runtime_heap_alloc_bytes",
+		"Live heap bytes at snapshot time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.CounterFunc("mx_runtime_total_alloc_bytes",
+		"Cumulative heap bytes allocated over the run.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.TotalAlloc)
+		})
+	reg.CounterFunc("mx_runtime_gc_total",
+		"Completed GC cycles over the run.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	return reg.Snapshot()
 }
 
 // gate fails when any shared benchmark regressed beyond the tolerance.

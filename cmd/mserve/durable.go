@@ -5,9 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"metricindex/internal/core"
 	"metricindex/internal/epoch"
+	"metricindex/internal/obs"
 	"metricindex/internal/persist"
 	"metricindex/internal/server"
 )
@@ -26,14 +28,37 @@ type durable struct {
 	mu        sync.Mutex
 	snapEpoch uint64
 	snapBytes int64
+
+	// Push instruments: the WAL handles are installed on every WAL this
+	// durable opens (restore and attach both go through them), the
+	// snapshot pair is driven by checkpointLive. The pull-based gauges
+	// (snapshot epoch/bytes, WAL record/byte backlog) are registered by
+	// the server from its PersistStats hook.
+	walObs    *persist.WALObs
+	snapshots *obs.Counter
+	snapTime  *obs.Histogram
 }
 
-func newDurable(dir string, mode persist.SyncMode) *durable {
+func newDurable(dir string, mode persist.SyncMode, reg *obs.Registry) *durable {
 	return &durable{
 		dir:      dir,
 		snapPath: filepath.Join(dir, "snapshot.mxs"),
 		walPath:  filepath.Join(dir, "wal.mxl"),
 		mode:     mode,
+		walObs: &persist.WALObs{
+			Appends: reg.Counter("mx_persist_wal_appends_total",
+				"Write-ahead log records appended (committed writes)."),
+			AppendBytes: reg.Counter("mx_persist_wal_append_bytes_total",
+				"Bytes of WAL frames appended."),
+			FsyncSeconds: reg.Histogram("mx_persist_wal_fsync_seconds",
+				"Duration of WAL fsync calls.",
+				obs.DefLatencyBuckets),
+		},
+		snapshots: reg.Counter("mx_persist_snapshots_total",
+			"Snapshots written (initial build plus one per swap)."),
+		snapTime: reg.Histogram("mx_persist_snapshot_seconds",
+			"Duration of snapshot encode + atomic save.",
+			obs.DefLatencyBuckets),
 	}
 }
 
@@ -74,6 +99,7 @@ func (d *durable) restore(wantMetric string) (*epoch.Live, error) {
 		wal.Close()
 		return nil, fmt.Errorf("replay WAL %s: %w", d.walPath, err)
 	}
+	wal.SetObs(d.walObs)
 	live.SetJournal(wal)
 	d.wal = wal
 	d.restored = true
@@ -100,6 +126,7 @@ func (d *durable) attach(live *epoch.Live) error {
 	if err != nil {
 		return fmt.Errorf("open WAL %s: %w", d.walPath, err)
 	}
+	wal.SetObs(d.walObs)
 	live.SetJournal(wal)
 	d.wal = wal
 	fmt.Printf("durable: snapshot at %s (epoch %d), WAL at %s (fsync %s)\n",
@@ -110,6 +137,7 @@ func (d *durable) attach(live *epoch.Live) error {
 // checkpointLive snapshots the live state atomically and records the
 // captured epoch and image size.
 func (d *durable) checkpointLive(live *epoch.Live) error {
+	start := time.Now()
 	var ep uint64
 	var data []byte
 	err := live.Snapshot(func(ds *core.Dataset, idx core.Index, e uint64) error {
@@ -124,6 +152,8 @@ func (d *durable) checkpointLive(live *epoch.Live) error {
 	if err := persist.SaveFile(d.snapPath, data); err != nil {
 		return err
 	}
+	d.snapshots.Inc()
+	d.snapTime.Observe(time.Since(start).Seconds())
 	d.mu.Lock()
 	d.snapEpoch = ep
 	d.snapBytes = int64(len(data))

@@ -39,6 +39,7 @@ import (
 	"metricindex/internal/core"
 	"metricindex/internal/dataset"
 	"metricindex/internal/epoch"
+	"metricindex/internal/obs"
 	"metricindex/internal/persist"
 	"metricindex/internal/server"
 )
@@ -58,6 +59,9 @@ func main() {
 		dataDir        = flag.String("data-dir", "", "durability directory: snapshot.mxs + wal.mxl live here; boot restores from them, every committed write is logged, every swap re-snapshots (empty = volatile)")
 		fsync          = flag.String("fsync", "interval", "WAL fsync policy: always (per append), interval (background 200ms), off")
 		requireRestore = flag.Bool("require-restore", false, "fail the boot unless the state was restored from -data-dir (no fresh build) — used by the restart smoke leg")
+		metrics        = flag.Bool("metrics", true, "expose Prometheus text metrics at GET /metrics")
+		pprofOn        = flag.Bool("pprof", false, "mount net/http/pprof under GET /debug/pprof/")
+		slowQueryMS    = flag.Int("slow-query-ms", 0, "log any request slower than this many milliseconds with its compdists and page accesses (0 disables)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -89,6 +93,11 @@ func main() {
 			*index, gen.Dataset.Space().Metric().Name()))
 	}
 
+	// One registry for the whole process: the server registers every
+	// layer's instruments on it, and durable adds the persistence push
+	// handles (WAL append/fsync, snapshot timers) as they come online.
+	reg := obs.NewRegistry()
+
 	var dur *durable
 	if *dataDir != "" {
 		if cfg.Shards > 1 {
@@ -101,7 +110,7 @@ func main() {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			fail(err)
 		}
-		dur = newDurable(*dataDir, mode)
+		dur = newDurable(*dataDir, mode, reg)
 	}
 
 	var live *epoch.Live
@@ -155,6 +164,12 @@ func main() {
 	sopts := server.Options{
 		MaxInFlight: *inflight, MaxQueue: *queue,
 		Workers: cfg.Workers, Builder: rebuild,
+		Obs:            reg,
+		DisableMetrics: !*metrics,
+		PProf:          *pprofOn,
+	}
+	if *slowQueryMS > 0 {
+		sopts.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond
 	}
 	if dur != nil {
 		// Snapshot-on-swap: each graceful rebuild re-snapshots the fresh
@@ -172,7 +187,7 @@ func main() {
 	}
 
 	if *smoke {
-		if err := runSmoke(srv, live, gen); err != nil {
+		if err := runSmoke(srv, live, gen, *metrics); err != nil {
 			fail(fmt.Errorf("smoke: %w", err))
 		}
 		fmt.Println("smoke: all endpoints verified ✓")

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"metricindex/internal/core"
 	"metricindex/internal/dataset"
 	"metricindex/internal/epoch"
+	"metricindex/internal/obs"
 	"metricindex/internal/server"
 )
 
@@ -24,8 +27,9 @@ import (
 // adds transport, never approximation) and against a brute-force linear
 // scan of the current dataset (the same check msearch -verify runs). It
 // finishes with a graceful swap under sustained query load that must
-// drop zero requests and corrupt zero answers.
-func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated) error {
+// drop zero requests and corrupt zero answers, then scrapes GET /metrics
+// and validates the exposition covers every instrumented subsystem.
+func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated, metricsOn bool) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -142,6 +146,53 @@ func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated) erro
 	}
 	fmt.Println("smoke: insert/delete round trip ✓")
 
+	// Traced query: the span timeline must cover the request's whole
+	// path, and tracing must not change the answer. The insert/delete
+	// above bumped the epoch, so this traced query misses the answer
+	// cache and exercises the full read-section pipeline.
+	sharded := len(live.Name()) > len("Sharded[") && live.Name()[:len("Sharded[")] == "Sharded["
+	var traced server.KNNResponse
+	if err := call(base+"/v1/knn", server.KNNRequest{Query: raws[0], K: k, Trace: true}, &traced); err != nil {
+		return fmt.Errorf("traced knn: %w", err)
+	}
+	if traced.Trace == nil || len(traced.Trace.Spans) == 0 {
+		return fmt.Errorf("traced knn returned no trace")
+	}
+	spanNames := map[string]bool{}
+	var readSection *obs.Span
+	for i := range traced.Trace.Spans {
+		sp := &traced.Trace.Spans[i]
+		spanNames[sp.Name] = true
+		if sp.Name == "read_section" {
+			readSection = sp
+		}
+	}
+	for _, want := range []string{"admission_wait", "decode", "read_section", "encode"} {
+		if !spanNames[want] {
+			return fmt.Errorf("trace missing %q span: have %v", want, traced.Trace.Spans)
+		}
+	}
+	if cacheOn && !spanNames["cache_probe"] {
+		return fmt.Errorf("cache enabled but trace has no cache_probe span")
+	}
+	if sharded {
+		if !spanNames["probe_shard0"] || !spanNames["merge"] {
+			return fmt.Errorf("sharded front but trace has no per-shard probe/merge spans: %v", traced.Trace.Spans)
+		}
+	}
+	if readSection != nil && readSection.CompDists <= 0 {
+		return fmt.Errorf("traced uncached query reported %d compdists in its read section", readSection.CompDists)
+	}
+	var untraced server.KNNResponse
+	if err := call(base+"/v1/knn", server.KNNRequest{Query: raws[0], K: k}, &untraced); err != nil {
+		return err
+	}
+	if err := sameNeighbors(traced.Neighbors, untraced.Neighbors); err != nil {
+		return fmt.Errorf("tracing changed the answer: %w", err)
+	}
+	fmt.Printf("smoke: traced query — %d spans over %dµs, answer unchanged ✓\n",
+		len(traced.Trace.Spans), traced.Trace.TotalMicros)
+
 	// Graceful swap under sustained query load: zero dropped, zero wrong.
 	var (
 		wg     sync.WaitGroup
@@ -225,6 +276,152 @@ func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated) erro
 	}
 	fmt.Printf("smoke: stats — %d admitted, knn p50 %dµs p99 %dµs, epoch %d\n",
 		st.Admission.Admitted, knnStats.P50Micros, knnStats.P99Micros, st.Index.Epoch)
+
+	// Metrics exposition: after everything above every subsystem has
+	// traffic, so the scrape must parse as Prometheus text and carry at
+	// least one family per layer.
+	if metricsOn {
+		if err := checkMetrics(base, sharded, st.Persistence.Enabled); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		fmt.Println("smoke: /metrics exposition parses, every subsystem reporting ✓")
+	}
+	return nil
+}
+
+// checkMetrics scrapes GET /metrics, validates the Prometheus text
+// exposition line by line, and requires one metric family per
+// instrumented subsystem (plus the shard and persistence families when
+// those layers are live).
+func checkMetrics(base string, sharded, persistent bool) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+
+	types := map[string]string{} // family -> counter|gauge|histogram
+	values := map[string]float64{}
+	for ln, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", ln+1, parts[3])
+			}
+			if _, dup := types[parts[2]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if len(strings.Fields(line)) < 4 {
+				return fmt.Errorf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: unknown comment %q", ln+1, line)
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: no value: %q", ln+1, line)
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value: %q", ln+1, line)
+		}
+		name := line[:sp]
+		if br := strings.IndexByte(name, '{'); br >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("line %d: unterminated labels: %q", ln+1, line)
+			}
+			name = name[:br]
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(name, suf); ok && types[trimmed] == "histogram" {
+				family = trimmed
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			return fmt.Errorf("line %d: sample %s has no TYPE", ln+1, name)
+		}
+		values[name] += val
+	}
+
+	required := []string{
+		"mx_server_requests_total", "mx_server_request_seconds",
+		"mx_server_admitted_total", "mx_server_queue_depth",
+		"mx_compdists_total",
+		"mx_index_epoch", "mx_index_objects",
+		"mx_cache_hits_total", "mx_cache_entries",
+		"mx_exec_batches_total", "mx_exec_batch_queries",
+		"mx_epoch_swaps_total", "mx_epoch_write_wait_seconds",
+		"mx_store_page_reads_total", "mx_store_cache_hits_total",
+	}
+	if sharded {
+		required = append(required, "mx_shard_probe_seconds")
+	}
+	if persistent {
+		required = append(required,
+			"mx_persist_snapshots_total", "mx_persist_snapshot_seconds",
+			"mx_persist_wal_appends_total", "mx_persist_wal_fsync_seconds",
+			"mx_persist_snapshot_epoch", "mx_persist_wal_records")
+	}
+	for _, fam := range required {
+		if _, ok := types[fam]; !ok {
+			return fmt.Errorf("missing required family %s", fam)
+		}
+	}
+	// The legs above issued requests, computed distances, ran a batch,
+	// and committed a swap — the corresponding counters cannot be zero.
+	for _, nonzero := range []string{
+		"mx_server_admitted_total", "mx_compdists_total",
+		"mx_exec_batches_total", "mx_epoch_swaps_total",
+		"mx_server_request_seconds_count",
+	} {
+		if values[nonzero] == 0 {
+			return fmt.Errorf("%s is zero after the smoke workload", nonzero)
+		}
+	}
+	if persistent && values["mx_persist_snapshots_total"]+values["mx_persist_wal_appends_total"] == 0 {
+		return fmt.Errorf("persistence enabled but no snapshot or WAL activity recorded")
+	}
+	return nil
+}
+
+// sameNeighbors reports whether two served answers are element-wise
+// identical.
+func sameNeighbors(a, b []server.Neighbor) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d vs %d neighbors", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+			return fmt.Errorf("neighbor %d: %v vs %v", i, a[i], b[i])
+		}
+	}
 	return nil
 }
 

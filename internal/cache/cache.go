@@ -335,6 +335,30 @@ func (c *Cache) KNN(q core.Object, kq int, epoch uint64, fetch KNNFill) ([]core.
 	return append([]core.Neighbor(nil), nns...), ep, nil
 }
 
+// PutRange stores an MRQ answer computed outside the cache (the traced
+// search path bypasses Range's singleflight but still wants its answer
+// resident). The fill is counted as one miss, mirroring what Range
+// would have recorded. The ids slice is copied.
+func (c *Cache) PutRange(q core.Object, r float64, epoch uint64, ids []int) {
+	k := key{digest: digest(q, kindRange, math.Float64bits(r)), kind: kindRange, param: math.Float64bits(r)}
+	c.misses.Add(1)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	c.store(sh, k, q, epoch, append([]int(nil), ids...), nil)
+	sh.mu.Unlock()
+}
+
+// PutKNN stores an MkNNQ answer computed outside the cache; see
+// PutRange.
+func (c *Cache) PutKNN(q core.Object, kq int, epoch uint64, nns []core.Neighbor) {
+	k := key{digest: digest(q, kindKNN, uint64(kq)), kind: kindKNN, param: uint64(kq)}
+	c.misses.Add(1)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	c.store(sh, k, q, epoch, nil, append([]core.Neighbor(nil), nns...))
+	sh.mu.Unlock()
+}
+
 // acquire resolves one cache attempt under the shard lock: a resident
 // hit (e != nil), an existing flight to wait on (f != nil, leader
 // false), or leadership of a new flight (f != nil, leader true). All

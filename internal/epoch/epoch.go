@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metricindex/internal/cache"
 	"metricindex/internal/core"
@@ -80,6 +81,9 @@ type Live struct {
 	// by the epoch a search observed, so every committed write or swap
 	// invalidates the whole working set for free; see SetCache.
 	cache atomic.Pointer[cache.Cache]
+	// metrics is the optional obs attachment (SetObs); outside the lock
+	// discipline like cache.
+	metrics atomic.Pointer[Obs]
 }
 
 // NewLive wraps an index and the dataset it was built over.
@@ -259,8 +263,10 @@ func (l *Live) AddAt(o core.Object) (int, uint64, error) {
 	if o == nil {
 		return 0, 0, fmt.Errorf("epoch: add of nil object")
 	}
+	waitStart := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.writeWait(time.Since(waitStart))
 	id := l.ds.Insert(o)
 	if err := l.idx.Insert(id); err != nil {
 		_ = l.ds.Delete(id) // roll the dataset back
@@ -285,8 +291,10 @@ func (l *Live) Remove(id int) error {
 
 // RemoveAt is Remove reporting also the epoch the write committed at.
 func (l *Live) RemoveAt(id int) (uint64, error) {
+	waitStart := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.writeWait(time.Since(waitStart))
 	o := l.ds.Object(id) // captured for journal-failure rollback
 	if err := l.idx.Delete(id); err != nil {
 		return l.epoch, err
@@ -309,8 +317,10 @@ func (l *Live) RemoveAt(id int) (uint64, error) {
 // fully synchronized path: a direct dataset mutation is not covered by
 // the write section and must itself not race with in-flight searches.
 func (l *Live) Insert(id int) error {
+	waitStart := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.writeWait(time.Since(waitStart))
 	o := l.ds.Object(id)
 	if o == nil {
 		return fmt.Errorf("epoch: insert of deleted or unknown object %d", id)
@@ -332,8 +342,10 @@ func (l *Live) Insert(id int) error {
 // contract the object stays in the dataset until the caller deletes it).
 // Remove is the fully synchronized path.
 func (l *Live) Delete(id int) error {
+	waitStart := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.writeWait(time.Since(waitStart))
 	if err := l.idx.Delete(id); err != nil {
 		return err
 	}
@@ -370,6 +382,7 @@ func (l *Live) Swap(build Builder) error {
 	if build == nil {
 		return fmt.Errorf("epoch: nil builder")
 	}
+	swapStart := time.Now()
 	l.mu.Lock()
 	if l.swapping {
 		l.mu.Unlock()
@@ -409,6 +422,10 @@ func (l *Live) Swap(build Builder) error {
 		if err := l.journal.Append(OpSwap, l.epoch, 0, nil); err != nil {
 			return fmt.Errorf("epoch: swap committed but journal append failed: %w", err)
 		}
+	}
+	if m := l.metrics.Load(); m != nil {
+		m.Swaps.Inc()
+		m.SwapSeconds.Observe(time.Since(swapStart).Seconds())
 	}
 	return nil
 }

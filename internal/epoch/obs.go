@@ -1,0 +1,165 @@
+package epoch
+
+import (
+	"time"
+
+	"metricindex/internal/core"
+	"metricindex/internal/obs"
+)
+
+// Obs carries the metric handles Live updates on its write and swap
+// paths. All fields must be non-nil. Attach with SetObs; a Live without
+// one records nothing. Read-side numbers (current epoch, page accesses,
+// object count) are pull-based — register GaugeFuncs over the Live's
+// accessors instead.
+type Obs struct {
+	// Swaps counts committed index swaps (mx_epoch_swaps_total).
+	Swaps *obs.Counter
+	// SwapSeconds is the duration of each successful swap, snapshot to
+	// cutover (mx_epoch_swap_seconds).
+	SwapSeconds *obs.Histogram
+	// WriteWait is how long each write section waited to acquire the
+	// write lock (mx_epoch_write_wait_seconds) — the back-pressure
+	// readers put on writers.
+	WriteWait *obs.Histogram
+}
+
+// SetObs attaches metric handles. Safe to call at any time.
+func (l *Live) SetObs(m *Obs) {
+	l.metrics.Store(m)
+}
+
+// writeWait observes one write-lock acquisition wait. Called after
+// Lock() returns with the wait measured by the caller; the metrics
+// pointer is outside the lock discipline.
+func (l *Live) writeWait(waited time.Duration) {
+	if m := l.metrics.Load(); m != nil {
+		m.WriteWait.Observe(waited.Seconds())
+	}
+}
+
+// rangeTracer and knnTracer are the optional interfaces of wrapped
+// indexes that can attribute trace spans below the read section (the
+// sharded front records per-shard probes and the merge).
+type rangeTracer interface {
+	RangeSearchTraced(q core.Object, r float64, tr *obs.Trace) ([]int, error)
+}
+
+type knnTracer interface {
+	KNNSearchTraced(q core.Object, k int, tr *obs.Trace) ([]core.Neighbor, error)
+}
+
+// RangeSearchTraced is RangeSearchAt recording the query's span
+// timeline into tr: cache_probe (when a cache is attached), read_wait
+// (time to acquire the read lock), and read_section with the compdists
+// and page-access deltas the search spent. A nil tr degrades to
+// RangeSearchAt.
+//
+// Traced misses bypass the cache's singleflight (collapsing onto
+// another caller's fill would time that caller's work, not this
+// query's) but still store their answer, so tracing a cold query warms
+// the cache exactly like an untraced one.
+func (l *Live) RangeSearchTraced(q core.Object, r float64, tr *obs.Trace) ([]int, uint64, error) {
+	if tr == nil {
+		return l.RangeSearchAt(q, r)
+	}
+	if c := l.cache.Load(); c != nil {
+		probeStart := time.Now()
+		ep := l.Epoch()
+		ids, ok := c.GetRange(q, r, ep)
+		tr.Add("cache_probe", probeStart, time.Since(probeStart), 0, 0)
+		if ok {
+			return ids, ep, nil
+		}
+		ids, obsEp, err := l.rangeDirectTraced(q, r, tr)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.PutRange(q, r, obsEp, ids)
+		return ids, obsEp, nil
+	}
+	return l.rangeDirectTraced(q, r, tr)
+}
+
+// KNNSearchTraced is KNNSearchAt with the span timeline of
+// RangeSearchTraced.
+func (l *Live) KNNSearchTraced(q core.Object, k int, tr *obs.Trace) ([]core.Neighbor, uint64, error) {
+	if tr == nil {
+		return l.KNNSearchAt(q, k)
+	}
+	if c := l.cache.Load(); c != nil {
+		probeStart := time.Now()
+		ep := l.Epoch()
+		nns, ok := c.GetKNN(q, k, ep)
+		tr.Add("cache_probe", probeStart, time.Since(probeStart), 0, 0)
+		if ok {
+			return nns, ep, nil
+		}
+		nns, obsEp, err := l.knnDirectTraced(q, k, tr)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.PutKNN(q, k, obsEp, nns)
+		return nns, obsEp, nil
+	}
+	return l.knnDirectTraced(q, k, tr)
+}
+
+// rangeDirectTraced is rangeDirect with read_wait and read_section
+// spans. Cost deltas are read inside the section from the structures
+// the section already guards (never via the re-locking accessors, which
+// could deadlock behind a queued writer). Compdists flow through the
+// Space shared by every concurrent query, so under concurrency a span's
+// delta can include neighbors' work — exact when one traced query runs
+// alone, an upper bound otherwise.
+func (l *Live) rangeDirectTraced(q core.Object, r float64, tr *obs.Trace) ([]int, uint64, error) {
+	waitStart := time.Now()
+	l.mu.RLock()
+	waited := time.Since(waitStart)
+	defer l.mu.RUnlock()
+	tr.Add("read_wait", waitStart, waited, 0, 0)
+	compBase := l.ds.Space().CompDists()
+	paBase := l.idx.PageAccesses()
+	secStart := time.Now()
+	var ids []int
+	var err error
+	if ti, ok := l.idx.(rangeTracer); ok {
+		ids, err = ti.RangeSearchTraced(q, r, tr)
+	} else {
+		ids, err = l.idx.RangeSearch(q, r)
+	}
+	dur := time.Since(secStart)
+	pa := l.idx.PageAccesses() - paBase
+	if pa < 0 {
+		pa = 0
+	}
+	tr.Add("read_section", secStart, dur, l.ds.Space().CompDists()-compBase, pa)
+	return ids, l.epoch, err
+}
+
+// knnDirectTraced is knnDirect with read_wait and read_section spans;
+// see rangeDirectTraced.
+func (l *Live) knnDirectTraced(q core.Object, k int, tr *obs.Trace) ([]core.Neighbor, uint64, error) {
+	waitStart := time.Now()
+	l.mu.RLock()
+	waited := time.Since(waitStart)
+	defer l.mu.RUnlock()
+	tr.Add("read_wait", waitStart, waited, 0, 0)
+	compBase := l.ds.Space().CompDists()
+	paBase := l.idx.PageAccesses()
+	secStart := time.Now()
+	var nns []core.Neighbor
+	var err error
+	if ti, ok := l.idx.(knnTracer); ok {
+		nns, err = ti.KNNSearchTraced(q, k, tr)
+	} else {
+		nns, err = l.idx.KNNSearch(q, k)
+	}
+	dur := time.Since(secStart)
+	pa := l.idx.PageAccesses() - paBase
+	if pa < 0 {
+		pa = 0
+	}
+	tr.Add("read_section", secStart, dur, l.ds.Space().CompDists()-compBase, pa)
+	return nns, l.epoch, err
+}

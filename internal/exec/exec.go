@@ -30,7 +30,25 @@ import (
 	"time"
 
 	"metricindex/internal/core"
+	"metricindex/internal/obs"
 )
+
+// Metrics carries the engine's obs handles. All fields must be non-nil;
+// an engine built without Metrics records nothing.
+type Metrics struct {
+	// Batches counts batches dispatched (mx_exec_batches_total).
+	Batches *obs.Counter
+	// BatchQueries is the distribution of batch sizes
+	// (mx_exec_batch_queries).
+	BatchQueries *obs.Histogram
+	// PredispatchHits counts queries answered from the answer cache
+	// during the pre-dispatch sweep (mx_exec_predispatch_hits_total).
+	PredispatchHits *obs.Counter
+	// QueueWait is how long each dispatched query waited from batch
+	// start to the moment a worker picked it up
+	// (mx_exec_queue_wait_seconds).
+	QueueWait *obs.Histogram
+}
 
 // AnswerCached is the optional interface of indexes that can serve a
 // memoized answer without computing (epoch.Live with an attached
@@ -49,6 +67,8 @@ type AnswerCached interface {
 type Options struct {
 	// Workers is the goroutine pool size per batch; <= 0 uses GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives per-batch observations.
+	Metrics *Metrics
 }
 
 // Engine runs batched queries over indexes. An Engine is stateless between
@@ -57,6 +77,7 @@ type Options struct {
 type Engine struct {
 	workers int
 	space   *core.Space
+	metrics *Metrics
 }
 
 // New creates an engine over the instrumented space shared by the indexes
@@ -67,7 +88,7 @@ func New(space *core.Space, opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: w, space: space}
+	return &Engine{workers: w, space: space, metrics: opts.Metrics}
 }
 
 // Workers returns the pool size used per batch.
@@ -239,15 +260,25 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, peek func(i int
 		}
 		todo = append(todo, i)
 	}
+	m := e.metrics
 	timed := func(j int) error {
 		i := todo[j]
 		qStart := time.Now()
+		if m != nil {
+			// Queue wait: batch arrival to worker pickup for this query.
+			m.QueueWait.Observe(qStart.Sub(start).Seconds())
+		}
 		err := job(i)
 		durs[i] = time.Since(qStart)
 		return err
 	}
 	if err := Scatter(ctx, e.workers, len(todo), timed); err != nil {
 		return BatchStats{}, err
+	}
+	if m != nil {
+		m.Batches.Inc()
+		m.BatchQueries.Observe(float64(n))
+		m.PredispatchHits.Add(int64(hits))
 	}
 	stats := BatchStats{Queries: n, Wall: time.Since(start), CacheHits: hits}
 	stats.P50, stats.P95, stats.P99 = LatencyPercentiles(durs)

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden locks the exposition byte format: family
+// ordering, HELP/TYPE lines, label rendering, histogram expansion.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mx_requests_total", "Requests served.", Label{"endpoint", "knn"}).Add(3)
+	r.Counter("mx_requests_total", "Requests served.", Label{"endpoint", "range"}).Add(1)
+	r.Gauge("mx_inflight", "In-flight requests.").Set(2)
+	h := r.Histogram("mx_latency_seconds", "Request latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.25)
+	h.Observe(2)
+	r.GaugeFunc("mx_epoch", "Current epoch.", func() float64 { return 9 })
+	r.Counter("mx_escaped_total", "", Label{"path", `a"b\c`}).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP mx_epoch Current epoch.
+# TYPE mx_epoch gauge
+mx_epoch 9
+# TYPE mx_escaped_total counter
+mx_escaped_total{path="a\"b\\c"} 1
+# HELP mx_inflight In-flight requests.
+# TYPE mx_inflight gauge
+mx_inflight 2
+# HELP mx_latency_seconds Request latency.
+# TYPE mx_latency_seconds histogram
+mx_latency_seconds_bucket{le="0.1"} 1
+mx_latency_seconds_bucket{le="0.5"} 2
+mx_latency_seconds_bucket{le="+Inf"} 3
+mx_latency_seconds_sum 2.3
+mx_latency_seconds_count 3
+# HELP mx_requests_total Requests served.
+# TYPE mx_requests_total counter
+mx_requests_total{endpoint="knn"} 3
+mx_requests_total{endpoint="range"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mx_probe_seconds", "", []float64{1}, Label{"shard", "0"})
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`mx_probe_seconds_bucket{shard="0",le="1"} 1`,
+		`mx_probe_seconds_bucket{shard="0",le="+Inf"} 1`,
+		`mx_probe_seconds_sum{shard="0"} 0.5`,
+		`mx_probe_seconds_count{shard="0"} 1`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mx_ops_total", "Ops.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "mx_ops_total 1\n") {
+		t.Fatalf("scrape body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	t0 := time.Now()
+	tr := NewTraceAt(t0)
+	tr.Add("merge", t0.Add(3*time.Millisecond), time.Millisecond, 0, 0)
+	tr.Add("read_section", t0.Add(time.Millisecond), 2*time.Millisecond, 12, 3)
+	tr.Add("cache_probe", t0, 50*time.Microsecond, 0, 0)
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	order := []string{"cache_probe", "read_section", "merge"}
+	for i, name := range order {
+		if spans[i].Name != name {
+			t.Fatalf("span %d = %q, want %q", i, spans[i].Name, name)
+		}
+	}
+	if spans[1].CompDists != 12 || spans[1].PageAccesses != 3 {
+		t.Fatalf("read_section costs = %+v", spans[1])
+	}
+	if spans[1].StartMicros != 1000 || spans[1].DurMicros != 2000 {
+		t.Fatalf("read_section timing = %+v", spans[1])
+	}
+
+	// nil trace is inert everywhere.
+	var nilTr *Trace
+	nilTr.Add("x", t0, 0, 0, 0)
+	if nilTr.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+}

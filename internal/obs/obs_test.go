@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mx_test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("mx_test_depth", "depth")
+	g.Set(7)
+	if n := g.Add(-3); n != 4 {
+		t.Fatalf("gauge Add returned %d, want 4", n)
+	}
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("mx_test_total", "t", Label{"k", "v"})
+	b := r.Counter("mx_test_total", "ignored help", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct handles")
+	}
+	other := r.Counter("mx_test_total", "t", Label{"k", "w"})
+	if other == a {
+		t.Fatal("distinct label values shared a handle")
+	}
+
+	h1 := r.Histogram("mx_test_seconds", "s", DefLatencyBuckets)
+	h2 := r.Histogram("mx_test_seconds", "s", DefLatencyBuckets)
+	if h1 != h2 {
+		t.Fatal("histogram registration not idempotent")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mx_test_total", "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("mx_test_total", "t")
+}
+
+func TestFamilyKindConsistencyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mx_test_total", "t", Label{"a", "1"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixing kinds inside a family did not panic")
+		}
+	}()
+	r.Gauge("mx_test_total", "t", Label{"a", "2"})
+}
+
+func TestBadNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1leading", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q did not panic", name)
+				}
+			}()
+			r.Counter(name, "")
+		}()
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mx_test_seconds", "s", []float64{1, 2, 4})
+	// le semantics: a value exactly on a bound lands in that bucket.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 9} {
+		h.Observe(v)
+	}
+	_, cum, sum, count := h.snapshot()
+	if count != 6 {
+		t.Fatalf("count = %d, want 6", count)
+	}
+	// cumulative: le=1 -> {0.5, 1}; le=2 -> +{1.5, 2}; le=4 -> +{4}; +Inf -> +{9}
+	want := []int64{2, 4, 5, 6}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (full: %v)", i, cum[i], w, cum)
+		}
+	}
+	if wantSum := 0.5 + 1 + 1.5 + 2 + 4 + 9; sum != wantSum {
+		t.Fatalf("sum = %v, want %v", sum, wantSum)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count() = %d, want 6", h.Count())
+	}
+}
+
+func TestHistogramNonAscendingPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending buckets did not panic")
+		}
+	}()
+	r.Histogram("mx_test_seconds", "s", []float64{1, 1})
+}
+
+// TestConcurrentIncrements hammers one counter, one gauge, and one
+// histogram from many goroutines; exact totals prove no update is lost
+// (and -race proves no data race).
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mx_test_ops_total", "")
+	g := r.Gauge("mx_test_depth", "")
+	h := r.Histogram("mx_test_seconds", "", []float64{0.5, 1})
+
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%3) * 0.5) // 0, 0.5, 1 — all finite buckets
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers; output must stay parseable
+	// and internally consistent even mid-flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			snap := r.Snapshot()
+			if len(snap) == 0 {
+				t.Error("empty snapshot during concurrent updates")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != workers*perW {
+		t.Fatalf("counter = %d, want %d", got, workers*perW)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	_, cum, sum, count := h.snapshot()
+	if count != workers*perW {
+		t.Fatalf("histogram count = %d, want %d", count, workers*perW)
+	}
+	if cum[len(cum)-1] != count {
+		t.Fatalf("+Inf cumulative %d != count %d", cum[len(cum)-1], count)
+	}
+	// Each worker observes perW/3 full cycles of (0, 0.5, 1) plus a
+	// partial; with perW divisible by... 2000 % 3 = 2, so per worker:
+	// 667×0 + 667×0.5 + 666×1 = 999.5.
+	wantSum := float64(workers) * 999.5
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want %v", sum, wantSum)
+	}
+}
+
+func TestSnapshotHistogramEntries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mx_test_seconds", "", []float64{1}, Label{"endpoint", "knn"})
+	h.Observe(0.5)
+	h.Observe(3)
+	snap := r.Snapshot()
+	if got := snap[`mx_test_seconds_count{endpoint="knn"}`]; got != 2 {
+		t.Fatalf("snapshot count = %v, want 2 (snapshot: %v)", got, snap)
+	}
+	if got := snap[`mx_test_seconds_sum{endpoint="knn"}`]; got != 3.5 {
+		t.Fatalf("snapshot sum = %v, want 3.5", got)
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.CounterFunc("mx_test_pull_total", "", func() float64 { return n })
+	r.GaugeFunc("mx_test_level", "", func() float64 { return -n })
+	n = 42
+	snap := r.Snapshot()
+	if snap["mx_test_pull_total"] != 42 {
+		t.Fatalf("counterfunc = %v, want 42", snap["mx_test_pull_total"])
+	}
+	if snap["mx_test_level"] != -42 {
+		t.Fatalf("gaugefunc = %v, want -42", snap["mx_test_level"])
+	}
+}

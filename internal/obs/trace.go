@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one stage of a traced query: a name from the span glossary in
+// docs/OBSERVABILITY.md (admission_wait, cache_probe, read_section,
+// probe_shard<N>, merge, encode, ...), its offset from the request
+// start and duration in microseconds, and the paper's two cost measures
+// attributed to the stage when the stage can account for them.
+type Span struct {
+	Name         string `json:"name"`
+	StartMicros  int64  `json:"start_us"`
+	DurMicros    int64  `json:"dur_us"`
+	CompDists    int64  `json:"compdists,omitempty"`
+	PageAccesses int64  `json:"page_accesses,omitempty"`
+}
+
+// Trace collects the span timeline of one request. A nil *Trace is
+// inert: every layer takes the pointer and only records when tracing
+// was requested, so the untraced hot path pays a single nil check.
+type Trace struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+}
+
+// NewTraceAt starts a trace whose span offsets are relative to t0
+// (normally the moment the request arrived, before admission).
+func NewTraceAt(t0 time.Time) *Trace {
+	return &Trace{t0: t0}
+}
+
+// Start returns the trace origin.
+func (t *Trace) Start() time.Time {
+	return t.t0
+}
+
+// Add records one span. Safe for concurrent use — shard probes record
+// from scatter workers.
+func (t *Trace) Add(name string, start time.Time, dur time.Duration, compdists, pageAccesses int64) {
+	if t == nil {
+		return
+	}
+	s := Span{
+		Name:         name,
+		StartMicros:  start.Sub(t.t0).Microseconds(),
+		DurMicros:    dur.Microseconds(),
+		CompDists:    compdists,
+		PageAccesses: pageAccesses,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans ordered by start offset (ties broken
+// by name so concurrent shard probes render deterministically).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartMicros != out[j].StartMicros {
+			return out[i].StartMicros < out[j].StartMicros
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

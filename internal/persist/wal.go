@@ -7,10 +7,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"metricindex/internal/core"
 	"metricindex/internal/epoch"
+	"metricindex/internal/obs"
 )
 
 // WAL file format, version 1 (normative spec in docs/PERSISTENCE.md):
@@ -103,6 +105,35 @@ type WAL struct {
 	dirty   bool
 	stop    chan struct{}
 	done    chan struct{}
+
+	metrics atomic.Pointer[WALObs]
+}
+
+// WALObs carries the metric handles the WAL updates on its hot path.
+// All fields must be non-nil. Attach with SetObs; a WAL without one
+// records nothing.
+type WALObs struct {
+	Appends      *obs.Counter   // records appended
+	AppendBytes  *obs.Counter   // framed bytes appended
+	FsyncSeconds *obs.Histogram // duration of every explicit fsync
+}
+
+// SetObs attaches metric handles. Safe to call at any time, including
+// while appends are in flight.
+func (w *WAL) SetObs(m *WALObs) {
+	w.metrics.Store(m)
+}
+
+// syncTimed runs one fsync, recording its duration when instrumented.
+func (w *WAL) syncTimed() error {
+	m := w.metrics.Load()
+	if m == nil {
+		return w.f.Sync()
+	}
+	start := time.Now()
+	err := w.f.Sync()
+	m.FsyncSeconds.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // WALStats snapshots the log's counters for /v1/stats.
@@ -251,8 +282,12 @@ func (w *WAL) Append(op epoch.Op, ep uint64, id int, obj core.Object) error {
 	}
 	w.size += int64(len(frame))
 	w.records++
+	if m := w.metrics.Load(); m != nil {
+		m.Appends.Inc()
+		m.AppendBytes.Add(int64(len(frame)))
+	}
 	if w.mode == SyncAlways {
-		return w.f.Sync()
+		return w.syncTimed()
 	}
 	w.dirty = true
 	return nil
@@ -336,7 +371,7 @@ func (w *WAL) Sync() error {
 		return nil
 	}
 	w.dirty = false
-	return w.f.Sync()
+	return w.syncTimed()
 }
 
 // Close stops the background sync (if any), fsyncs, and closes the file.
@@ -380,7 +415,7 @@ func (w *WAL) startSyncLoop() {
 				w.mu.Lock()
 				if w.dirty && w.f != nil {
 					w.dirty = false
-					_ = w.f.Sync()
+					_ = w.syncTimed()
 				}
 				w.mu.Unlock()
 			}

@@ -3,7 +3,8 @@ package server
 import (
 	"context"
 	"errors"
-	"sync/atomic"
+
+	"metricindex/internal/obs"
 )
 
 // ErrOverloaded is returned by the admission controller when the wait
@@ -14,19 +15,31 @@ var ErrOverloaded = errors.New("server: overloaded, queue full")
 // (MaxInFlight) and the number allowed to wait for a slot (MaxQueue).
 // Beyond both, requests are rejected immediately — load sheds at the
 // door instead of collapsing the latency of everything already admitted.
+//
+// The controller's state lives directly in obs instruments: the queue
+// check reads the same gauge /metrics scrapes and /v1/stats reports, so
+// the control decision and both reporting surfaces can never disagree.
 type admission struct {
 	sem      chan struct{} // capacity = max in-flight
 	maxQueue int64
-	waiting  atomic.Int64
-	inflight atomic.Int64
-	rejected atomic.Int64
-	admitted atomic.Int64
+	waiting  *obs.Gauge   // mx_server_queue_depth
+	inflight *obs.Gauge   // mx_server_inflight
+	admitted *obs.Counter // mx_server_admitted_total
+	rejected *obs.Counter // mx_server_rejected_total
 }
 
-func newAdmission(maxInFlight, maxQueue int) *admission {
+func newAdmission(maxInFlight, maxQueue int, reg *obs.Registry) *admission {
 	return &admission{
 		sem:      make(chan struct{}, maxInFlight),
 		maxQueue: int64(maxQueue),
+		waiting: reg.Gauge("mx_server_queue_depth",
+			"Requests waiting for an in-flight slot."),
+		inflight: reg.Gauge("mx_server_inflight",
+			"Requests executing concurrently."),
+		admitted: reg.Counter("mx_server_admitted_total",
+			"Requests admitted past the controller."),
+		rejected: reg.Counter("mx_server_rejected_total",
+			"Requests shed at admission because the wait queue was full."),
 	}
 }
 
@@ -39,7 +52,7 @@ func (a *admission) acquire(ctx context.Context) error {
 	default:
 		if a.waiting.Add(1) > a.maxQueue {
 			a.waiting.Add(-1)
-			a.rejected.Add(1)
+			a.rejected.Inc()
 			return ErrOverloaded
 		}
 		select {
@@ -51,7 +64,7 @@ func (a *admission) acquire(ctx context.Context) error {
 		}
 	}
 	a.inflight.Add(1)
-	a.admitted.Add(1)
+	a.admitted.Inc()
 	return nil
 }
 
@@ -60,7 +73,8 @@ func (a *admission) release() {
 	<-a.sem
 }
 
-// AdmissionStats is the controller's snapshot for /v1/stats.
+// AdmissionStats is the controller's snapshot for /v1/stats — read from
+// the same obs instruments the /metrics scrape exposes.
 type AdmissionStats struct {
 	MaxInFlight int   `json:"max_in_flight"`
 	MaxQueue    int   `json:"max_queue"`
@@ -74,9 +88,9 @@ func (a *admission) stats() AdmissionStats {
 	return AdmissionStats{
 		MaxInFlight: cap(a.sem),
 		MaxQueue:    int(a.maxQueue),
-		InFlight:    a.inflight.Load(),
-		Waiting:     a.waiting.Load(),
-		Admitted:    a.admitted.Load(),
-		Rejected:    a.rejected.Load(),
+		InFlight:    a.inflight.Value(),
+		Waiting:     a.waiting.Value(),
+		Admitted:    a.admitted.Value(),
+		Rejected:    a.rejected.Value(),
 	}
 }

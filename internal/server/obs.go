@@ -1,0 +1,130 @@
+package server
+
+import (
+	"metricindex/internal/cache"
+	"metricindex/internal/core"
+	"metricindex/internal/epoch"
+	"metricindex/internal/obs"
+	"metricindex/internal/store"
+)
+
+// obsRegistrar is the optional interface of indexes that register their
+// own instruments (shard.Sharded registers per-shard probe histograms).
+// The server asserts it on the initial index and on every index its
+// swap builder produces — in both cases before the structure serves, so
+// registration never races a search.
+type obsRegistrar interface {
+	RegisterObs(reg *obs.Registry)
+}
+
+// registerObs wires every layer below the handlers into the registry.
+// Numbers that already exist as counters somewhere (the Space's
+// compdists, the cache's counters, the pager's global traffic, the live
+// epoch) become pull-based views read at scrape time — the same sources
+// /v1/stats reports, so the two surfaces cannot disagree. Only
+// genuinely new measurements (swap durations, write-section waits) get
+// push handles.
+func (s *Server) registerObs() {
+	reg := s.reg
+
+	reg.CounterFunc("mx_compdists_total",
+		"Distance computations on the serving Space (the paper's compdists).",
+		func() float64 { return float64(s.space.CompDists()) })
+
+	// Per-instance index numbers: gauges, not counters — PageAccesses
+	// resets on every swap (construction cost is discarded so the counter
+	// keeps measuring serving cost), and count moves both ways.
+	reg.GaugeFunc("mx_index_epoch",
+		"Committed write sections (updates and swaps) on the live index.",
+		func() float64 { return float64(s.live.Epoch()) })
+	reg.GaugeFunc("mx_index_objects",
+		"Live objects in the serving dataset.",
+		func() float64 {
+			var n int
+			s.live.View(func(ds *core.Dataset, _ core.Index) { n = ds.Count() })
+			return float64(n)
+		})
+	reg.GaugeFunc("mx_index_page_accesses",
+		"Page accesses of the serving index since its last swap or reset.",
+		func() float64 { return float64(s.live.PageAccesses()) })
+
+	// Answer cache: views over the cache's own counters.
+	cacheVal := func(sel func(cache.Stats) int64) func() float64 {
+		return func() float64 {
+			st, ok := s.live.CacheStats()
+			if !ok {
+				return 0
+			}
+			return float64(sel(st))
+		}
+	}
+	reg.CounterFunc("mx_cache_hits_total",
+		"Answer-cache lookups served from a resident entry.",
+		cacheVal(func(st cache.Stats) int64 { return st.Hits }))
+	reg.CounterFunc("mx_cache_misses_total",
+		"Answer-cache fills actually computed.",
+		cacheVal(func(st cache.Stats) int64 { return st.Misses }))
+	reg.CounterFunc("mx_cache_collapsed_total",
+		"Callers served by waiting on another caller's in-flight fill.",
+		cacheVal(func(st cache.Stats) int64 { return st.Collapsed }))
+	reg.CounterFunc("mx_cache_evictions_total",
+		"Answer-cache entries dropped to stay inside the byte budget.",
+		cacheVal(func(st cache.Stats) int64 { return st.Evictions }))
+	reg.GaugeFunc("mx_cache_entries",
+		"Resident answer-cache entries.",
+		cacheVal(func(st cache.Stats) int64 { return st.Entries }))
+	reg.GaugeFunc("mx_cache_bytes",
+		"Estimated resident bytes of cached answers.",
+		cacheVal(func(st cache.Stats) int64 { return st.Bytes }))
+
+	// Store pager: views over the process-wide monotone counters (the
+	// per-instance ones reset on swap; see store.GlobalPageStats).
+	reg.CounterFunc("mx_store_page_reads_total",
+		"Physical page reads across all pager volumes (process-wide).",
+		func() float64 { r, _, _ := store.GlobalPageStats(); return float64(r) })
+	reg.CounterFunc("mx_store_page_writes_total",
+		"Page writes across all pager volumes (process-wide).",
+		func() float64 { _, w, _ := store.GlobalPageStats(); return float64(w) })
+	reg.CounterFunc("mx_store_cache_hits_total",
+		"Pager buffer-cache hits (reads that cost no page access, process-wide).",
+		func() float64 { _, _, h := store.GlobalPageStats(); return float64(h) })
+
+	// Epoch layer push handles: swap count/duration and write-lock wait.
+	s.live.SetObs(&epoch.Obs{
+		Swaps: reg.Counter("mx_epoch_swaps_total",
+			"Committed index swaps (hot rebuilds with cutover)."),
+		SwapSeconds: reg.Histogram("mx_epoch_swap_seconds",
+			"Duration of successful swaps, snapshot to cutover.",
+			obs.DefLatencyBuckets),
+		WriteWait: reg.Histogram("mx_epoch_write_wait_seconds",
+			"Write-section wait for the epoch write lock.",
+			obs.DefLatencyBuckets),
+	})
+
+	// Shard layer (when the wrapped index is a sharded front): per-shard
+	// probe histograms. Swapped-in replacements are handled by the
+	// wrapped builder in New.
+	s.live.View(func(_ *core.Dataset, idx core.Index) {
+		if ro, ok := idx.(obsRegistrar); ok {
+			ro.RegisterObs(reg)
+		}
+	})
+
+	// Persistence: views over the /v1/stats source when configured.
+	// mserve additionally registers WAL push handles and snapshot timers
+	// on the shared registry (cmd/mserve/durable.go).
+	if s.persStats != nil {
+		reg.GaugeFunc("mx_persist_snapshot_epoch",
+			"Epoch captured by the last snapshot.",
+			func() float64 { return float64(s.persStats().SnapshotEpoch) })
+		reg.GaugeFunc("mx_persist_snapshot_bytes",
+			"Size of the last snapshot file.",
+			func() float64 { return float64(s.persStats().SnapshotBytes) })
+		reg.GaugeFunc("mx_persist_wal_records",
+			"Valid records currently in the write-ahead log.",
+			func() float64 { return float64(s.persStats().WALRecords) })
+		reg.GaugeFunc("mx_persist_wal_bytes",
+			"Valid bytes currently in the write-ahead log.",
+			func() float64 { return float64(s.persStats().WALBytes) })
+	}
+}

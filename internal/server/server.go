@@ -21,8 +21,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 
@@ -30,6 +32,7 @@ import (
 	"metricindex/internal/core"
 	"metricindex/internal/epoch"
 	"metricindex/internal/exec"
+	"metricindex/internal/obs"
 )
 
 // Options configures a Server.
@@ -68,6 +71,23 @@ type Options struct {
 	// PersistStats, when non-nil, supplies the persistence block of
 	// /v1/stats. nil omits the block.
 	PersistStats func() PersistenceStats
+	// Obs is the metrics registry every layer registers into and
+	// GET /metrics scrapes. nil creates a private registry (metrics are
+	// still collected and served; the caller just holds no handle).
+	// mserve passes its own so the persistence layer shares it.
+	Obs *obs.Registry
+	// DisableMetrics leaves GET /metrics unmounted. Instrumentation
+	// still runs — the registry is also the admission controller's
+	// state — only the scrape endpoint disappears.
+	DisableMetrics bool
+	// PProf mounts net/http/pprof under GET /debug/pprof/.
+	PProf bool
+	// SlowQueryThreshold, when positive, logs every admitted request
+	// whose handler ran at least this long, with its endpoint, duration,
+	// compdists, page accesses and client.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogf receives the slow-query lines; nil uses log.Printf.
+	SlowQueryLogf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +99,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ClientHeader == "" {
 		o.ClientHeader = "X-Client"
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
+	}
+	if o.SlowQueryLogf == nil {
+		o.SlowQueryLogf = log.Printf
 	}
 	return o
 }
@@ -100,6 +126,10 @@ type Server struct {
 	clients   *statSet
 	mux       *http.ServeMux
 	hsrv      *http.Server
+
+	reg        *obs.Registry
+	slowThresh time.Duration
+	slowLogf   func(format string, args ...any)
 }
 
 // New builds a server over a live index. The dataset's Space and object
@@ -121,20 +151,49 @@ func New(live *epoch.Live, opts Options) (*Server, error) {
 	if opts.Cache != nil {
 		live.SetCache(cache.New(*opts.Cache))
 	}
+	reg := opts.Obs
 	s := &Server{
-		live:      live,
-		space:     space,
-		proto:     proto,
-		eng:       exec.New(space, exec.Options{Workers: opts.Workers}),
-		adm:       newAdmission(opts.MaxInFlight, opts.MaxQueue),
-		builder:   opts.Builder,
-		afterSwap: opts.AfterSwap,
-		persStats: opts.PersistStats,
-		clientHdr: opts.ClientHeader,
-		start:     time.Now(),
-		endpoints: newStatSet(),
-		clients:   newStatSet(),
+		live:  live,
+		space: space,
+		proto: proto,
+		eng: exec.New(space, exec.Options{Workers: opts.Workers, Metrics: &exec.Metrics{
+			Batches: reg.Counter("mx_exec_batches_total",
+				"Batches dispatched through the exec engine."),
+			BatchQueries: reg.Histogram("mx_exec_batch_queries",
+				"Queries per dispatched batch.", obs.DefSizeBuckets),
+			PredispatchHits: reg.Counter("mx_exec_predispatch_hits_total",
+				"Batch queries answered from the answer cache before dispatch."),
+			QueueWait: reg.Histogram("mx_exec_queue_wait_seconds",
+				"Wait from batch arrival to worker pickup per dispatched query.",
+				obs.DefLatencyBuckets),
+		}}),
+		adm:        newAdmission(opts.MaxInFlight, opts.MaxQueue, reg),
+		builder:    opts.Builder,
+		afterSwap:  opts.AfterSwap,
+		persStats:  opts.PersistStats,
+		clientHdr:  opts.ClientHeader,
+		start:      time.Now(),
+		endpoints:  newStatSet(),
+		clients:    newStatSet(),
+		reg:        reg,
+		slowThresh: opts.SlowQueryThreshold,
+		slowLogf:   opts.SlowQueryLogf,
 	}
+	if s.builder != nil {
+		// Every index a swap builds gets instrumented before cutover, so
+		// a rebuilt sharded front keeps observing its probe histograms.
+		inner := s.builder
+		s.builder = func(ds *core.Dataset) (core.Index, error) {
+			idx, err := inner(ds)
+			if err == nil {
+				if ro, ok := idx.(obsRegistrar); ok {
+					ro.RegisterObs(reg)
+				}
+			}
+			return idx, err
+		}
+	}
+	s.registerObs()
 	s.mux = http.NewServeMux()
 	s.hsrv = &http.Server{Handler: s.mux}
 	s.mux.HandleFunc("POST /v1/range", s.handle("range", true, s.handleRange))
@@ -145,8 +204,25 @@ func New(live *epoch.Live, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/swap", s.handle("swap", false, s.handleSwap))
 	s.mux.HandleFunc("GET /v1/stats", s.handle("stats", false, s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.handle("healthz", false, s.handleHealth))
+	if !opts.DisableMetrics {
+		// Mounted directly, not through handle(): the scrape is a
+		// text-format read that must stay available under overload and
+		// should not pollute the JSON endpoint stats.
+		s.mux.Handle("GET /metrics", reg.Handler())
+	}
+	if opts.PProf {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
+
+// Obs returns the server's metrics registry (for snapshotting by the
+// bench harness and for the persistence layer to register into).
+func (s *Server) Obs() *obs.Registry { return s.reg }
 
 // Handler returns the HTTP handler tree (for mounting and tests).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -188,18 +264,44 @@ func badRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
 
-// handle wraps an endpoint with admission control, cost accounting and
-// error mapping. admit=false exempts control-plane endpoints
-// (stats/health, and swap — a swap runs for seconds and must not occupy
-// a query slot; epoch.Live bounds it to one at a time itself).
-func (s *Server) handle(name string, admit bool, fn func(r *http.Request) (any, error)) http.HandlerFunc {
+// reqInfo carries the per-request clock points handle captures for its
+// handler: arrival (before admission) and admission (after the
+// controller let the request through) — the span timeline of a traced
+// query is anchored on them.
+type reqInfo struct {
+	arrived  time.Time
+	admitted time.Time
+}
+
+// handle wraps an endpoint with admission control, cost accounting,
+// metrics, the slow-query log, and error mapping. admit=false exempts
+// control-plane endpoints (stats/health, and swap — a swap runs for
+// seconds and must not occupy a query slot; epoch.Live bounds it to one
+// at a time itself).
+//
+// The per-endpoint metric handles are created once here at registration
+// and captured by the closure, so the per-request cost is atomic
+// increments only — no lookup, no allocation.
+func (s *Server) handle(name string, admit bool, fn func(r *http.Request, ri *reqInfo) (any, error)) http.HandlerFunc {
+	lbl := obs.Label{Key: "endpoint", Value: name}
+	reqs := s.reg.Counter("mx_server_requests_total",
+		"Requests executed (admitted and run, including errored).", lbl)
+	errsC := s.reg.Counter("mx_server_errors_total",
+		"Executed requests that returned an error.", lbl)
+	sheds := s.reg.Counter("mx_server_sheds_total",
+		"Requests shed at admission, never executed.", lbl)
+	lat := s.reg.Histogram("mx_server_request_seconds",
+		"Handler latency of executed requests (excludes admission wait).",
+		obs.DefLatencyBuckets, lbl)
 	return func(w http.ResponseWriter, r *http.Request) {
+		ri := reqInfo{arrived: time.Now()}
 		if admit {
 			if err := s.adm.acquire(r.Context()); err != nil {
 				// Shed requests never executed: count the error without
 				// feeding a zero-duration sample into the latency window,
 				// which would zero the percentiles exactly when the
 				// operator is diagnosing an overload.
+				sheds.Inc()
 				s.endpoints.get(name).reject()
 				s.clients.get(s.clientKey(r)).reject()
 				s.writeError(w, err)
@@ -207,18 +309,27 @@ func (s *Server) handle(name string, admit bool, fn func(r *http.Request) (any, 
 			}
 			defer s.adm.release()
 		}
+		ri.admitted = time.Now()
 		compBase := s.space.CompDists()
 		paBase := s.live.PageAccesses()
-		start := time.Now()
-		res, err := fn(r)
-		dur := time.Since(start)
+		res, err := fn(r, &ri)
+		dur := time.Since(ri.admitted)
 		comp := s.space.CompDists() - compBase
 		pa := s.live.PageAccesses() - paBase
 		if pa < 0 {
 			pa = 0 // a swap replaced the index (and its counter) mid-request
 		}
+		reqs.Inc()
+		lat.Observe(dur.Seconds())
+		if err != nil {
+			errsC.Inc()
+		}
 		s.endpoints.get(name).record(dur, comp, pa, err != nil)
 		s.clients.get(s.clientKey(r)).record(dur, comp, pa, err != nil)
+		if s.slowThresh > 0 && dur >= s.slowThresh {
+			s.slowLogf("slow query: endpoint=%s dur=%s compdists=%d page_accesses=%d client=%s",
+				name, dur, comp, pa, s.clientKey(r))
+		}
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -284,22 +395,58 @@ func toWire(nns []core.Neighbor) []Neighbor {
 	return out
 }
 
-// RangeRequest is the body of POST /v1/range.
+// TraceResult is the span timeline of a trace-flagged query: total
+// handler time plus one span per stage (admission_wait, decode,
+// cache_probe, read_wait, read_section, probe_shard<N>, merge, encode),
+// each with the compdists and page accesses attributable to it. The
+// glossary is docs/OBSERVABILITY.md.
+type TraceResult struct {
+	TotalMicros int64      `json:"total_us"`
+	Spans       []obs.Span `json:"spans"`
+}
+
+// newTrace starts the span timeline of one traced request, anchored at
+// arrival, with the admission wait already recorded.
+func newTrace(ri *reqInfo) *obs.Trace {
+	tr := obs.NewTraceAt(ri.arrived)
+	tr.Add("admission_wait", ri.arrived, ri.admitted.Sub(ri.arrived), 0, 0)
+	return tr
+}
+
+// finishTrace records the encode span — measured by marshalling the
+// trace-less response, which is the same work writeJSON is about to
+// repeat — and closes the timeline. Only traced requests pay the double
+// marshal.
+func finishTrace(tr *obs.Trace, ri *reqInfo, res any) *TraceResult {
+	encStart := time.Now()
+	_, _ = json.Marshal(res)
+	tr.Add("encode", encStart, time.Since(encStart), 0, 0)
+	return &TraceResult{
+		TotalMicros: time.Since(ri.arrived).Microseconds(),
+		Spans:       tr.Spans(),
+	}
+}
+
+// RangeRequest is the body of POST /v1/range. Trace opts into the
+// per-query span timeline on the response.
 type RangeRequest struct {
 	Query  json.RawMessage `json:"query"`
 	Radius float64         `json:"radius"`
+	Trace  bool            `json:"trace,omitempty"`
 }
 
 // RangeResponse answers POST /v1/range. IDs is ascending, exactly the
 // direct RangeSearch answer; Epoch is the dataset version the search
 // observed — answer and epoch come from one read section, so the pair is
-// safe to cache.
+// safe to cache. Trace is present iff the request set trace.
 type RangeResponse struct {
-	IDs   []int  `json:"ids"`
-	Epoch uint64 `json:"epoch"`
+	IDs   []int        `json:"ids"`
+	Epoch uint64       `json:"epoch"`
+	Trace *TraceResult `json:"trace,omitempty"`
 }
 
-func (s *Server) handleRange(r *http.Request) (any, error) {
+func (s *Server) handleRange(r *http.Request, ri *reqInfo) (any, error) {
+	decStart := time.Now()
 	var req RangeRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, err
@@ -311,31 +458,50 @@ func (s *Server) handleRange(r *http.Request) (any, error) {
 	if req.Radius < 0 {
 		return nil, badRequest("radius must be >= 0")
 	}
-	ids, ep, err := s.live.RangeSearchAt(q, req.Radius)
+	if !req.Trace {
+		ids, ep, err := s.live.RangeSearchAt(q, req.Radius)
+		if err != nil {
+			return nil, err
+		}
+		if ids == nil {
+			ids = []int{}
+		}
+		return RangeResponse{IDs: ids, Epoch: ep}, nil
+	}
+	tr := newTrace(ri)
+	tr.Add("decode", decStart, time.Since(decStart), 0, 0)
+	ids, ep, err := s.live.RangeSearchTraced(q, req.Radius, tr)
 	if err != nil {
 		return nil, err
 	}
 	if ids == nil {
 		ids = []int{}
 	}
-	return RangeResponse{IDs: ids, Epoch: ep}, nil
+	resp := RangeResponse{IDs: ids, Epoch: ep}
+	resp.Trace = finishTrace(tr, ri, resp)
+	return resp, nil
 }
 
-// KNNRequest is the body of POST /v1/knn.
+// KNNRequest is the body of POST /v1/knn. Trace opts into the per-query
+// span timeline on the response.
 type KNNRequest struct {
 	Query json.RawMessage `json:"query"`
 	K     int             `json:"k"`
+	Trace bool            `json:"trace,omitempty"`
 }
 
 // KNNResponse answers POST /v1/knn, sorted by ascending distance
 // (ties by id) exactly as the direct KNNSearch call returns; Epoch is
-// the dataset version the search observed (see RangeResponse).
+// the dataset version the search observed (see RangeResponse). Trace is
+// present iff the request set trace.
 type KNNResponse struct {
-	Neighbors []Neighbor `json:"neighbors"`
-	Epoch     uint64     `json:"epoch"`
+	Neighbors []Neighbor   `json:"neighbors"`
+	Epoch     uint64       `json:"epoch"`
+	Trace     *TraceResult `json:"trace,omitempty"`
 }
 
-func (s *Server) handleKNN(r *http.Request) (any, error) {
+func (s *Server) handleKNN(r *http.Request, ri *reqInfo) (any, error) {
+	decStart := time.Now()
 	var req KNNRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, err
@@ -347,11 +513,22 @@ func (s *Server) handleKNN(r *http.Request) (any, error) {
 	if req.K <= 0 {
 		return nil, badRequest("k must be >= 1")
 	}
-	nns, ep, err := s.live.KNNSearchAt(q, req.K)
+	if !req.Trace {
+		nns, ep, err := s.live.KNNSearchAt(q, req.K)
+		if err != nil {
+			return nil, err
+		}
+		return KNNResponse{Neighbors: toWire(nns), Epoch: ep}, nil
+	}
+	tr := newTrace(ri)
+	tr.Add("decode", decStart, time.Since(decStart), 0, 0)
+	nns, ep, err := s.live.KNNSearchTraced(q, req.K, tr)
 	if err != nil {
 		return nil, err
 	}
-	return KNNResponse{Neighbors: toWire(nns), Epoch: ep}, nil
+	resp := KNNResponse{Neighbors: toWire(nns), Epoch: ep}
+	resp.Trace = finishTrace(tr, ri, resp)
+	return resp, nil
 }
 
 // BatchRequest is the body of POST /v1/batch: a whole workload answered
@@ -406,7 +583,7 @@ type BatchResponse struct {
 	EpochHigh uint64       `json:"epoch_high"`
 }
 
-func (s *Server) handleBatch(r *http.Request) (any, error) {
+func (s *Server) handleBatch(r *http.Request, _ *reqInfo) (any, error) {
 	var req BatchRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, err
@@ -471,7 +648,7 @@ type InsertResponse struct {
 	Epoch uint64 `json:"epoch"`
 }
 
-func (s *Server) handleInsert(r *http.Request) (any, error) {
+func (s *Server) handleInsert(r *http.Request, _ *reqInfo) (any, error) {
 	var req InsertRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, err
@@ -497,7 +674,7 @@ type DeleteResponse struct {
 	Epoch uint64 `json:"epoch"`
 }
 
-func (s *Server) handleDelete(r *http.Request) (any, error) {
+func (s *Server) handleDelete(r *http.Request, _ *reqInfo) (any, error) {
 	var req DeleteRequest
 	if err := decodeBody(r, &req); err != nil {
 		return nil, err
@@ -515,7 +692,7 @@ type SwapResponse struct {
 	BuildMillis int64  `json:"build_ms"`
 }
 
-func (s *Server) handleSwap(r *http.Request) (any, error) {
+func (s *Server) handleSwap(r *http.Request, _ *reqInfo) (any, error) {
 	if s.builder == nil {
 		return nil, &httpError{code: http.StatusNotImplemented,
 			err: errors.New("swap: no builder configured")}
@@ -602,7 +779,7 @@ func (s *Server) cacheStats() CacheStats {
 	}
 }
 
-func (s *Server) handleStats(*http.Request) (any, error) {
+func (s *Server) handleStats(*http.Request, *reqInfo) (any, error) {
 	var info IndexStats
 	s.live.View(func(ds *core.Dataset, idx core.Index) {
 		info = IndexStats{
@@ -636,6 +813,6 @@ type HealthResponse struct {
 	Epoch  uint64 `json:"epoch"`
 }
 
-func (s *Server) handleHealth(*http.Request) (any, error) {
+func (s *Server) handleHealth(*http.Request, *reqInfo) (any, error) {
 	return HealthResponse{Status: "ok", Index: s.live.Name(), Epoch: s.live.Epoch()}, nil
 }

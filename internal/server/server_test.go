@@ -18,6 +18,7 @@ import (
 	"metricindex/internal/cache"
 	"metricindex/internal/core"
 	"metricindex/internal/epoch"
+	"metricindex/internal/obs"
 	"metricindex/internal/pivot"
 	"metricindex/internal/table"
 	"metricindex/internal/testutil"
@@ -290,7 +291,7 @@ func TestSwapUnderHTTPLoad(t *testing.T) {
 // TestAdmissionQueueRejects fills every in-flight slot and the whole
 // queue, then checks the next request is shed with ErrOverloaded.
 func TestAdmissionQueueRejects(t *testing.T) {
-	adm := newAdmission(2, 1)
+	adm := newAdmission(2, 1, obs.NewRegistry())
 	ctx := context.Background()
 	if err := adm.acquire(ctx); err != nil {
 		t.Fatal(err)
@@ -301,7 +302,7 @@ func TestAdmissionQueueRejects(t *testing.T) {
 	// Both slots busy: one waiter is allowed...
 	waited := make(chan error, 1)
 	go func() { waited <- adm.acquire(ctx) }()
-	for adm.waiting.Load() == 0 {
+	for adm.waiting.Value() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	// ...the next is rejected immediately.
@@ -320,7 +321,7 @@ func TestAdmissionQueueRejects(t *testing.T) {
 	cctx, cancel := context.WithCancel(ctx)
 	gone := make(chan error, 1)
 	go func() { gone <- adm.acquire(cctx) }()
-	for adm.waiting.Load() == 0 {
+	for adm.waiting.Value() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	cancel()
@@ -344,7 +345,7 @@ func TestAdmissionOverHTTP(t *testing.T) {
 	}
 	blocked := make(chan error, 1)
 	go func() { blocked <- srv.adm.acquire(context.Background()) }()
-	for srv.adm.waiting.Load() == 0 {
+	for srv.adm.waiting.Value() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	if code := post(t, ts.URL+"/v1/knn", map[string]any{"query": q, "k": 3}, nil); code != http.StatusTooManyRequests {

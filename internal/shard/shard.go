@@ -27,9 +27,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
+	"time"
 
 	"metricindex/internal/core"
 	"metricindex/internal/exec"
+	"metricindex/internal/obs"
 )
 
 // Builder constructs the sub-index for one shard. The shard dataset shares
@@ -65,6 +68,30 @@ type Sharded struct {
 	part    Partitioner
 	seq     int // objects routed so far (round-robin state)
 	workers int
+
+	// probeObs[i] and probeNames[i] are the fanout-latency histogram and
+	// trace span name of shard i, set by RegisterObs before the index
+	// starts serving. Nil when uninstrumented.
+	probeObs   []*obs.Histogram
+	probeNames []string
+}
+
+// RegisterObs instruments the scatter path: every shard probe observes
+// mx_shard_probe_seconds{shard="i"} and traced queries get one
+// probe_shard<i> span per shard. Call before the index serves queries
+// (registration allocates; the probes themselves do not). Registration
+// is idempotent across swaps — a rebuilt Sharded re-registering the
+// same shard labels receives the same histogram handles.
+func (s *Sharded) RegisterObs(reg *obs.Registry) {
+	s.probeObs = make([]*obs.Histogram, len(s.subs))
+	s.probeNames = make([]string, len(s.subs))
+	for i := range s.subs {
+		lbl := strconv.Itoa(i)
+		s.probeObs[i] = reg.Histogram("mx_shard_probe_seconds",
+			"Per-shard fanout latency of scatter-gather probes.",
+			obs.DefLatencyBuckets, obs.Label{Key: "shard", Value: lbl})
+		s.probeNames[i] = "probe_shard" + lbl
+	}
 }
 
 // New partitions ds across opts.Shards shards, building the sub-indexes in
@@ -158,17 +185,55 @@ func (s *Sharded) ShardSizes() []int {
 	return sizes
 }
 
-// scatter fans one probe out across the shards on the worker pool.
-func (s *Sharded) scatter(job func(sh int) error) error {
-	return exec.Scatter(context.Background(), s.workers, len(s.subs), job)
+// scatter fans one probe out across the shards on the worker pool. When
+// instrumented (RegisterObs) every probe observes its shard histogram;
+// when tr is non-nil every probe also records a probe_shard<N> span
+// with the shard's page-access delta. (Compdists go through the Space
+// the shards share, so they cannot be attributed per shard; the
+// wrapping read_section span carries the query total.)
+func (s *Sharded) scatter(tr *obs.Trace, job func(sh int) error) error {
+	if s.probeObs == nil && tr == nil {
+		return exec.Scatter(context.Background(), s.workers, len(s.subs), job)
+	}
+	wrapped := func(sh int) error {
+		var paBase int64
+		if tr != nil {
+			paBase = s.subs[sh].PageAccesses()
+		}
+		start := time.Now()
+		err := job(sh)
+		dur := time.Since(start)
+		if s.probeObs != nil {
+			s.probeObs[sh].Observe(dur.Seconds())
+		}
+		if tr != nil {
+			pa := s.subs[sh].PageAccesses() - paBase
+			if pa < 0 {
+				pa = 0
+			}
+			tr.Add(s.probeNames[sh], start, dur, 0, pa)
+		}
+		return err
+	}
+	return exec.Scatter(context.Background(), s.workers, len(s.subs), wrapped)
 }
 
 // RangeSearch answers MRQ(q, r) as the union of the shard answers: shards
 // partition the live objects, so concatenating the (disjoint) per-shard id
 // lists and sorting yields exactly the unsharded answer.
 func (s *Sharded) RangeSearch(q core.Object, r float64) ([]int, error) {
+	return s.rangeSearch(q, r, nil)
+}
+
+// RangeSearchTraced is RangeSearch with a span per shard probe plus a
+// merge span recorded into tr. A nil tr degrades to RangeSearch.
+func (s *Sharded) RangeSearchTraced(q core.Object, r float64, tr *obs.Trace) ([]int, error) {
+	return s.rangeSearch(q, r, tr)
+}
+
+func (s *Sharded) rangeSearch(q core.Object, r float64, tr *obs.Trace) ([]int, error) {
 	parts := make([][]int, len(s.subs))
-	err := s.scatter(func(sh int) error {
+	err := s.scatter(tr, func(sh int) error {
 		ids, err := s.subs[sh].RangeSearch(q, r)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", sh, err)
@@ -179,11 +244,13 @@ func (s *Sharded) RangeSearch(q core.Object, r float64) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	mergeStart := time.Now()
 	total := 0
 	for _, p := range parts {
 		total += len(p)
 	}
 	if total == 0 {
+		tr.Add("merge", mergeStart, time.Since(mergeStart), 0, 0)
 		return nil, nil
 	}
 	res := make([]int, 0, total)
@@ -191,6 +258,7 @@ func (s *Sharded) RangeSearch(q core.Object, r float64) ([]int, error) {
 		res = append(res, p...)
 	}
 	sort.Ints(res)
+	tr.Add("merge", mergeStart, time.Since(mergeStart), 0, 0)
 	return res, nil
 }
 
@@ -199,11 +267,21 @@ func (s *Sharded) RangeSearch(q core.Object, r float64) ([]int, error) {
 // top-k), and the candidates merge through a KNNHeap whose
 // distance-then-id ordering matches the per-index contract exactly.
 func (s *Sharded) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
+	return s.knnSearch(q, k, nil)
+}
+
+// KNNSearchTraced is KNNSearch with a span per shard probe plus a merge
+// span recorded into tr. A nil tr degrades to KNNSearch.
+func (s *Sharded) KNNSearchTraced(q core.Object, k int, tr *obs.Trace) ([]core.Neighbor, error) {
+	return s.knnSearch(q, k, tr)
+}
+
+func (s *Sharded) knnSearch(q core.Object, k int, tr *obs.Trace) ([]core.Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
 	parts := make([][]core.Neighbor, len(s.subs))
-	err := s.scatter(func(sh int) error {
+	err := s.scatter(tr, func(sh int) error {
 		nns, err := s.subs[sh].KNNSearch(q, k)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", sh, err)
@@ -214,13 +292,16 @@ func (s *Sharded) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 	if err != nil {
 		return nil, err
 	}
+	mergeStart := time.Now()
 	h := core.NewKNNHeap(k)
 	for _, p := range parts {
 		for _, nb := range p {
 			h.Push(nb.ID, nb.Dist)
 		}
 	}
-	return h.Result(), nil
+	res := h.Result()
+	tr.Add("merge", mergeStart, time.Since(mergeStart), 0, 0)
+	return res, nil
 }
 
 // Insert routes the object (already stored in the parent dataset under id)

@@ -4,7 +4,27 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// Process-wide page-traffic counters, summed across every Pager ever
+// created. Unlike the per-instance counters these are never reset —
+// swaps and experiment resets call ResetStats on their own volume, but
+// a Prometheus counter must stay monotone — so the /metrics counter
+// families read these while /v1/stats keeps its per-instance,
+// resettable view.
+var (
+	globalPageReads  atomic.Int64
+	globalPageWrites atomic.Int64
+	globalCacheHits  atomic.Int64
+)
+
+// GlobalPageStats returns the process-wide monotone page-traffic
+// counters: physical page reads, page writes, and pager-cache hits
+// (reads satisfied without a page access).
+func GlobalPageStats() (reads, writes, cacheHits int64) {
+	return globalPageReads.Load(), globalPageWrites.Load(), globalCacheHits.Load()
+}
 
 // DefaultPageSize is the 4 KB page used by all indexes by default (§6.1).
 const DefaultPageSize = 4096
@@ -28,12 +48,13 @@ const InvalidPage = PageID(0xFFFFFFFF)
 // no page access; a miss or a write costs one. Pager is safe for
 // concurrent use by multiple goroutines.
 type Pager struct {
-	mu       sync.Mutex
-	pageSize int
-	pages    [][]byte
-	freeList []PageID
-	reads    int64
-	writes   int64
+	mu        sync.Mutex
+	pageSize  int
+	pages     [][]byte
+	freeList  []PageID
+	reads     int64
+	writes    int64
+	cacheHits int64
 
 	cacheCap int // capacity in pages; 0 disables the cache
 	cacheLL  *list.List
@@ -118,11 +139,14 @@ func (p *Pager) Read(id PageID) ([]byte, error) {
 	if p.cacheCap > 0 {
 		if el, ok := p.cacheMap[id]; ok {
 			p.cacheLL.MoveToFront(el)
+			p.cacheHits++
+			globalCacheHits.Add(1)
 			return p.pages[id], nil
 		}
 		p.cacheInsert(id)
 	}
 	p.reads++
+	globalPageReads.Add(1)
 	return p.pages[id], nil
 }
 
@@ -141,6 +165,7 @@ func (p *Pager) Write(id PageID, data []byte) error {
 	copy(pg, data)
 	clear(pg[len(data):])
 	p.writes++
+	globalPageWrites.Add(1)
 	if p.cacheCap > 0 {
 		if el, ok := p.cacheMap[id]; ok {
 			p.cacheLL.MoveToFront(el)
@@ -183,11 +208,20 @@ func (p *Pager) Writes() int64 {
 	return p.writes
 }
 
-// ResetStats zeroes the access counters.
+// CacheHits returns the buffer-cache hit count since the last
+// ResetStats: reads answered without costing a page access.
+func (p *Pager) CacheHits() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cacheHits
+}
+
+// ResetStats zeroes the per-instance access counters. The process-wide
+// counters behind GlobalPageStats are unaffected.
 func (p *Pager) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.reads, p.writes = 0, 0
+	p.reads, p.writes, p.cacheHits = 0, 0, 0
 }
 
 // Pages returns the number of allocated pages (including freed ones still
