@@ -23,13 +23,15 @@ XTOOLS_VERSION ?= v0.30.0
 # Tolerated q/s regression fraction of the bench gate.
 MAX_REGRESS ?= 0.25
 
-# Seconds each native fuzz target runs in the `make fuzz` smoke (three
-# targets: FuzzLevenshtein, FuzzDecodeQuery, FuzzSnapshotHeader).
+# Seconds each native fuzz target runs in the `make fuzz` smoke (four
+# targets: FuzzLevenshtein, FuzzBatchKernels, FuzzDecodeQuery,
+# FuzzSnapshotHeader).
 FUZZTIME ?= 10s
 
 # Packages with a parallel build, the concurrent query engine, the
-# update/query synchronization layer, or the answer cache: the
-# race-detector gate of `make race`.
+# update/query synchronization layer, the answer cache, or the shared
+# scratch pools of the batched kernel paths: the race-detector gate of
+# `make race`.
 RACE_PKGS = ./internal/exec/... ./internal/epoch/... ./internal/server/... \
             ./internal/shard/... ./internal/table/... ./internal/mvpt/... \
             ./internal/ept/... ./internal/cpt/... ./internal/omni/... \
@@ -37,6 +39,7 @@ RACE_PKGS = ./internal/exec/... ./internal/epoch/... ./internal/server/... \
             ./internal/cache/... ./internal/bkt/... ./internal/fqt/... \
             ./internal/mtree/... ./internal/pmtree/... ./internal/persist/... \
             ./internal/bptree/... ./internal/rtree/... ./internal/spb/... \
+            ./internal/mindex/... ./internal/pivot/... ./internal/dataset/... \
             ./internal/obs/... .
 
 # The example programs CI runs end to end so example rot fails the
@@ -62,6 +65,7 @@ race:
 # one -fuzz target per invocation, hence one run each).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLevenshtein -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzBatchKernels -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotHeader -fuzztime=$(FUZZTIME) ./internal/persist
 

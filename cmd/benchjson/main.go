@@ -197,6 +197,52 @@ func measure(n, queries, k, reps int, minDur time.Duration) (*Report, error) {
 		return nil, err
 	}
 
+	// Kernel benchmarks: one "query" is a full distance sweep of the
+	// dataset. Three shapes of the same L2 computation — the pairwise
+	// scalar loop every index started from, the row-slice batch kernel
+	// (DistanceMany over []Object), and the flat row-major kernel
+	// (DistanceFlat over one contiguous block). Flat-vs-rows is the gap
+	// the struct-of-arrays pivot-table layout banks on.
+	flat, dim, ok := ds.FlatVectors()
+	if !ok {
+		return nil, fmt.Errorf("kernel benchmarks: LA dataset has no flat-vector form")
+	}
+	bm, ok := ds.Space().Metric().(metricindex.BatchMetric)
+	if !ok {
+		return nil, fmt.Errorf("kernel benchmarks: metric %T lacks batch kernels", ds.Space().Metric())
+	}
+	objs := ds.Objects()
+	kout := make([]float64, ds.Len())
+	scalar := ds.Space().Metric()
+	if err := bench("kernel_l2_scalar", nil, func() (int64, error) {
+		for _, q := range gen.Queries {
+			for i, o := range objs {
+				if o != nil {
+					kout[i] = scalar.Distance(q, o)
+				}
+			}
+		}
+		return int64(len(gen.Queries)), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := bench("kernel_l2_rows", nil, func() (int64, error) {
+		for _, q := range gen.Queries {
+			bm.DistanceMany(q, objs, kout)
+		}
+		return int64(len(gen.Queries)), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := bench("kernel_l2_flat", nil, func() (int64, error) {
+		for _, q := range gen.Queries {
+			bm.DistanceFlat(q.(metricindex.Vector), flat, dim, kout)
+		}
+		return int64(len(gen.Queries)), nil
+	}); err != nil {
+		return nil, err
+	}
+
 	// Cache benchmarks run through an epoch-synchronized front with the
 	// answer cache attached. Cold: a fresh cache per workload pass, so
 	// every query pays the miss-and-fill path on top of the search. Hot:

@@ -62,6 +62,7 @@ var frozenInts = map[string]int64{
 	"tagVector":    1,
 	"tagIntVector": 2,
 	"tagWord":      3,
+	"tagVector32":  4,
 }
 
 var frozenStrings = map[string]string{

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSweep measures the column sweep over a synthetic 5-pivot table
+// whose radius keeps the given fraction of rows, isolating the
+// steady-state cost of the kNN/range filter's first pass.
+func benchSweep(b *testing.B, rows int, keep float64) {
+	rng := rand.New(rand.NewSource(1))
+	cols := make([][]float64, 5)
+	for c := range cols {
+		cols[c] = make([]float64, rows)
+		for i := range cols[c] {
+			cols[c][i] = rng.Float64()
+		}
+	}
+	qd := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	r := keep / 2 // uniform in [0,1]: |0.5-d| <= keep/2 keeps ~keep
+	sur := make([]int32, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := SurviveColumns(sur, qd, cols, 0, rows, r)
+		if len(got) > rows {
+			b.Fatal("impossible")
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(rows)/b.Elapsed().Seconds()/1e9, "Grows/s")
+}
+
+func BenchmarkSurviveColumnsKeep1pct(b *testing.B)  { benchSweep(b, 10000, 0.01) }
+func BenchmarkSurviveColumnsKeep20pct(b *testing.B) { benchSweep(b, 10000, 0.20) }
+func BenchmarkSurviveColumnsKeep90pct(b *testing.B) { benchSweep(b, 10000, 0.90) }

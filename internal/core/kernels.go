@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the batched distance core: 4-wide unrolled,
+// bounds-check-hoisted kernels over flat coordinate slices, the optional
+// BatchMetric capability the built-in vector metrics implement, and the
+// PreKernel bundle the pivot tables use to verify candidates without
+// interface dispatch. The scalar Metric.Distance implementations delegate
+// to the same kernels, so batched and scalar answers agree bit for bit by
+// construction (see docs/KERNELS.md for the contract).
+
+// BatchMetric is the optional batching capability of a Metric. A metric
+// that implements it computes one query against many objects per call,
+// letting indexes amortize interface dispatch, dimension validation, and
+// compdists accounting across a whole batch. Results must be bit-for-bit
+// identical to calling Distance pairwise — callers (and the metamorphic
+// equivalence harness) rely on that.
+//
+// Scalar Distance remains the universal fallback: user-defined metrics
+// and the Word/edit metric do not implement BatchMetric, and every caller
+// must keep working without it.
+type BatchMetric interface {
+	Metric
+	// DistanceMany sets out[i] = Distance(q, objs[i]) for every i.
+	// len(out) must be at least len(objs).
+	DistanceMany(q Object, objs []Object, out []float64)
+	// DistanceFlat sets out[i] = d(q, flat[i*dim:(i+1)*dim]) for the
+	// len(flat)/dim row-major coordinate rows in flat. Dimensions are
+	// validated once per call, not per pair.
+	DistanceFlat(q []float64, flat []float64, dim int, out []float64)
+}
+
+// checkFlat validates one DistanceFlat call up front (the per-batch
+// replacement for the per-pair checkDim) and returns the row count.
+func checkFlat(name string, q, flat []float64, dim int, out []float64) int {
+	if dim <= 0 || len(q) != dim {
+		checkDim(name, len(q), dim)
+		panic(fmt.Sprintf("core: %s: DistanceFlat with non-positive dim %d", name, dim))
+	}
+	if len(flat)%dim != 0 {
+		panic(fmt.Sprintf("core: %s: DistanceFlat block of %d floats is not a multiple of dim %d", name, len(flat), dim))
+	}
+	n := len(flat) / dim
+	if len(out) < n {
+		panic(fmt.Sprintf("core: %s: DistanceFlat out slice holds %d of %d rows", name, len(out), n))
+	}
+	return n
+}
+
+// l1Kernel64 is the shared Manhattan kernel: 4 independent accumulators
+// so the compiler can keep the adds in flight, with the bounds check on y
+// hoisted out of the loop.
+//
+//metriclint:noalloc
+func l1Kernel64(x, y []float64) float64 {
+	y = y[:len(x)] // hoist the bounds check
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += math.Abs(x[i] - y[i])
+		s1 += math.Abs(x[i+1] - y[i+1])
+		s2 += math.Abs(x[i+2] - y[i+2])
+		s3 += math.Abs(x[i+3] - y[i+3])
+	}
+	for ; i < len(x); i++ {
+		s0 += math.Abs(x[i] - y[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// l2SqKernel64 accumulates the squared Euclidean distance, deferring the
+// sqrt to the caller (Finish) so pruning comparisons can stay in squared
+// space.
+//
+//metriclint:noalloc
+func l2SqKernel64(x, y []float64) float64 {
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		d0 := x[i] - y[i]
+		d1 := x[i+1] - y[i+1]
+		d2 := x[i+2] - y[i+2]
+		d3 := x[i+3] - y[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(x); i++ {
+		d := x[i] - y[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// linfKernel64 is the Chebyshev kernel. max is insensitive to lane order,
+// and NaN lanes are dropped by both the lane and the merge comparisons,
+// matching the scalar semantics exactly.
+//
+//metriclint:noalloc
+func linfKernel64(x, y []float64) float64 {
+	y = y[:len(x)]
+	var m0, m1, m2, m3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		if d := math.Abs(x[i] - y[i]); d > m0 {
+			m0 = d
+		}
+		if d := math.Abs(x[i+1] - y[i+1]); d > m1 {
+			m1 = d
+		}
+		if d := math.Abs(x[i+2] - y[i+2]); d > m2 {
+			m2 = d
+		}
+		if d := math.Abs(x[i+3] - y[i+3]); d > m3 {
+			m3 = d
+		}
+	}
+	for ; i < len(x); i++ {
+		if d := math.Abs(x[i] - y[i]); d > m0 {
+			m0 = d
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return m0
+}
+
+// The float32 kernels widen each coordinate to float64 before the
+// subtraction and accumulate in float64. Vector32 halves the memory
+// bandwidth of a scan while keeping the accumulation error identical to
+// the float64 pipeline over the widened values — the pruning-safety
+// property docs/KERNELS.md spells out.
+
+//metriclint:noalloc
+func l1Kernel32(x, y []float32) float64 {
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += math.Abs(float64(x[i]) - float64(y[i]))
+		s1 += math.Abs(float64(x[i+1]) - float64(y[i+1]))
+		s2 += math.Abs(float64(x[i+2]) - float64(y[i+2]))
+		s3 += math.Abs(float64(x[i+3]) - float64(y[i+3]))
+	}
+	for ; i < len(x); i++ {
+		s0 += math.Abs(float64(x[i]) - float64(y[i]))
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+//metriclint:noalloc
+func l2SqKernel32(x, y []float32) float64 {
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		d0 := float64(x[i]) - float64(y[i])
+		d1 := float64(x[i+1]) - float64(y[i+1])
+		d2 := float64(x[i+2]) - float64(y[i+2])
+		d3 := float64(x[i+3]) - float64(y[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(x); i++ {
+		d := float64(x[i]) - float64(y[i])
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+//metriclint:noalloc
+func linfKernel32(x, y []float32) float64 {
+	y = y[:len(x)]
+	var m0, m1, m2, m3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		if d := math.Abs(float64(x[i]) - float64(y[i])); d > m0 {
+			m0 = d
+		}
+		if d := math.Abs(float64(x[i+1]) - float64(y[i+1])); d > m1 {
+			m1 = d
+		}
+		if d := math.Abs(float64(x[i+2]) - float64(y[i+2])); d > m2 {
+			m2 = d
+		}
+		if d := math.Abs(float64(x[i+3]) - float64(y[i+3])); d > m3 {
+			m3 = d
+		}
+	}
+	for ; i < len(x); i++ {
+		if d := math.Abs(float64(x[i]) - float64(y[i])); d > m0 {
+			m0 = d
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return m0
+}
+
+// intLinfKernel is the Chebyshev kernel over int32 coordinates. The
+// int32 maximum converts to float64 exactly, so it agrees bit for bit
+// with linfKernel64 over the widened coordinates.
+//
+//metriclint:noalloc
+func intLinfKernel(x, y []int32) float64 {
+	y = y[:len(x)]
+	var m0, m1, m2, m3 int32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		if d := absInt32(x[i] - y[i]); d > m0 {
+			m0 = d
+		}
+		if d := absInt32(x[i+1] - y[i+1]); d > m1 {
+			m1 = d
+		}
+		if d := absInt32(x[i+2] - y[i+2]); d > m2 {
+			m2 = d
+		}
+		if d := absInt32(x[i+3] - y[i+3]); d > m3 {
+			m3 = d
+		}
+	}
+	for ; i < len(x); i++ {
+		if d := absInt32(x[i] - y[i]); d > m0 {
+			m0 = d
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return float64(m0)
+}
+
+//metriclint:noalloc
+func absInt32(d int32) int32 {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// DistanceMany implements BatchMetric for L1.
+func (m L1) DistanceMany(q Object, objs []Object, out []float64) {
+	distanceManyVec(m, q, objs, out)
+}
+
+// DistanceFlat implements BatchMetric for L1.
+func (L1) DistanceFlat(q []float64, flat []float64, dim int, out []float64) {
+	n := checkFlat("L1", q, flat, dim, out)
+	for i := 0; i < n; i++ {
+		out[i] = l1Kernel64(q, flat[i*dim:(i+1)*dim])
+	}
+}
+
+// DistanceMany implements BatchMetric for L2.
+func (m L2) DistanceMany(q Object, objs []Object, out []float64) {
+	distanceManyVec(m, q, objs, out)
+}
+
+// DistanceFlat implements BatchMetric for L2. The sqrt is applied once
+// per pair, after the accumulation loop.
+func (L2) DistanceFlat(q []float64, flat []float64, dim int, out []float64) {
+	n := checkFlat("L2", q, flat, dim, out)
+	for i := 0; i < n; i++ {
+		out[i] = math.Sqrt(l2SqKernel64(q, flat[i*dim:(i+1)*dim]))
+	}
+}
+
+// DistanceSqFlat is the squared-distance fast path: it fills out with
+// squared Euclidean distances, leaving the sqrt to the caller. Pruning
+// comparisons against a radius r can run in squared space via
+// L2SqExceeds and only pay the sqrt for surviving candidates.
+func (L2) DistanceSqFlat(q []float64, flat []float64, dim int, out []float64) {
+	n := checkFlat("L2", q, flat, dim, out)
+	for i := 0; i < n; i++ {
+		out[i] = l2SqKernel64(q, flat[i*dim:(i+1)*dim])
+	}
+}
+
+// L2SqExceeds conservatively reports whether a squared distance sq
+// provably exceeds radius r, i.e. sqrt(sq) > r with margin for the
+// rounding of r*r and the sqrt. False means "maybe within r": the caller
+// must still compare the exact sqrt. It never returns true for a
+// candidate whose true distance is <= r.
+//
+//metriclint:noalloc
+func L2SqExceeds(sq, r float64) bool {
+	if r < 0 {
+		return true // distances are non-negative; anything exceeds
+	}
+	rr := r * r
+	return sq > rr+rr*1e-12
+}
+
+// DistanceMany implements BatchMetric for LInf.
+func (m LInf) DistanceMany(q Object, objs []Object, out []float64) {
+	distanceManyVec(m, q, objs, out)
+}
+
+// DistanceFlat implements BatchMetric for LInf.
+func (LInf) DistanceFlat(q []float64, flat []float64, dim int, out []float64) {
+	n := checkFlat("Linf", q, flat, dim, out)
+	for i := 0; i < n; i++ {
+		out[i] = linfKernel64(q, flat[i*dim:(i+1)*dim])
+	}
+}
+
+// DistanceMany implements BatchMetric for IntLInf over IntVector objects.
+func (IntLInf) DistanceMany(q Object, objs []Object, out []float64) {
+	x := q.(IntVector)
+	for i, o := range objs {
+		y := o.(IntVector)
+		checkDim("IntLinf", len(x), len(y))
+		out[i] = intLinfKernel(x, y)
+	}
+}
+
+// DistanceFlat implements BatchMetric for IntLInf over widened float64
+// coordinates (int32 values are exact in float64, so the result is
+// bit-for-bit the integer Chebyshev distance).
+func (IntLInf) DistanceFlat(q []float64, flat []float64, dim int, out []float64) {
+	n := checkFlat("IntLinf", q, flat, dim, out)
+	for i := 0; i < n; i++ {
+		out[i] = linfKernel64(q, flat[i*dim:(i+1)*dim])
+	}
+}
+
+// distanceManyVec dispatches one query against many vector objects for a
+// built-in Lp-family metric: the query's concrete type (Vector or
+// Vector32) is resolved once per batch, and each object pays one type
+// assertion plus one length compare before entering the shared kernel.
+func distanceManyVec(m Metric, q Object, objs []Object, out []float64) {
+	name := m.Name()
+	if x, ok := q.(Vector32); ok {
+		for i, o := range objs {
+			y := o.(Vector32)
+			checkDim(name, len(x), len(y))
+			out[i] = vecKernel32(m, x, y)
+		}
+		return
+	}
+	x := q.(Vector)
+	for i, o := range objs {
+		y := o.(Vector)
+		checkDim(name, len(x), len(y))
+		out[i] = vecKernel64(m, x, y)
+	}
+}
+
+//metriclint:noalloc
+func vecKernel64(m Metric, x, y Vector) float64 {
+	switch m.(type) {
+	case L1:
+		return l1Kernel64(x, y)
+	case L2:
+		return math.Sqrt(l2SqKernel64(x, y))
+	case LInf:
+		return linfKernel64(x, y)
+	}
+	panic("core: vector kernel dispatch on unsupported metric")
+}
+
+//metriclint:noalloc
+func vecKernel32(m Metric, x, y Vector32) float64 {
+	switch m.(type) {
+	case L1:
+		return l1Kernel32(x, y)
+	case L2:
+		return math.Sqrt(l2SqKernel32(x, y))
+	case LInf:
+		return linfKernel32(x, y)
+	}
+	panic("core: vector kernel dispatch on unsupported metric")
+}
+
+// PreKernel is the resolved flat-coordinate kernel set of a vector
+// metric, the capability the pivot tables detect once at build time and
+// then call without any interface dispatch on the per-candidate hot
+// path. Pre computes a monotone "pre-distance" (the L1 sum, the squared
+// L2 sum, the Chebyshev max); Finish maps it to the metric distance
+// (sqrt for L2, identity otherwise); Exceeds conservatively reports that
+// a pre-distance provably exceeds a radius so the Finish can be skipped
+// for clear rejects — it never rejects a candidate whose true distance
+// is within the radius, so callers re-check survivors exactly.
+type PreKernel struct {
+	Pre64   func(q, o []float64) float64
+	Pre32   func(q, o []float32) float64
+	Finish  func(pre float64) float64
+	Exceeds func(pre, r float64) bool
+}
+
+//metriclint:noalloc
+func finishIdentity(pre float64) float64 { return pre }
+
+//metriclint:noalloc
+func exceedsIdentity(pre, r float64) bool { return pre > r }
+
+//metriclint:noalloc
+func finishSqrt(pre float64) float64 { return math.Sqrt(pre) }
+
+// PreKernelFor resolves the flat kernel set of a metric, reporting false
+// for metrics without one (user metrics, Lp with fractional order,
+// Edit). IntLInf resolves to the float64 Chebyshev kernel: its int32
+// coordinates widen to float64 exactly.
+func PreKernelFor(m Metric) (PreKernel, bool) {
+	switch m.(type) {
+	case L1:
+		return PreKernel{Pre64: l1Kernel64, Pre32: l1Kernel32, Finish: finishIdentity, Exceeds: exceedsIdentity}, true
+	case L2:
+		return PreKernel{Pre64: l2SqKernel64, Pre32: l2SqKernel32, Finish: finishSqrt, Exceeds: L2SqExceeds}, true
+	case LInf, IntLInf:
+		return PreKernel{Pre64: linfKernel64, Pre32: linfKernel32, Finish: finishIdentity, Exceeds: exceedsIdentity}, true
+	}
+	return PreKernel{}, false
+}

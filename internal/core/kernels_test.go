@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// specials are the awkward float64 values the batch/scalar agreement
+// must survive: the kernels reorder accumulation, and only a genuinely
+// shared pipeline keeps NaN and ±Inf propagation bit-identical.
+var specials = []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1), 1e308, -1e308, 5e-324}
+
+func randVector(rng *rand.Rand, dim int) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		if rng.Intn(8) == 0 {
+			v[i] = specials[rng.Intn(len(specials))]
+		} else {
+			v[i] = rng.NormFloat64() * 100
+		}
+	}
+	return v
+}
+
+func randVector32(rng *rand.Rand, dim int) Vector32 {
+	v := make(Vector32, dim)
+	for i := range v {
+		if rng.Intn(8) == 0 {
+			v[i] = float32(specials[rng.Intn(len(specials))])
+		} else {
+			v[i] = float32(rng.NormFloat64() * 100)
+		}
+	}
+	return v
+}
+
+// sameBits reports bit-for-bit float equality (NaN == NaN, +0 != -0):
+// the agreement contract of BatchMetric, stronger than ==.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestDistanceManyMatchesScalar checks every built-in BatchMetric against
+// pairwise scalar Distance, bit for bit, across dimensions that exercise
+// the unrolled lanes (0..4 remainders) and special values.
+func TestDistanceManyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	metrics := []BatchMetric{L1{}, L2{}, LInf{}}
+	for _, m := range metrics {
+		for _, dim := range []int{1, 2, 3, 4, 5, 7, 8, 13, 64} {
+			q := randVector(rng, dim)
+			objs := make([]Object, 33)
+			for i := range objs {
+				objs[i] = randVector(rng, dim)
+			}
+			out := make([]float64, len(objs))
+			m.DistanceMany(q, objs, out)
+			for i, o := range objs {
+				if want := m.Distance(q, o); !sameBits(out[i], want) {
+					t.Fatalf("%s dim %d: DistanceMany[%d] = %v, scalar = %v", m.Name(), dim, i, out[i], want)
+				}
+			}
+
+			q32 := randVector32(rng, dim)
+			objs32 := make([]Object, 33)
+			for i := range objs32 {
+				objs32[i] = randVector32(rng, dim)
+			}
+			m.DistanceMany(q32, objs32, out)
+			for i, o := range objs32 {
+				if want := m.Distance(q32, o); !sameBits(out[i], want) {
+					t.Fatalf("%s dim %d float32: DistanceMany[%d] = %v, scalar = %v", m.Name(), dim, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceFlatMatchesScalar checks the flat kernels over packed
+// row-major coordinates against scalar Distance on the same rows.
+func TestDistanceFlatMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	metrics := []BatchMetric{L1{}, L2{}, LInf{}}
+	for _, m := range metrics {
+		for _, dim := range []int{1, 3, 4, 6, 16} {
+			q := randVector(rng, dim)
+			const rows = 29
+			flat := make([]float64, 0, rows*dim)
+			objs := make([]Vector, rows)
+			for i := range objs {
+				objs[i] = randVector(rng, dim)
+				flat = append(flat, objs[i]...)
+			}
+			out := make([]float64, rows)
+			m.DistanceFlat(q, flat, dim, out)
+			for i, o := range objs {
+				if want := m.Distance(q, o); !sameBits(out[i], want) {
+					t.Fatalf("%s dim %d: DistanceFlat[%d] = %v, scalar = %v", m.Name(), dim, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestIntLInfBatchMatchesScalar checks the integer Chebyshev kernel both
+// through DistanceMany on IntVectors and through DistanceFlat on widened
+// coordinates.
+func TestIntLInfBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := IntLInf{}
+	for _, dim := range []int{1, 2, 4, 5, 9} {
+		q := make(IntVector, dim)
+		for i := range q {
+			q[i] = int32(rng.Intn(2001) - 1000)
+		}
+		objs := make([]Object, 21)
+		flat := make([]float64, 0, len(objs)*dim)
+		for i := range objs {
+			v := make(IntVector, dim)
+			for j := range v {
+				v[j] = int32(rng.Intn(2001) - 1000)
+			}
+			objs[i] = v
+			for _, x := range v {
+				flat = append(flat, float64(x))
+			}
+		}
+		out := make([]float64, len(objs))
+		m.DistanceMany(q, objs, out)
+		for i, o := range objs {
+			if want := m.Distance(q, o); !sameBits(out[i], want) {
+				t.Fatalf("IntLinf dim %d: DistanceMany[%d] = %v, scalar = %v", dim, i, out[i], want)
+			}
+		}
+		q64 := make([]float64, dim)
+		for i, x := range q {
+			q64[i] = float64(x)
+		}
+		m.DistanceFlat(q64, flat, dim, out)
+		for i, o := range objs {
+			if want := m.Distance(q, o); !sameBits(out[i], want) {
+				t.Fatalf("IntLinf dim %d: DistanceFlat[%d] = %v, scalar = %v", dim, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestBatchDimMismatchPanics checks the batch validation panics carry the
+// metric name — the per-batch replacement of the per-pair checkDim must
+// not lose diagnosability.
+func TestBatchDimMismatchPanics(t *testing.T) {
+	cases := []struct {
+		metric BatchMetric
+		name   string
+		run    func(m BatchMetric)
+	}{
+		{L2{}, "L2", func(m BatchMetric) {
+			m.DistanceMany(Vector{1, 2}, []Object{Vector{1, 2, 3}}, make([]float64, 1))
+		}},
+		{L1{}, "L1", func(m BatchMetric) {
+			m.DistanceFlat([]float64{1, 2}, []float64{1, 2, 3}, 3, make([]float64, 1))
+		}},
+		{LInf{}, "Linf", func(m BatchMetric) {
+			m.DistanceFlat([]float64{1, 2, 3}, []float64{1, 2, 3, 4}, 3, make([]float64, 2))
+		}},
+		{IntLInf{}, "IntLinf", func(m BatchMetric) {
+			m.DistanceMany(IntVector{1}, []Object{IntVector{1, 2}}, make([]float64, 1))
+		}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: no panic on dimension mismatch", c.name)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, c.name) {
+					t.Fatalf("%s: panic %v does not name the metric", c.name, r)
+				}
+			}()
+			c.run(c.metric)
+		}()
+	}
+}
+
+// TestL2SqExceedsNeverRejectsWithin checks the squared-space prune is
+// conservative: for any candidate with true distance <= r it must return
+// false, whatever rounding r*r suffered.
+func TestL2SqExceedsNeverRejectsWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20000; trial++ {
+		d := rng.Float64() * 1e3
+		sq := d * d
+		// Any radius at or above the true distance must keep the candidate.
+		r := d * (1 + rng.Float64())
+		if L2SqExceeds(sq, r) {
+			t.Fatalf("L2SqExceeds(%v, %v) rejected a candidate with true distance %v <= r", sq, r, d)
+		}
+		if L2SqExceeds(sq, d) {
+			t.Fatalf("L2SqExceeds(%v, %v) rejected the boundary candidate", sq, d)
+		}
+	}
+	if !L2SqExceeds(1, -1) {
+		t.Fatal("negative radius must exceed")
+	}
+}
+
+// TestLpIntegerOrdersMatchGeneric checks the P=1/2/3 fast paths of Lp
+// against L1/L2 and the generic closed form.
+func TestLpIntegerOrdersMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(12)
+		a, b := make(Vector, dim), make(Vector, dim)
+		for i := 0; i < dim; i++ {
+			a[i] = rng.NormFloat64() * 10
+			b[i] = rng.NormFloat64() * 10
+		}
+		if got, want := (Lp{P: 1}).Distance(a, b), (L1{}).Distance(a, b); !sameBits(got, want) {
+			t.Fatalf("Lp{1} = %v, L1 = %v", got, want)
+		}
+		if got, want := (Lp{P: 2}).Distance(a, b), (L2{}).Distance(a, b); !sameBits(got, want) {
+			t.Fatalf("Lp{2} = %v, L2 = %v", got, want)
+		}
+		var s3 float64
+		for i := 0; i < dim; i++ {
+			d := math.Abs(a[i] - b[i])
+			s3 += d * d * d
+		}
+		want3 := math.Cbrt(s3)
+		if got := (Lp{P: 3}).Distance(a, b); math.Abs(got-want3) > 1e-9*(1+want3) {
+			t.Fatalf("Lp{3} = %v, want %v", got, want3)
+		}
+	}
+}
+
+// FuzzBatchKernels fuzzes the batch/scalar agreement with raw bit
+// patterns, so arbitrary NaN payloads, subnormals and infinities flow
+// through both pipelines.
+func FuzzBatchKernels(f *testing.F) {
+	f.Add(uint64(0), uint64(0x7FF8000000000001), uint64(0xFFF0000000000000), uint64(1))
+	f.Add(uint64(0x3FF0000000000000), uint64(0x4000000000000000), uint64(0x0000000000000001), uint64(0x8000000000000000))
+	f.Fuzz(func(t *testing.T, b0, b1, b2, b3 uint64) {
+		q := Vector{math.Float64frombits(b0), math.Float64frombits(b1)}
+		o := Vector{math.Float64frombits(b2), math.Float64frombits(b3)}
+		out := make([]float64, 1)
+		for _, m := range []BatchMetric{L1{}, L2{}, LInf{}} {
+			want := m.Distance(q, o)
+			m.DistanceMany(q, []Object{o}, out)
+			if !sameBits(out[0], want) {
+				t.Fatalf("%s: DistanceMany = %x, scalar = %x", m.Name(), math.Float64bits(out[0]), math.Float64bits(want))
+			}
+			m.DistanceFlat(q, o, 2, out)
+			if !sameBits(out[0], want) {
+				t.Fatalf("%s: DistanceFlat = %x, scalar = %x", m.Name(), math.Float64bits(out[0]), math.Float64bits(want))
+			}
+		}
+	})
+}

@@ -25,15 +25,18 @@ type Metric interface {
 // the Color dataset).
 type L1 struct{}
 
-// Distance returns the L1-norm distance between two Vectors.
+// Distance returns the L1-norm distance between two Vectors (or two
+// Vector32s). It delegates to the shared batch kernel, so scalar and
+// batched calls agree bit for bit.
 func (L1) Distance(a, b Object) float64 {
-	x, y := a.(Vector), b.(Vector)
-	checkDim(len(x), len(y))
-	var s float64
-	for i := range x {
-		s += math.Abs(x[i] - y[i])
+	if x, ok := a.(Vector32); ok {
+		y := b.(Vector32)
+		checkDim("L1", len(x), len(y))
+		return l1Kernel32(x, y)
 	}
-	return s
+	x, y := a.(Vector), b.(Vector)
+	checkDim("L1", len(x), len(y))
+	return l1Kernel64(x, y)
 }
 
 // Name returns "L1".
@@ -46,16 +49,19 @@ func (L1) Discrete() bool { return false }
 // the LA dataset).
 type L2 struct{}
 
-// Distance returns the Euclidean distance between two Vectors.
+// Distance returns the Euclidean distance between two Vectors (or two
+// Vector32s). It delegates to the shared batch kernel — squared
+// accumulation with the sqrt deferred past the loop — so scalar and
+// batched calls agree bit for bit.
 func (L2) Distance(a, b Object) float64 {
-	x, y := a.(Vector), b.(Vector)
-	checkDim(len(x), len(y))
-	var s float64
-	for i := range x {
-		d := x[i] - y[i]
-		s += d * d
+	if x, ok := a.(Vector32); ok {
+		y := b.(Vector32)
+		checkDim("L2", len(x), len(y))
+		return math.Sqrt(l2SqKernel32(x, y))
 	}
-	return math.Sqrt(s)
+	x, y := a.(Vector), b.(Vector)
+	checkDim("L2", len(x), len(y))
+	return math.Sqrt(l2SqKernel64(x, y))
 }
 
 // Name returns "L2".
@@ -67,18 +73,17 @@ func (L2) Discrete() bool { return false }
 // LInf is the Chebyshev (L∞) distance over Vector objects.
 type LInf struct{}
 
-// Distance returns the maximum per-coordinate difference.
+// Distance returns the maximum per-coordinate difference between two
+// Vectors (or two Vector32s), via the shared batch kernel.
 func (LInf) Distance(a, b Object) float64 {
-	x, y := a.(Vector), b.(Vector)
-	checkDim(len(x), len(y))
-	var m float64
-	for i := range x {
-		d := math.Abs(x[i] - y[i])
-		if d > m {
-			m = d
-		}
+	if x, ok := a.(Vector32); ok {
+		y := b.(Vector32)
+		checkDim("Linf", len(x), len(y))
+		return linfKernel32(x, y)
 	}
-	return m
+	x, y := a.(Vector), b.(Vector)
+	checkDim("Linf", len(x), len(y))
+	return linfKernel64(x, y)
 }
 
 // Name returns "Linf".
@@ -93,10 +98,27 @@ type Lp struct {
 	P float64
 }
 
-// Distance returns the Lp-norm distance between two Vectors.
+// Distance returns the Lp-norm distance between two Vectors. Integer
+// orders take multiplication fast paths — P=1 and P=2 reuse the L1/L2
+// kernels, P=3 cubes by multiplication — and only the final root (hoisted
+// out of the loop) pays a math.Pow/Cbrt. Fractional orders fall back to
+// the general per-coordinate math.Pow.
 func (m Lp) Distance(a, b Object) float64 {
 	x, y := a.(Vector), b.(Vector)
-	checkDim(len(x), len(y))
+	checkDim("Lp", len(x), len(y))
+	switch m.P {
+	case 1:
+		return l1Kernel64(x, y)
+	case 2:
+		return math.Sqrt(l2SqKernel64(x, y))
+	case 3:
+		var s float64
+		for i := range x {
+			d := math.Abs(x[i] - y[i])
+			s += d * d * d
+		}
+		return math.Cbrt(s)
+	}
 	var s float64
 	for i := range x {
 		s += math.Pow(math.Abs(x[i]-y[i]), m.P)
@@ -115,21 +137,12 @@ func (Lp) Discrete() bool { return false }
 // (the paper's Synthetic dataset uses it).
 type IntLInf struct{}
 
-// Distance returns the maximum per-coordinate absolute difference.
+// Distance returns the maximum per-coordinate absolute difference, via
+// the shared batch kernel.
 func (IntLInf) Distance(a, b Object) float64 {
 	x, y := a.(IntVector), b.(IntVector)
-	checkDim(len(x), len(y))
-	var m int32
-	for i := range x {
-		d := x[i] - y[i]
-		if d < 0 {
-			d = -d
-		}
-		if d > m {
-			m = d
-		}
-	}
-	return float64(m)
+	checkDim("IntLinf", len(x), len(y))
+	return intLinfKernel(x, y)
 }
 
 // Name returns "IntLinf".
@@ -256,8 +269,10 @@ func editDistanceRunes(s, t []rune) int {
 	return prev[len(t)]
 }
 
-func checkDim(a, b int) {
+// checkDim validates one pair (or one batch entry) and names the metric
+// in the panic so a mismatch is attributable without a stack dive.
+func checkDim(metric string, a, b int) {
 	if a != b {
-		panic(fmt.Sprintf("core: dimensionality mismatch %d vs %d", a, b))
+		panic(fmt.Sprintf("core: %s: dimensionality mismatch %d vs %d", metric, a, b))
 	}
 }

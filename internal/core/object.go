@@ -43,6 +43,40 @@ func (v Vector) String() string {
 	return b.String()
 }
 
+// Vector32 is a point in R^d with float32 coordinates, for vector
+// workloads where halving the memory footprint (and scan bandwidth)
+// matters more than the last 29 bits of coordinate precision. The
+// built-in Lp-family metrics compare two Vector32s by widening each
+// coordinate to float64 and accumulating in float64, so the triangle
+// inequality holds exactly over the stored values and pivot filtering
+// stays safe (see docs/KERNELS.md).
+type Vector32 []float32
+
+// Clone returns a deep copy of the vector.
+func (v Vector32) Clone() Vector32 {
+	c := make(Vector32, len(v))
+	copy(c, v)
+	return c
+}
+
+// String renders the vector compactly, eliding long tails.
+func (v Vector32) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i == 8 {
+			fmt.Fprintf(&b, ", …%d more", len(v)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g", x)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
 // IntVector is a point with integer coordinates, used with discrete
 // distance functions (the paper's Synthetic dataset under L∞).
 type IntVector []int32

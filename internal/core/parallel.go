@@ -50,26 +50,32 @@ func ParallelFor(n, workers int, fn func(start, end int)) {
 	wg.Wait()
 }
 
-// BuildDistRows computes the row-major pivot-distance table shared by the
-// table-family indexes (LAESA, CPT): ids32[row] = ids[row] and
-// dists[row*len(pivotVals)+i] = d(object ids[row], pivotVals[i]), with the
-// rows fanned out across workers goroutines (ParallelFor semantics). Row
-// order follows ids regardless of worker count, so the table is identical
-// to a sequential build.
-func BuildDistRows(ds *Dataset, ids []int, pivotVals []Object, workers int) ([]int32, []float64) {
+// BuildDistCols computes the struct-of-arrays pivot-distance table shared
+// by the table-family indexes (LAESA, CPT): ids32[row] = ids[row] and
+// cols[i][row] = d(object ids[row], pivotVals[i]), one contiguous column
+// per pivot, with the rows fanned out across workers goroutines
+// (ParallelFor semantics). Each worker computes its rows through the
+// batch kernel (one DistanceMany per row); row order follows ids
+// regardless of worker count, so the table is identical to a sequential
+// build.
+func BuildDistCols(ds *Dataset, ids []int, pivotVals []Object, workers int) ([]int32, [][]float64) {
 	l := len(pivotVals)
 	ids32 := make([]int32, len(ids))
-	dists := make([]float64, len(ids)*l)
+	cols := make([][]float64, l)
+	for i := range cols {
+		cols[i] = make([]float64, len(ids))
+	}
 	sp := ds.Space()
 	ParallelFor(len(ids), workers, func(start, end int) {
+		qd := make([]float64, l)
 		for row := start; row < end; row++ {
 			id := ids[row]
 			ids32[row] = int32(id)
-			o := ds.Object(id)
-			for i, p := range pivotVals {
-				dists[row*l+i] = sp.Distance(o, p)
+			sp.DistanceMany(ds.Object(id), pivotVals, qd)
+			for i := range cols {
+				cols[i][row] = qd[i]
 			}
 		}
 	})
-	return ids32, dists
+	return ids32, cols
 }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// surSlices compares two survivor slices.
+func surEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuantColEquivalence checks that SurviveColumnsQuant returns exactly
+// the SurviveColumns survivor set across random columns, radii (including
+// negative and zero), sub-ranges, and column counts.
+func TestQuantColEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		l := 1 + rng.Intn(4)
+		cols := make([][]float64, l)
+		for c := range cols {
+			cols[c] = make([]float64, n)
+			for i := range cols[c] {
+				cols[c][i] = rng.Float64() * 1000
+			}
+		}
+		qc := NewQuantCol(cols[0])
+		if !qc.OK() {
+			t.Fatalf("trial %d: shadow unexpectedly disabled", trial)
+		}
+		qd := make([]float64, l)
+		for i := range qd {
+			qd[i] = rng.Float64() * 1000
+		}
+		surA := make([]int32, n)
+		surB := make([]int32, n)
+		for _, r := range []float64{-5, 0, 1e-9, 3, 40, 250, 1500} {
+			base := rng.Intn(n)
+			rows := base + rng.Intn(n-base+1)
+			a := SurviveColumns(surA, qd, cols, base, rows, r)
+			b := SurviveColumnsQuant(surB, qd, qc, cols, base, rows, r)
+			if !surEqual(a, b) {
+				t.Fatalf("trial %d r=%g [%d,%d): quant %v != exact %v", trial, r, base, rows, b, a)
+			}
+		}
+	}
+}
+
+// TestQuantColSuperset checks the quantizer invariant directly: every row
+// the exact first-column interval keeps is kept by the quantized sweep.
+func TestQuantColSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	col := make([]float64, 500)
+	for i := range col {
+		col[i] = rng.Float64() * 777
+	}
+	qc := NewQuantCol(col)
+	sur := make([]int32, len(col))
+	for trial := 0; trial < 200; trial++ {
+		q := rng.Float64() * 900
+		r := rng.Float64() * 100
+		hi, lo := q+r, q-r
+		lo16 := uint64(0)
+		if lo > 0 {
+			lo16 = qc.quantize(lo)
+		}
+		hi16 := qc.quantize(hi)
+		m := qc.sweep(sur, 0, lo16, hi16, 0, len(col))
+		kept := make(map[int32]bool, m)
+		for _, row := range sur[:m] {
+			kept[row] = true
+		}
+		for i, d := range col {
+			if d >= lo && d <= hi && !kept[int32(i)] {
+				t.Fatalf("row %d (d=%g) in [%g,%g] dropped by quantized sweep", i, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestQuantColUpdates exercises Append and SwapDelete lane surgery,
+// including values beyond the build-time maximum (clamped, still a
+// superset), against a mirrored float64 column.
+func TestQuantColUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var col []float64
+	qc := NewQuantCol(nil)
+	for step := 0; step < 2000; step++ {
+		if len(col) == 0 || rng.Intn(3) > 0 {
+			d := rng.Float64() * 2000 // half the inserts exceed the scale-1 range
+			col = append(col, d)
+			qc.Append(d)
+		} else {
+			row := rng.Intn(len(col))
+			col[row] = col[len(col)-1]
+			col = col[:len(col)-1]
+			qc.SwapDelete(row)
+		}
+		if qc.Len() != len(col) {
+			t.Fatalf("step %d: Len %d != %d", step, qc.Len(), len(col))
+		}
+	}
+	if !qc.OK() {
+		t.Fatal("shadow disabled by valid updates")
+	}
+	// After the churn the shadow must still be an exact-equivalent filter.
+	cols := [][]float64{col}
+	qd := []float64{500}
+	surA := make([]int32, len(col))
+	surB := make([]int32, len(col))
+	for _, r := range []float64{0, 10, 300, 5000} {
+		a := SurviveColumns(surA, qd, cols, 0, len(col), r)
+		b := SurviveColumnsQuant(surB, qd, qc, cols, 0, len(col), r)
+		if !surEqual(a, b) {
+			t.Fatalf("r=%g: quant %d survivors != exact %d", r, len(b), len(a))
+		}
+	}
+}
+
+// TestQuantColDisable checks that non-finite or negative distances disable
+// the shadow and SurviveColumnsQuant falls back to the exact scan.
+func TestQuantColDisable(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), -1} {
+		qc := NewQuantCol([]float64{1, 2, bad})
+		if qc.OK() {
+			t.Fatalf("shadow enabled despite %v at build", bad)
+		}
+		qc = NewQuantCol([]float64{1, 2, 3})
+		qc.Append(bad)
+		if qc.OK() {
+			t.Fatalf("shadow enabled despite %v appended", bad)
+		}
+	}
+	// Disabled shadow (and nil shadow) must fall back, not crash.
+	cols := [][]float64{{1, 2, 3}}
+	qd := []float64{2}
+	sur := make([]int32, 3)
+	qc := NewQuantCol([]float64{1, 2, math.NaN()})
+	for _, shadow := range []*QuantCol{qc, nil} {
+		got := SurviveColumnsQuant(sur, qd, shadow, cols, 0, 3, 0.5)
+		if len(got) != 1 || got[0] != 1 {
+			t.Fatalf("fallback survivors = %v, want [1]", got)
+		}
+	}
+	// NaN query distance must also fall back (interval bounds are NaN:
+	// the exact scan keeps everything, matching PruneObject).
+	got := SurviveColumnsQuant(sur, []float64{math.NaN()}, NewQuantCol([]float64{1, 2, 3}), cols, 0, 3, 1)
+	if len(got) != 3 {
+		t.Fatalf("NaN-query survivors = %v, want all rows", got)
+	}
+}

@@ -95,6 +95,21 @@ func NewKNNHeap(k int) *KNNHeap {
 	return &KNNHeap{k: k, items: make([]Neighbor, 0, k)}
 }
 
+// Reset re-arms the heap for a new query with capacity k, growing the
+// backing array only when k exceeds every capacity seen before — the
+// scratch-reuse hook that keeps steady-state kNN queries allocation-free.
+func (h *KNNHeap) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	h.k = k
+	if cap(h.items) < k {
+		h.items = make([]Neighbor, 0, k)
+	} else {
+		h.items = h.items[:0]
+	}
+}
+
 // K returns the heap capacity.
 //
 //metriclint:noalloc

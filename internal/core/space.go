@@ -25,6 +25,39 @@ func (s *Space) Distance(a, b Object) float64 {
 	return s.metric.Distance(a, b)
 }
 
+// DistanceMany computes out[i] = d(q, objs[i]) for every i, through the
+// metric's batch kernel when it provides one and pairwise Distance
+// otherwise. Results are bit-for-bit identical to the scalar calls. The
+// compdists counter advances by len(objs) in a single atomic add — the
+// batch path's accounting amortization.
+//
+//metriclint:noalloc
+func (s *Space) DistanceMany(q Object, objs []Object, out []float64) {
+	if len(objs) == 0 {
+		return
+	}
+	s.count.Add(int64(len(objs)))
+	if bm, ok := s.metric.(BatchMetric); ok {
+		bm.DistanceMany(q, objs, out)
+		return
+	}
+	for i, o := range objs {
+		out[i] = s.metric.Distance(q, o)
+	}
+}
+
+// CountDistances adds n to the compdists counter. Index hot loops that
+// compute distances through the flat kernels (bypassing Distance) call
+// it once per scan so the paper's cost measure stays exact without an
+// atomic per pair.
+//
+//metriclint:noalloc
+func (s *Space) CountDistances(n int) {
+	if n > 0 {
+		s.count.Add(int64(n))
+	}
+}
+
 // Metric returns the underlying metric.
 func (s *Space) Metric() Metric { return s.metric }
 
@@ -81,8 +114,91 @@ func (ds *Dataset) Object(id int) Object {
 	return ds.objects[id]
 }
 
-// Objects exposes the raw object slice. Callers must not mutate it.
+// Objects exposes the raw object slice as a read-only view: callers must
+// not mutate the slice or the objects behind it (indexes and their flat
+// coordinate mirrors alias both). Returning the live slice instead of a
+// copy is deliberate — the brute-force baselines and batch verifiers scan
+// it on every query. For a safe bulk copy of vector coordinates use
+// FlatVectors / FlatVectors32.
+//
+//metriclint:ignore read-only view by contract, not a defensive copy
 func (ds *Dataset) Objects() []Object { return ds.objects }
+
+// FlatVectors returns a fresh row-major copy of the float64 coordinates
+// of every identifier slot: a block of Len()*dim floats where row id
+// starts at id*dim. Deleted slots are zero-filled. It is the sanctioned
+// bulk accessor for feeding DistanceFlat and the kernel benchmarks. The
+// third result is false when the dataset holds no live objects or any
+// live object is not a Vector (or IntVector, which widens exactly) of
+// one common dimension.
+func (ds *Dataset) FlatVectors() ([]float64, int, bool) {
+	dim := -1
+	for _, o := range ds.objects {
+		var d int
+		switch v := o.(type) {
+		case nil:
+			continue
+		case Vector:
+			d = len(v)
+		case IntVector:
+			d = len(v)
+		default:
+			return nil, 0, false
+		}
+		if dim == -1 {
+			dim = d
+		} else if d != dim {
+			return nil, 0, false
+		}
+	}
+	if dim <= 0 {
+		return nil, 0, false
+	}
+	flat := make([]float64, len(ds.objects)*dim)
+	for id, o := range ds.objects {
+		row := flat[id*dim : (id+1)*dim]
+		switch v := o.(type) {
+		case Vector:
+			copy(row, v)
+		case IntVector:
+			for i, x := range v {
+				row[i] = float64(x)
+			}
+		}
+	}
+	return flat, dim, true
+}
+
+// FlatVectors32 is the Vector32 counterpart of FlatVectors: a row-major
+// copy of the float32 coordinates of every slot, zero-filled where
+// deleted, or ok=false when the live objects are not uniform Vector32s.
+func (ds *Dataset) FlatVectors32() ([]float32, int, bool) {
+	dim := -1
+	for _, o := range ds.objects {
+		v, ok := o.(Vector32)
+		if o == nil {
+			continue
+		}
+		if !ok {
+			return nil, 0, false
+		}
+		if dim == -1 {
+			dim = len(v)
+		} else if len(v) != dim {
+			return nil, 0, false
+		}
+	}
+	if dim <= 0 {
+		return nil, 0, false
+	}
+	flat := make([]float32, len(ds.objects)*dim)
+	for id, o := range ds.objects {
+		if v, ok := o.(Vector32); ok {
+			copy(flat[id*dim:(id+1)*dim], v)
+		}
+	}
+	return flat, dim, true
+}
 
 // Distance computes the counted distance between two stored objects.
 func (ds *Dataset) Distance(i, j int) float64 {

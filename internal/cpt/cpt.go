@@ -9,12 +9,26 @@ package cpt
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"metricindex/internal/core"
 	"metricindex/internal/mtree"
 	"metricindex/internal/store"
+)
+
+// verifyChunk is the candidate batch size of the chunked DistanceMany
+// verification path of RangeSearch.
+const verifyChunk = 64
+
+// knnBlockMin and knnBlock bound the row-block sizes of the staged kNN
+// scan (see the LAESA twin): each block is swept at the radius current
+// when it starts, so pruning tightens block by block before the
+// per-candidate disk reads.
+// Blocks start small and double, so the loose just-seeded radius only
+// governs short sweeps.
+const (
+	knnBlockMin = 128
+	knnBlock    = 1024
 )
 
 // Options tunes construction.
@@ -34,7 +48,10 @@ type Options struct {
 	Workers int
 }
 
-// CPT is the clustered pivot table index.
+// CPT is the clustered pivot table index. Like LAESA, its distance table
+// is struct-of-arrays — one contiguous column per pivot — scanned
+// sequentially by the Lemma 1 filter; query-pivot distances go through
+// the batch kernel and per-query buffers come from a scratch pool.
 type CPT struct {
 	ds        *core.Dataset
 	pager     *store.Pager
@@ -42,8 +59,10 @@ type CPT struct {
 	pivotIDs  []int
 	pivotVals []core.Object
 	ids       []int32
-	dists     []float64 // row-major rows × len(pivots)
+	cols      [][]float64    // cols[i][row] = d(object ids[row], pivot i)
+	qcol      *core.QuantCol // quantized shadow of cols[0]; nil mid-build
 	rowOf     map[int]int
+	scratch   core.ScratchPool
 }
 
 // New builds the CPT: the in-memory distance table plus the disk M-tree
@@ -68,7 +87,8 @@ func New(ds *core.Dataset, pager *store.Pager, pivots []int, opts Options) (*CPT
 		c.pivotVals = append(c.pivotVals, v)
 	}
 	ids := ds.LiveIDs()
-	c.ids, c.dists = core.BuildDistRows(ds, ids, c.pivotVals, opts.Workers)
+	c.ids, c.cols = core.BuildDistCols(ds, ids, c.pivotVals, opts.Workers)
+	c.qcol = core.NewQuantCol(c.cols[0])
 	for row, id := range ids {
 		c.rowOf[id] = row
 	}
@@ -100,65 +120,112 @@ func (c *CPT) Name() string { return "CPT" }
 // Len returns the number of indexed objects.
 func (c *CPT) Len() int { return len(c.ids) }
 
-func (c *CPT) queryDists(q core.Object) []float64 {
-	qd := make([]float64, len(c.pivotVals))
-	sp := c.ds.Space()
-	for i, p := range c.pivotVals {
-		qd[i] = sp.Distance(q, p)
-	}
-	return qd
+// queryPrep draws scratch, sizes the survivor and chunk buffers, and
+// computes the query-pivot distances through the batch kernel.
+func (c *CPT) queryPrep(q core.Object) *core.Scratch {
+	sc := c.scratch.Get()
+	qd := sc.GrowQD(len(c.pivotVals))
+	sc.GrowSur(len(c.ids))
+	sc.GrowChunk(verifyChunk)
+	c.ds.Space().DistanceMany(q, c.pivotVals, qd)
+	return sc
 }
 
-// RangeSearch answers MRQ(q, r): scan the table with Lemma 1; candidates
-// are loaded from the M-tree on disk for verification (§3.3).
+// RangeSearch answers MRQ(q, r): a column sweep (core.SurviveColumnsQuant)
+// applies Lemma 1 over the struct-of-arrays table; surviving candidates
+// are loaded from the M-tree on disk and verified through DistanceMany
+// in chunks (§3.3).
 func (c *CPT) RangeSearch(q core.Object, r float64) ([]int, error) {
-	qd := c.queryDists(q)
-	l := len(c.pivotVals)
+	sc := c.queryPrep(q)
+	defer c.scratch.Put(sc)
 	sp := c.ds.Space()
+	sur := core.SurviveColumnsQuant(sc.Sur, sc.QD, c.qcol, c.cols, 0, len(c.ids), r)
 	var res []int
-	for row, id := range c.ids {
-		od := c.dists[row*l : row*l+l]
-		if core.PruneObject(qd, od, r) {
-			continue
-		}
+	m := 0
+	for _, row := range sur {
+		id := c.ids[row]
 		o, err := c.tree.ReadObject(int(id))
 		if err != nil {
 			return nil, err
 		}
-		if sp.Distance(q, o) <= r {
-			res = append(res, int(id))
+		sc.IDs[m] = id
+		sc.Objs[m] = o
+		m++
+		if m < len(sc.IDs) {
+			continue
+		}
+		sp.DistanceMany(q, sc.Objs[:m], sc.Out[:m])
+		for j := 0; j < m; j++ {
+			if sc.Out[j] <= r {
+				res = append(res, int(sc.IDs[j]))
+			}
+		}
+		m = 0
+	}
+	if m > 0 {
+		sp.DistanceMany(q, sc.Objs[:m], sc.Out[:m])
+		for j := 0; j < m; j++ {
+			if sc.Out[j] <= r {
+				res = append(res, int(sc.IDs[j]))
+			}
 		}
 	}
 	sort.Ints(res)
 	return res, nil
 }
 
-// KNNSearch answers MkNNQ(q, k) by the LAESA procedure with disk loads:
-// storage-order scan, infinite start radius, tightening on verification.
+// KNNSearch answers MkNNQ(q, k) by the LAESA procedure with disk loads,
+// staged like LAESA's scan: seed the heap with the first k rows (the
+// prefix the scalar scan reads unconditionally while its radius is
+// infinite), column-sweep the rest block by block at the tightening
+// radius, then re-apply Lemma 1 per survivor with the fresh radius
+// before its disk read. Verification stays per-candidate — the recheck
+// makes the admitted set exactly the scalar scan's, and for CPT every
+// admission is a disk read, not just a distance.
 func (c *CPT) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	qd := c.queryDists(q)
-	l := len(c.pivotVals)
+	sc := c.queryPrep(q)
+	defer c.scratch.Put(sc)
 	sp := c.ds.Space()
-	h := core.NewKNNHeap(k)
-	for row, id := range c.ids {
-		r := h.Radius()
-		od := c.dists[row*l : row*l+l]
-		if !math.IsInf(r, 1) && core.PruneObject(qd, od, r) {
-			continue
-		}
+	h := sc.Heap(k)
+	seed := k
+	if seed > len(c.ids) {
+		seed = len(c.ids)
+	}
+	for row := 0; row < seed; row++ {
+		id := c.ids[row]
 		o, err := c.tree.ReadObject(int(id))
 		if err != nil {
 			return nil, err
 		}
 		h.Push(int(id), sp.Distance(q, o))
 	}
+	for base, blk := seed, knnBlockMin; base < len(c.ids); base, blk = base+blk, min(blk*2, knnBlock) {
+		end := base + blk
+		if end > len(c.ids) {
+			end = len(c.ids)
+		}
+		sur := core.SurviveColumnsQuant(sc.Sur, sc.QD, c.qcol, c.cols, base, end, h.Radius())
+		for _, row := range sur {
+			r := h.Radius()
+			if core.PruneRowAt(sc.QD, c.cols, int(row), r) {
+				continue
+			}
+			id := c.ids[row]
+			o, err := c.tree.ReadObject(int(id))
+			if err != nil {
+				return nil, err
+			}
+			h.Push(int(id), sp.Distance(q, o))
+		}
+	}
 	return h.Result(), nil
 }
 
-// Insert adds the object to the table and the M-tree.
+// Insert adds the object to the table and the M-tree, computing its
+// pivot distances through the batch kernel.
 func (c *CPT) Insert(id int) error {
 	if _, dup := c.rowOf[id]; dup {
 		return fmt.Errorf("cpt: duplicate insert of %d", id)
@@ -169,10 +236,16 @@ func (c *CPT) Insert(id int) error {
 	c.rowOf[id] = len(c.ids)
 	c.ids = append(c.ids, int32(id))
 	o := c.ds.Object(id)
-	sp := c.ds.Space()
-	for _, p := range c.pivotVals {
-		c.dists = append(c.dists, sp.Distance(o, p))
+	sc := c.scratch.Get()
+	qd := sc.GrowQD(len(c.pivotVals))
+	c.ds.Space().DistanceMany(o, c.pivotVals, qd)
+	for i := range c.cols {
+		c.cols[i] = append(c.cols[i], qd[i])
 	}
+	if c.qcol != nil {
+		c.qcol.Append(qd[0])
+	}
+	c.scratch.Put(sc)
 	return nil
 }
 
@@ -192,13 +265,18 @@ func (c *CPT) Delete(id int) error {
 	if err := c.tree.Delete(id); err != nil {
 		return err
 	}
-	l := len(c.pivotVals)
 	last := len(c.ids) - 1
 	lastID := c.ids[last]
 	c.ids[row] = lastID
-	copy(c.dists[row*l:row*l+l], c.dists[last*l:last*l+l])
 	c.ids = c.ids[:last]
-	c.dists = c.dists[:last*l]
+	for i := range c.cols {
+		col := c.cols[i]
+		col[row] = col[last]
+		c.cols[i] = col[:last]
+	}
+	if c.qcol != nil {
+		c.qcol.SwapDelete(row)
+	}
 	c.rowOf[int(lastID)] = row
 	delete(c.rowOf, id)
 	return nil
@@ -213,7 +291,11 @@ func (c *CPT) ResetStats() { c.pager.ResetStats() }
 // MemBytes reports the in-memory distance table size (the component the
 // paper counts as CPT's memory storage).
 func (c *CPT) MemBytes() int64 {
-	return int64(len(c.dists))*8 + int64(len(c.ids))*4 + int64(len(c.pivotIDs))*8
+	n := int64(len(c.ids))*4 + int64(len(c.pivotIDs))*8
+	for _, col := range c.cols {
+		n += int64(len(col)) * 8
+	}
+	return n
 }
 
 // DiskBytes reports the M-tree's on-disk footprint.

@@ -120,7 +120,7 @@ func TestCPTParallelBuildMatchesSequential(t *testing.T) {
 	if !reflect.DeepEqual(seq.ids, par.ids) {
 		t.Fatal("parallel build ids differ")
 	}
-	if !reflect.DeepEqual(seq.dists, par.dists) {
+	if !reflect.DeepEqual(seq.cols, par.cols) {
 		t.Fatal("parallel build distances differ")
 	}
 	for qs := int64(0); qs < 3; qs++ {

@@ -12,8 +12,14 @@ import (
 // Snapshot payload encoding for the CPT (spec: docs/PERSISTENCE.md
 // §CPT): the pager volume image, the clustering M-tree handle state, and
 // the in-memory pivot table.
-
-const cptFormatVersion = 1
+//
+// Version history:
+//   - 1: distance table row-major (dists[row*l+i]).
+//   - 2: distance table column-major (the struct-of-arrays layout: one
+//     pivot's rows after another). Same fields, same wire ops; only the
+//     float order changed. Version-1 payloads still load via a
+//     transpose.
+const cptFormatVersion = 2
 
 func init() {
 	persist.Register("CPT", loadCPT)
@@ -29,12 +35,17 @@ func (c *CPT) EncodeSnapshot(w *persist.Writer) error {
 	w.Ints(c.pivotIDs)
 	w.Objects(c.pivotVals)
 	w.Int32s(c.ids)
-	w.Floats(c.dists)
+	flat := make([]float64, 0, len(c.ids)*len(c.cols))
+	for _, col := range c.cols {
+		flat = append(flat, col...)
+	}
+	w.Floats(flat)
 	return nil
 }
 
 func loadCPT(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
-	if v := r.U16(); r.Err() == nil && v != cptFormatVersion {
+	v := r.U16()
+	if r.Err() == nil && v != 1 && v != cptFormatVersion {
 		return nil, nil, fmt.Errorf("cpt: unsupported payload version %d", v)
 	}
 	blob := r.Blob()
@@ -56,20 +67,40 @@ func loadCPT(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, err
 		pivotIDs:  r.Ints(),
 		pivotVals: r.Objects(),
 		ids:       r.Int32s(),
-		dists:     r.Floats(),
 		rowOf:     make(map[int]int),
 	}
+	dists := r.Floats()
 	if err := r.Err(); err != nil {
 		return nil, nil, err
 	}
 	if len(c.pivotVals) != len(c.pivotIDs) || len(c.pivotIDs) == 0 {
 		return nil, nil, fmt.Errorf("cpt: %d pivot values for %d pivot ids", len(c.pivotVals), len(c.pivotIDs))
 	}
-	if len(c.dists) != len(c.ids)*len(c.pivotIDs) {
-		return nil, nil, fmt.Errorf("cpt: %d distances for %d rows × %d pivots", len(c.dists), len(c.ids), len(c.pivotIDs))
+	if len(dists) != len(c.ids)*len(c.pivotIDs) {
+		return nil, nil, fmt.Errorf("cpt: %d distances for %d rows × %d pivots", len(dists), len(c.ids), len(c.pivotIDs))
 	}
+	c.cols = distColumns(dists, len(c.ids), len(c.pivotIDs), v == 1)
+	c.qcol = core.NewQuantCol(c.cols[0])
 	for row, id := range c.ids {
 		c.rowOf[int(id)] = row
 	}
 	return c, pager, nil
+}
+
+// distColumns splits a flat distance block into per-pivot columns,
+// transposing when the block is the row-major layout of version-1
+// payloads.
+func distColumns(dists []float64, rows, l int, rowMajor bool) [][]float64 {
+	cols := make([][]float64, l)
+	for i := range cols {
+		cols[i] = make([]float64, rows)
+		if rowMajor {
+			for row := 0; row < rows; row++ {
+				cols[i][row] = dists[row*l+i]
+			}
+		} else {
+			copy(cols[i], dists[i*rows:(i+1)*rows])
+		}
+	}
+	return cols
 }

@@ -7,11 +7,25 @@ package ept
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"metricindex/internal/core"
 	"metricindex/internal/pivot"
+)
+
+// verifyChunk is the candidate batch size of the chunked DistanceMany
+// verification path.
+const verifyChunk = 64
+
+// knnBlockMin and knnBlock bound the row-block sizes of the staged kNN
+// scan (see the LAESA twin): each block is swept at the radius current
+// when it starts, so pruning tightens block by block and the recheck
+// stays cache-resident.
+// Blocks start small and double, so the loose just-seeded radius only
+// governs short sweeps.
+const (
+	knnBlockMin = 128
+	knnBlock    = 1024
 )
 
 // Variant selects between the original EPT and the paper's EPT*.
@@ -47,23 +61,42 @@ type Options struct {
 	Workers int
 }
 
-// EPT is the extreme pivot table index.
+// EPT is the extreme pivot table index. The table is struct-of-arrays:
+// column c holds, for every row, the c-th private pivot (as a dense index
+// into the referenced-pivot pool) and its distance, so Lemma 1 filtering
+// scans contiguous columns. A query computes its distance to the whole
+// referenced pool up front through the batch kernel — replacing the old
+// lazy per-pivot map memoization — then prunes via the columns and
+// verifies survivors through the flat kernel (or chunked DistanceMany).
 type EPT struct {
 	ds      *core.Dataset
 	variant Variant
 	l       int
 
-	ids   []int32   // row -> object id
-	pids  []int32   // row-major rows × l pivot ids
-	dists []float64 // row-major rows × l distances
+	ids   []int32     // row -> object id
+	pcols [][]int32   // pcols[c][row] = dense pool index of the row's c-th pivot
+	dcols [][]float64 // dcols[c][row] = distance to that pivot
 	rowOf map[int]int
 
 	// pivotVal snapshots pivot object values so queries keep working if a
 	// pivot object is later deleted from the dataset.
 	pivotVal map[int32]core.Object
 
+	// The referenced-pivot pool: every pivot some row cites, densely
+	// numbered in first-reference order. poolIDs maps dense index back to
+	// the dataset pivot id; poolOf is the inverse.
+	pool    []core.Object
+	poolIDs []int32
+	poolOf  map[int32]int32
+
 	groups *pivot.Groups   // Original: assignment state for inserts
 	psa    *pivot.PSAState // Star: assignment state for inserts
+
+	flat     *core.FlatVecs // coordinate mirror; nil off the flat path
+	noMirror bool
+	kern     core.PreKernel
+	hasKern  bool
+	scratch  core.ScratchPool
 }
 
 // New builds an EPT or EPT* over all live objects.
@@ -71,13 +104,7 @@ func New(ds *core.Dataset, variant Variant, opts Options) (*EPT, error) {
 	if opts.L <= 0 {
 		return nil, fmt.Errorf("ept: non-positive L %d", opts.L)
 	}
-	e := &EPT{
-		ds:       ds,
-		variant:  variant,
-		l:        opts.L,
-		rowOf:    make(map[int]int),
-		pivotVal: make(map[int32]core.Object),
-	}
+	e := newEmpty(ds, variant, opts.L)
 	sp := ds.Space()
 	// assign computes one object's row; it must be safe to call
 	// concurrently, since construction fans the per-object assignments out
@@ -112,6 +139,8 @@ func New(ds *core.Dataset, variant Variant, opts Options) (*EPT, error) {
 			return nil, err
 		}
 		e.l = min(e.l, len(st.CandVals))
+		e.pcols = e.pcols[:e.l]
+		e.dcols = e.dcols[:e.l]
 		e.psa = st
 		for ci := range st.CandIDs {
 			e.pivotVal[st.CandIDs[ci]] = st.CandVals[ci]
@@ -138,14 +167,78 @@ func New(ds *core.Dataset, variant Variant, opts Options) (*EPT, error) {
 	return e, nil
 }
 
+// newEmpty prepares an EPT shell shared by New and the snapshot loader.
+func newEmpty(ds *core.Dataset, variant Variant, l int) *EPT {
+	e := &EPT{
+		ds:       ds,
+		variant:  variant,
+		l:        l,
+		rowOf:    make(map[int]int),
+		pivotVal: make(map[int32]core.Object),
+		poolOf:   make(map[int32]int32),
+		pcols:    make([][]int32, l),
+		dcols:    make([][]float64, l),
+	}
+	e.kern, e.hasKern = core.PreKernelFor(ds.Space().Metric())
+	return e
+}
+
+// poolIdx returns the dense pool index of a pivot id, admitting it to
+// the pool on first reference.
+func (e *EPT) poolIdx(p int32) int32 {
+	if i, ok := e.poolOf[p]; ok {
+		return i
+	}
+	i := int32(len(e.pool))
+	e.pool = append(e.pool, e.pivotVal[p])
+	e.poolIDs = append(e.poolIDs, p)
+	e.poolOf[p] = i
+	return i
+}
+
+// appendRow adds one object's row across the columns; short assignment
+// rows pad with their last pivot (defensively, as the row-major layout
+// did).
 func (e *EPT) appendRow(id int, pv []int32, dv []float64) {
-	e.rowOf[id] = len(e.ids)
+	row := len(e.ids)
+	e.rowOf[id] = row
 	e.ids = append(e.ids, int32(id))
-	e.pids = append(e.pids, pv...)
-	e.dists = append(e.dists, dv...)
-	for len(e.pids) < len(e.ids)*e.l { // defensive padding for short rows
-		e.pids = append(e.pids, pv[len(pv)-1])
-		e.dists = append(e.dists, dv[len(dv)-1])
+	for c := 0; c < e.l; c++ {
+		j := c
+		if j >= len(pv) {
+			j = len(pv) - 1
+		}
+		e.pcols[c] = append(e.pcols[c], e.poolIdx(pv[j]))
+		e.dcols[c] = append(e.dcols[c], dv[j])
+	}
+	e.mirrorRow(row, e.ds.Object(id))
+}
+
+// mirrorRow appends the object to the coordinate mirror, arming it on
+// row 0 and dropping it permanently on the first object that does not
+// fit (see the LAESA twin).
+func (e *EPT) mirrorRow(row int, o core.Object) {
+	if e.noMirror || !e.hasKern {
+		return
+	}
+	if o == nil {
+		e.flat = nil
+		e.noMirror = true
+		return
+	}
+	if e.flat == nil {
+		if row != 0 {
+			e.noMirror = true
+			return
+		}
+		if e.flat = core.NewFlatVecs(o); e.flat == nil {
+			e.noMirror = true
+			return
+		}
+	}
+	if !e.flat.Append(o) {
+		e.flat = nil
+		e.noMirror = true
 	}
 }
 
@@ -160,49 +253,92 @@ func (e *EPT) Name() string {
 // Len returns the number of indexed objects.
 func (e *EPT) Len() int { return len(e.ids) }
 
-// queryState memoizes d(q, p) per distinct pivot: the m·l term of the
-// query cost (each pivot in the pool is computed at most once per query).
-type queryState struct {
-	e  *EPT
-	q  core.Object
-	qd map[int32]float64
+// useFlat reports whether the flat verification path is armed.
+func (e *EPT) useFlat() bool {
+	return e.hasKern && e.flat != nil && e.flat.Rows() == len(e.ids)
 }
 
-func (s *queryState) dist(p int32) float64 {
-	if d, ok := s.qd[p]; ok {
-		return d
-	}
-	d := s.e.ds.Space().Distance(s.q, s.e.pivotVal[p])
-	s.qd[p] = d
-	return d
-}
-
-// prune applies Lemma 1 with the object's private pivots.
-func (s *queryState) prune(row int, r float64) bool {
-	l := s.e.l
-	for i := row * l; i < row*l+l; i++ {
-		if math.Abs(s.dist(s.e.pids[i])-s.e.dists[i]) > r {
-			return true
-		}
-	}
-	return false
+// queryPrep draws scratch, sizes the survivor and chunk buffers, and
+// computes the query's distance to every pooled pivot through the batch
+// kernel (the m·l term of the query cost). Per-row pruning happens in
+// the search routines via the indexed column sweep.
+func (e *EPT) queryPrep(q core.Object) *core.Scratch {
+	sc := e.scratch.Get()
+	qd := sc.GrowQD(len(e.pool))
+	sc.GrowSur(len(e.ids))
+	sc.GrowChunk(verifyChunk)
+	e.ds.Space().DistanceMany(q, e.pool, qd)
+	return sc
 }
 
 // RangeSearch answers MRQ(q, r) by a filtered table scan (same procedure
-// as LAESA, §3.2).
+// as LAESA, §3.2): an indexed column sweep applies Lemma 1 per private
+// pivot set, then survivors are verified.
 func (e *EPT) RangeSearch(q core.Object, r float64) ([]int, error) {
-	st := &queryState{e: e, q: q, qd: make(map[int32]float64, 2*e.l)}
+	sc := e.queryPrep(q)
+	sur := core.SurviveColumnsIndexed(sc.Sur, sc.QD, e.pcols, e.dcols, 0, len(e.ids), r)
 	var res []int
-	for row, id := range e.ids {
-		if st.prune(row, r) {
-			continue
-		}
-		if e.ds.DistanceTo(q, int(id)) <= r {
-			res = append(res, int(id))
+	if e.useFlat() {
+		if q64, q32, ok := e.flat.QueryCoords(q, sc); ok {
+			res = e.rangeFlat(q64, q32, sur, r)
+			e.scratch.Put(sc)
+			sort.Ints(res)
+			return res, nil
 		}
 	}
+	res = e.rangeObjs(q, sc, sur, r)
+	e.scratch.Put(sc)
 	sort.Ints(res)
 	return res, nil
+}
+
+// rangeFlat verifies the surviving rows through the flat kernel.
+func (e *EPT) rangeFlat(q64 []float64, q32 []float32, sur []int32, r float64) []int {
+	var res []int
+	for _, row := range sur {
+		pre := e.flat.Pre(&e.kern, q64, q32, int(row))
+		if e.kern.Exceeds(pre, r) {
+			continue
+		}
+		if e.kern.Finish(pre) <= r {
+			res = append(res, int(e.ids[row]))
+		}
+	}
+	e.ds.Space().CountDistances(len(sur))
+	return res
+}
+
+// rangeObjs verifies the surviving rows through DistanceMany in chunks.
+func (e *EPT) rangeObjs(q core.Object, sc *core.Scratch, sur []int32, r float64) []int {
+	objs := e.ds.Objects()
+	sp := e.ds.Space()
+	var res []int
+	m := 0
+	for _, row := range sur {
+		id := e.ids[row]
+		sc.IDs[m] = id
+		sc.Objs[m] = objs[id]
+		m++
+		if m < len(sc.IDs) {
+			continue
+		}
+		sp.DistanceMany(q, sc.Objs[:m], sc.Out[:m])
+		for j := 0; j < m; j++ {
+			if sc.Out[j] <= r {
+				res = append(res, int(sc.IDs[j]))
+			}
+		}
+		m = 0
+	}
+	if m > 0 {
+		sp.DistanceMany(q, sc.Objs[:m], sc.Out[:m])
+		for j := 0; j < m; j++ {
+			if sc.Out[j] <= r {
+				res = append(res, int(sc.IDs[j]))
+			}
+		}
+	}
+	return res
 }
 
 // KNNSearch answers MkNNQ(q, k) with an infinite start radius tightened by
@@ -211,16 +347,124 @@ func (e *EPT) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	st := &queryState{e: e, q: q, qd: make(map[int32]float64, 2*e.l)}
-	h := core.NewKNNHeap(k)
-	for row, id := range e.ids {
-		r := h.Radius()
-		if !math.IsInf(r, 1) && st.prune(row, r) {
-			continue
+	sc := e.queryPrep(q)
+	h := sc.Heap(k)
+	if e.useFlat() {
+		if q64, q32, ok := e.flat.QueryCoords(q, sc); ok {
+			e.knnFlat(q64, q32, sc, h)
+			res := h.Result()
+			e.scratch.Put(sc)
+			return res, nil
 		}
-		h.Push(int(id), e.ds.DistanceTo(q, int(id)))
 	}
-	return h.Result(), nil
+	e.knnObjs(q, sc, h)
+	res := h.Result()
+	e.scratch.Put(sc)
+	return res, nil
+}
+
+// knnSeed bounds the heap-seeding prefix: the first min(k, n) rows are
+// verified unconditionally (the scalar scan cannot prune them either —
+// the radius stays infinite until the k-th push).
+func (e *EPT) knnSeed(k int) int {
+	if k > len(e.ids) {
+		return len(e.ids)
+	}
+	return k
+}
+
+// knnFlat is the zero-allocation kNN hot loop (see the LAESA twin for
+// the staging and equivalence argument): verify the seed prefix, sweep
+// the remaining rows at the seeded radius, then re-apply Lemma 1 per
+// survivor with the fresh radius before verifying through the flat
+// kernel.
+//
+//metriclint:noalloc
+func (e *EPT) knnFlat(q64 []float64, q32 []float32, sc *core.Scratch, h *core.KNNHeap) {
+	seed := e.knnSeed(h.K())
+	for row := 0; row < seed; row++ {
+		pre := e.flat.Pre(&e.kern, q64, q32, row)
+		h.Push(int(e.ids[row]), e.kern.Finish(pre))
+	}
+	ndist := seed
+	for base, blk := seed, knnBlockMin; base < len(e.ids); base, blk = base+blk, min(blk*2, knnBlock) {
+		end := base + blk
+		if end > len(e.ids) {
+			end = len(e.ids)
+		}
+		sur := core.SurviveColumnsIndexed(sc.Sur, sc.QD, e.pcols, e.dcols, base, end, h.Radius())
+		for _, row := range sur {
+			r := h.Radius()
+			if core.PruneRowIndexedAt(sc.QD, e.pcols, e.dcols, int(row), r) {
+				continue
+			}
+			pre := e.flat.Pre(&e.kern, q64, q32, int(row))
+			ndist++
+			if e.kern.Exceeds(pre, r) {
+				continue
+			}
+			h.Push(int(e.ids[row]), e.kern.Finish(pre))
+		}
+	}
+	e.ds.Space().CountDistances(ndist)
+}
+
+// knnObjs is the Object fallback: the same staged scan with candidates
+// gathered into chunks verified through DistanceMany; the chunk-stale
+// radius only admits candidates the heap rejects, so answers match the
+// per-candidate scan.
+//
+//metriclint:noalloc
+func (e *EPT) knnObjs(q core.Object, sc *core.Scratch, h *core.KNNHeap) {
+	objs := e.ds.Objects()
+	seed := e.knnSeed(h.K())
+	m := 0
+	for row := 0; row < seed; row++ {
+		id := e.ids[row]
+		sc.IDs[m] = id
+		sc.Objs[m] = objs[id]
+		m++
+		if m == len(sc.IDs) {
+			e.flushKNN(q, sc, m, h)
+			m = 0
+		}
+	}
+	if m > 0 {
+		e.flushKNN(q, sc, m, h)
+		m = 0
+	}
+	for base, blk := seed, knnBlockMin; base < len(e.ids); base, blk = base+blk, min(blk*2, knnBlock) {
+		end := base + blk
+		if end > len(e.ids) {
+			end = len(e.ids)
+		}
+		sur := core.SurviveColumnsIndexed(sc.Sur, sc.QD, e.pcols, e.dcols, base, end, h.Radius())
+		for _, row := range sur {
+			r := h.Radius()
+			if core.PruneRowIndexedAt(sc.QD, e.pcols, e.dcols, int(row), r) {
+				continue
+			}
+			id := e.ids[row]
+			sc.IDs[m] = id
+			sc.Objs[m] = objs[id]
+			m++
+			if m == len(sc.IDs) {
+				e.flushKNN(q, sc, m, h)
+				m = 0
+			}
+		}
+	}
+	if m > 0 {
+		e.flushKNN(q, sc, m, h)
+	}
+}
+
+//metriclint:noalloc
+func (e *EPT) flushKNN(q core.Object, sc *core.Scratch, m int, h *core.KNNHeap) {
+	e.ds.Space().DistanceMany(q, sc.Objs[:m], sc.Out[:m])
+	for j := 0; j < m; j++ {
+		h.Push(int(sc.IDs[j]), sc.Out[j])
+	}
 }
 
 // Insert assigns pivots to the new object (group-extreme for EPT, PSA for
@@ -250,7 +494,7 @@ func (e *EPT) Insert(id int) error {
 }
 
 // Delete locates the row by sequential scan (as §6.3 describes) and
-// removes it.
+// removes it by a per-column swap with the last row.
 func (e *EPT) Delete(id int) error {
 	row := -1
 	for i, rid := range e.ids {
@@ -262,15 +506,21 @@ func (e *EPT) Delete(id int) error {
 	if row < 0 {
 		return fmt.Errorf("ept: delete of unindexed object %d", id)
 	}
-	l := e.l
 	last := len(e.ids) - 1
 	lastID := e.ids[last]
 	e.ids[row] = lastID
-	copy(e.pids[row*l:row*l+l], e.pids[last*l:last*l+l])
-	copy(e.dists[row*l:row*l+l], e.dists[last*l:last*l+l])
 	e.ids = e.ids[:last]
-	e.pids = e.pids[:last*l]
-	e.dists = e.dists[:last*l]
+	for c := 0; c < e.l; c++ {
+		pcol := e.pcols[c]
+		pcol[row] = pcol[last]
+		e.pcols[c] = pcol[:last]
+		dcol := e.dcols[c]
+		dcol[row] = dcol[last]
+		e.dcols[c] = dcol[:last]
+	}
+	if e.flat != nil {
+		e.flat.SwapDelete(row)
+	}
 	e.rowOf[int(lastID)] = row
 	delete(e.rowOf, id)
 	return nil
@@ -282,10 +532,18 @@ func (e *EPT) PageAccesses() int64 { return 0 }
 // ResetStats is a no-op.
 func (e *EPT) ResetStats() {}
 
-// MemBytes reports the table size: EPT stores a pivot id next to every
-// distance, so it is larger than LAESA's table (Table 4).
+// MemBytes reports the table size: EPT stores a pivot reference next to
+// every distance, so it is larger than LAESA's table (Table 4), plus the
+// coordinate mirror when armed.
 func (e *EPT) MemBytes() int64 {
-	return int64(len(e.dists))*8 + int64(len(e.pids))*4 + int64(len(e.ids))*4
+	n := int64(len(e.ids)) * 4
+	for c := 0; c < e.l; c++ {
+		n += int64(len(e.pcols[c]))*4 + int64(len(e.dcols[c]))*8
+	}
+	if e.flat != nil {
+		n += e.flat.MemBytes()
+	}
+	return n
 }
 
 // DiskBytes returns 0.

@@ -204,10 +204,13 @@ func TestEPTParallelBuildMatchesSequential(t *testing.T) {
 		if !reflect.DeepEqual(seq.ids, par.ids) {
 			t.Fatalf("%v: parallel build ids differ", v)
 		}
-		if !reflect.DeepEqual(seq.pids, par.pids) {
-			t.Fatalf("%v: parallel build pivot ids differ", v)
+		if !reflect.DeepEqual(seq.pcols, par.pcols) {
+			t.Fatalf("%v: parallel build pivot columns differ", v)
 		}
-		if !reflect.DeepEqual(seq.dists, par.dists) {
+		if !reflect.DeepEqual(seq.poolIDs, par.poolIDs) {
+			t.Fatalf("%v: parallel build pivot pools differ", v)
+		}
+		if !reflect.DeepEqual(seq.dcols, par.dcols) {
 			t.Fatalf("%v: parallel build distances differ", v)
 		}
 		if !reflect.DeepEqual(seq.rowOf, par.rowOf) {

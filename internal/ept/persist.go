@@ -14,8 +14,22 @@ import (
 // docs/PERSISTENCE.md §EPT). The pivot-assignment state (Groups for the
 // original, PSAState for the star variants) is persisted too, so inserts
 // keep working after a restore.
+//
+// Version history of the in-memory payload:
+//   - 1: pids/dists row-major (entry row*l+c).
+//   - 2: pids/dists column-major (the struct-of-arrays layout: one
+//     pivot column's rows after another). The wire stores dataset pivot
+//     ids, not dense pool indices — the pool is rebuilt at load — so
+//     the fields and op shapes match version 1 exactly. Version-1
+//     payloads still load via a transpose.
+//
+// DiskEPT* keeps its own version: its row-major on-disk pages are
+// untouched by the in-memory table redesign.
 
-const eptFormatVersion = 1
+const (
+	eptFormatVersion     = 2
+	diskEPTFormatVersion = 1
+)
 
 func init() {
 	persist.Register("EPT", loadMemEPT)
@@ -126,14 +140,23 @@ func decodePSA(r *persist.Reader) (*pivot.PSAState, error) {
 }
 
 // EncodeSnapshot writes the in-memory EPT/EPT* payload: variant, row
-// width, the flat table, the pivot-value pool and the assignment state.
+// width, the flat table (column-major, dense pool indices mapped back to
+// dataset pivot ids), the pivot-value pool and the assignment state.
 func (e *EPT) EncodeSnapshot(w *persist.Writer) error {
 	w.U16(eptFormatVersion)
 	w.U8(uint8(e.variant))
 	w.U32(uint32(e.l))
 	w.Int32s(e.ids)
-	w.Int32s(e.pids)
-	w.Floats(e.dists)
+	pids := make([]int32, 0, len(e.ids)*e.l)
+	dists := make([]float64, 0, len(e.ids)*e.l)
+	for c := 0; c < e.l; c++ {
+		for _, pi := range e.pcols[c] {
+			pids = append(pids, e.poolIDs[pi])
+		}
+		dists = append(dists, e.dcols[c]...)
+	}
+	w.Int32s(pids)
+	w.Floats(dists)
 	encodePivotVals(w, e.pivotVal)
 	switch e.variant {
 	case Original:
@@ -147,28 +170,28 @@ func (e *EPT) EncodeSnapshot(w *persist.Writer) error {
 }
 
 func loadMemEPT(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
-	if v := r.U16(); r.Err() == nil && v != eptFormatVersion {
+	v := r.U16()
+	if r.Err() == nil && v != 1 && v != eptFormatVersion {
 		return nil, nil, fmt.Errorf("ept: unsupported payload version %d", v)
 	}
-	e := &EPT{
-		ds:      ds,
-		variant: Variant(r.U8()),
-		l:       int(r.U32()),
-		rowOf:   make(map[int]int),
-	}
-	e.ids = r.Int32s()
-	e.pids = r.Int32s()
-	e.dists = r.Floats()
-	e.pivotVal = decodePivotVals(r)
+	variant := Variant(r.U8())
+	l := int(r.U32())
+	ids := r.Int32s()
+	pids := r.Int32s()
+	dists := r.Floats()
+	pivotVal := decodePivotVals(r)
 	if err := r.Err(); err != nil {
 		return nil, nil, err
 	}
-	if e.l <= 0 {
-		return nil, nil, fmt.Errorf("ept: non-positive row width %d", e.l)
+	if l <= 0 {
+		return nil, nil, fmt.Errorf("ept: non-positive row width %d", l)
 	}
-	if len(e.pids) != len(e.ids)*e.l || len(e.dists) != len(e.pids) {
-		return nil, nil, fmt.Errorf("ept: table shape %d ids × %d pivots vs %d/%d entries", len(e.ids), e.l, len(e.pids), len(e.dists))
+	if len(pids) != len(ids)*l || len(dists) != len(pids) {
+		return nil, nil, fmt.Errorf("ept: table shape %d ids × %d pivots vs %d/%d entries", len(ids), l, len(pids), len(dists))
 	}
+	e := newEmpty(ds, variant, l)
+	e.ids = ids
+	e.pivotVal = pivotVal
 	var err error
 	switch e.variant {
 	case Original:
@@ -181,8 +204,37 @@ func loadMemEPT(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, 
 	if err != nil {
 		return nil, nil, err
 	}
+	// Rebuild the dense pool and the struct-of-arrays columns from the
+	// wire's dataset pivot ids; version-1 payloads are row-major and
+	// transpose here. The pool is admitted row by row — the order
+	// appendRow uses — so the dense numbering matches a fresh build.
+	rows := len(ids)
+	at := func(c, row int) int {
+		if v == 1 {
+			return row*l + c
+		}
+		return c*rows + row
+	}
+	for row := 0; row < rows; row++ {
+		for c := 0; c < l; c++ {
+			p := pids[at(c, row)]
+			if _, ok := e.pivotVal[p]; !ok {
+				return nil, nil, fmt.Errorf("ept: row %d references pivot %d with no stored value", row, p)
+			}
+			e.poolIdx(p)
+		}
+	}
+	for c := 0; c < l; c++ {
+		e.pcols[c] = make([]int32, rows)
+		e.dcols[c] = make([]float64, rows)
+		for row := 0; row < rows; row++ {
+			e.pcols[c][row] = e.poolIdx(pids[at(c, row)])
+			e.dcols[c][row] = dists[at(c, row)]
+		}
+	}
 	for row, id := range e.ids {
 		e.rowOf[int(id)] = row
+		e.mirrorRow(row, ds.Object(int(id)))
 	}
 	return e, nil, nil
 }
@@ -191,7 +243,7 @@ func loadMemEPT(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, 
 // RAF state, the table page list and row count, the row directory, the
 // pivot pool and the PSA state.
 func (t *DiskEPT) EncodeSnapshot(w *persist.Writer) error {
-	w.U16(eptFormatVersion)
+	w.U16(diskEPTFormatVersion)
 	w.U32(uint32(t.l))
 	w.Blob(t.pager.Serialize())
 	w.Blob(t.raf.Serialize())
@@ -213,7 +265,7 @@ func (t *DiskEPT) EncodeSnapshot(w *persist.Writer) error {
 }
 
 func loadDiskEPT(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
-	if v := r.U16(); r.Err() == nil && v != eptFormatVersion {
+	if v := r.U16(); r.Err() == nil && v != diskEPTFormatVersion {
 		return nil, nil, fmt.Errorf("ept: unsupported payload version %d", v)
 	}
 	l := int(r.U32())

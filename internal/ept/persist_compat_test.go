@@ -1,0 +1,92 @@
+package ept
+
+import (
+	"reflect"
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/persist"
+	"metricindex/internal/pivot"
+	"metricindex/internal/testutil"
+)
+
+// TestEPTLoadsVersion1Payload hand-encodes the version-1 (row-major)
+// in-memory EPT payload — dataset pivot ids interleaved per row — for
+// both variants and checks the registered loader rebuilds the dense pool
+// and the struct-of-arrays columns with identical answers.
+func TestEPTLoadsVersion1Payload(t *testing.T) {
+	for _, variant := range []Variant{Original, Star} {
+		ds := testutil.VectorDataset(300, 4, 100, core.L2{}, 7)
+		idx, err := New(ds, variant, Options{L: 4, Radius: 10, Sel: pivot.Options{Seed: 3, SampleSize: 128}})
+		if err != nil {
+			t.Fatalf("New(%v): %v", variant, err)
+		}
+		w := persist.NewWriter()
+		w.U16(1)
+		w.U8(uint8(idx.variant))
+		w.U32(uint32(idx.l))
+		w.Int32s(idx.ids)
+		rows := len(idx.ids)
+		pids := make([]int32, rows*idx.l)
+		dists := make([]float64, rows*idx.l)
+		for c := 0; c < idx.l; c++ {
+			for row := 0; row < rows; row++ {
+				pids[row*idx.l+c] = idx.poolIDs[idx.pcols[c][row]]
+				dists[row*idx.l+c] = idx.dcols[c][row]
+			}
+		}
+		w.Int32s(pids)
+		w.Floats(dists)
+		encodePivotVals(w, idx.pivotVal)
+		if variant == Original {
+			encodeGroups(w, idx.groups)
+		} else {
+			encodePSA(w, idx.psa)
+		}
+
+		restoredIdx, _, err := loadMemEPT(ds, persist.NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("load v1 payload (%v): %v", variant, err)
+		}
+		restored := restoredIdx.(*EPT)
+		if !reflect.DeepEqual(restored.dcols, idx.dcols) {
+			t.Fatalf("%v: v1 load did not transpose to the original distance columns", variant)
+		}
+		// The pool is rebuilt in first-reference order, which the row-major
+		// walk visits identically, so the dense indices must match too.
+		if !reflect.DeepEqual(restored.poolIDs, idx.poolIDs) {
+			t.Fatalf("%v: v1 load rebuilt a different pivot pool", variant)
+		}
+		if !reflect.DeepEqual(restored.pcols, idx.pcols) {
+			t.Fatalf("%v: v1 load rebuilt different pivot columns", variant)
+		}
+		if !restored.useFlat() {
+			t.Fatalf("%v: v1 load did not arm the flat path", variant)
+		}
+		for qs := int64(0); qs < 3; qs++ {
+			q := testutil.RandomQuery(ds, qs)
+			a, err := idx.RangeSearch(q, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := restored.RangeSearch(q, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%v: MRQ answers differ after v1 load: %v vs %v", variant, a, b)
+			}
+			an, err := idx.KNNSearch(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bn, err := restored.KNNSearch(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(an, bn) {
+				t.Fatalf("%v: MkNNQ answers differ after v1 load: %v vs %v", variant, an, bn)
+			}
+		}
+	}
+}

@@ -17,6 +17,14 @@
 // boundaries are the unit of consistency. internal/epoch lifts that
 // restriction: wrap the index in an epoch.Live and batches, updates and
 // whole-index swaps interleave safely.
+//
+// The pivot tables keep per-query working memory (query-pivot distances,
+// lower-bound columns, verification chunks, the kNN heap) in a
+// core.ScratchPool rather than allocating per query. The pool hands each
+// concurrent query its own buffers, so the engine's workers share one
+// index with zero steady-state allocations on the batched hot paths —
+// the pool is part of the read-only query contract above, not an
+// exception to it.
 package exec
 
 import (

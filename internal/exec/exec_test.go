@@ -160,6 +160,76 @@ func TestSharedEngineConcurrentBatches(t *testing.T) {
 	}
 }
 
+// TestConcurrentScratchAnswersExact drives many overlapping batches
+// through one scratch-pooled LAESA and checks every concurrent answer
+// against the sequential one. TestSharedEngineConcurrentBatches proves
+// freedom from data races; this proves the pooled per-query buffers
+// (query-pivot distances, lower-bound columns, kNN heaps) are never
+// shared between in-flight queries — a recycled-buffer bug corrupts
+// answers long before it trips the race detector.
+func TestConcurrentScratchAnswersExact(t *testing.T) {
+	ds := testutil.VectorDataset(400, 4, 100, core.L2{}, 13)
+	pv, err := pivot.HFI(ds, 4, pivot.Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("HFI: %v", err)
+	}
+	idx, err := table.NewLAESA(ds, pv)
+	if err != nil {
+		t.Fatalf("NewLAESA: %v", err)
+	}
+	qs := queries(ds, 32)
+	const r, k = 35.0, 7
+	wantIDs := make([][]int, len(qs))
+	wantNNs := make([][]core.Neighbor, len(qs))
+	for i, q := range qs {
+		if wantIDs[i], err = idx.RangeSearch(q, r); err != nil {
+			t.Fatal(err)
+		}
+		if wantNNs[i], err = idx.KNNSearch(q, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := New(ds.Space(), Options{Workers: 8})
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				res, err := eng.BatchRangeSearch(context.Background(), idx, qs, r)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for i := range qs {
+					if !reflect.DeepEqual(normIDs(res.IDs[i]), normIDs(wantIDs[i])) {
+						errc <- fmt.Errorf("goroutine %d query %d: MRQ %v, want %v", g, i, res.IDs[i], wantIDs[i])
+						return
+					}
+				}
+			} else {
+				res, err := eng.BatchKNNSearch(context.Background(), idx, qs, k)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for i := range qs {
+					if !reflect.DeepEqual(res.Neighbors[i], wantNNs[i]) {
+						errc <- fmt.Errorf("goroutine %d query %d: MkNNQ %v, want %v", g, i, res.Neighbors[i], wantNNs[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
 // slowIndex is a stub index whose queries signal and then count; it lets
 // the cancellation test cancel mid-batch deterministically.
 type slowIndex struct {

@@ -94,7 +94,8 @@ func (t *BPlus) candidates(qd []float64, r float64) ([]int, error) {
 
 // RangeSearch answers MRQ(q, r) by band intersection plus verification.
 func (t *BPlus) RangeSearch(q core.Object, r float64) ([]int, error) {
-	qd := t.point(q)
+	sc, qd := t.queryPoint(q)
+	defer t.scratch.Put(sc)
 	cands, err := t.candidates(qd, r)
 	if err != nil {
 		return nil, err
@@ -120,8 +121,9 @@ func (t *BPlus) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 	if k <= 0 || t.size == 0 {
 		return nil, nil
 	}
-	qd := t.point(q)
-	h := core.NewKNNHeap(k)
+	sc, qd := t.queryPoint(q)
+	defer t.scratch.Put(sc)
+	h := sc.Heap(k)
 	seen := make(map[int]bool)
 	// Start from a small band and double.
 	r := t.initialRadius(qd)

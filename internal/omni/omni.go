@@ -14,13 +14,15 @@ import (
 	"metricindex/internal/store"
 )
 
-// base carries what all family members share: the pivot table and the RAF.
+// base carries what all family members share: the pivot table, the RAF,
+// and the per-query scratch pool.
 type base struct {
 	ds        *core.Dataset
 	pager     *store.Pager
 	raf       *store.RAF
 	pivotIDs  []int
 	pivotVals []core.Object
+	scratch   core.ScratchPool
 }
 
 func newBase(ds *core.Dataset, pager *store.Pager, pivots []int) (*base, error) {
@@ -43,14 +45,22 @@ func newBase(ds *core.Dataset, pager *store.Pager, pivots []int) (*base, error) 
 	return b, nil
 }
 
-// point computes the Omni-coordinates of an object (l counted distances).
+// point computes the Omni-coordinates of an object through the batch
+// kernel (l counted distances).
 func (b *base) point(o core.Object) []float64 {
-	sp := b.ds.Space()
 	pt := make([]float64, len(b.pivotVals))
-	for i, p := range b.pivotVals {
-		pt[i] = sp.Distance(o, p)
-	}
+	b.ds.Space().DistanceMany(o, b.pivotVals, pt)
 	return pt
+}
+
+// queryPoint computes a query's Omni-coordinates into pooled scratch;
+// the caller returns the Scratch when the query finishes, so
+// steady-state queries do not allocate the coordinate buffer.
+func (b *base) queryPoint(q core.Object) (*core.Scratch, []float64) {
+	sc := b.scratch.Get()
+	qd := sc.GrowQD(len(b.pivotVals))
+	b.ds.Space().DistanceMany(q, b.pivotVals, qd)
+	return sc, qd
 }
 
 // buildPoints computes the Omni-coordinates of every given object, fanning

@@ -72,7 +72,8 @@ func (t *RTree) Len() int { return t.tree.Len() }
 // SR(q) (Lemma 1), and each candidate is fetched from the RAF and
 // verified (§5.2).
 func (t *RTree) RangeSearch(q core.Object, r float64) ([]int, error) {
-	qd := t.point(q)
+	sc, qd := t.queryPoint(q)
+	defer t.scratch.Put(sc)
 	lo, hi := searchBox(qd, r)
 	var candidates []int
 	if err := t.tree.Search(lo, hi, func(e *rtree.Entry) bool {
@@ -139,8 +140,9 @@ func (t *RTree) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	qd := t.point(q)
-	h := core.NewKNNHeap(k)
+	sc, qd := t.queryPoint(q)
+	defer t.scratch.Put(sc)
+	h := sc.Heap(k)
 	pq := &knnPQ{}
 	heap.Push(pq, knnNode{t.tree.Root(), 0})
 	for pq.Len() > 0 {

@@ -124,7 +124,8 @@ func (t *SeqFile) scan(fn func(id int, pt []float64) bool) error {
 // RangeSearch answers MRQ(q, r) with a full scan (Lemma 1 filter) plus
 // RAF verification of survivors.
 func (t *SeqFile) RangeSearch(q core.Object, r float64) ([]int, error) {
-	qd := t.point(q)
+	sc, qd := t.queryPoint(q)
+	defer t.scratch.Put(sc)
 	var cands []int
 	if err := t.scan(func(id int, pt []float64) bool {
 		if !core.PruneObject(qd, pt, r) {
@@ -154,8 +155,9 @@ func (t *SeqFile) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	qd := t.point(q)
-	h := core.NewKNNHeap(k)
+	sc, qd := t.queryPoint(q)
+	defer t.scratch.Put(sc)
+	h := sc.Heap(k)
 	var scanErr error
 	if err := t.scan(func(id int, pt []float64) bool {
 		r := h.Radius()

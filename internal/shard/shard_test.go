@@ -137,6 +137,30 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 	}
 }
 
+// TestShardedVector32MatchesUnsharded runs the sharded front over a
+// float32 dataset: every shard's LAESA arms its flat float32 mirror and
+// scratch pool, and the concurrent scatter-gather probes must still
+// agree with the unsharded index exactly.
+func TestShardedVector32MatchesUnsharded(t *testing.T) {
+	ds := testutil.Vector32Dataset(240, 4, 100, core.L2{}, 11)
+	build := func(sub *core.Dataset) (core.Index, error) {
+		pv, err := pivot.HFI(sub, 4, pivot.Options{Seed: 3})
+		if err != nil {
+			return nil, err
+		}
+		return table.NewLAESA(sub, pv)
+	}
+	flat, err := build(ds)
+	if err != nil {
+		t.Fatalf("flat build: %v", err)
+	}
+	sharded, err := New(ds, build, Options{Shards: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	checkIdentical(t, sharded, flat, ds, 100)
+}
+
 func TestShardedUpdatesStayIdentical(t *testing.T) {
 	for _, b := range builders() {
 		t.Run(b.name, func(t *testing.T) {

@@ -15,10 +15,12 @@ import (
 //	tag 1: Vector     — uint32 len, len × float64 (little endian)
 //	tag 2: IntVector  — uint32 len, len × int32
 //	tag 3: Word       — uint32 len, raw bytes
+//	tag 4: Vector32   — uint32 len, len × float32
 const (
 	tagVector    = 1
 	tagIntVector = 2
 	tagWord      = 3
+	tagVector32  = 4
 )
 
 // EncodedObjectSize returns the number of bytes EncodeObject will produce.
@@ -30,6 +32,8 @@ func EncodedObjectSize(o core.Object) int {
 		return 1 + 4 + 4*len(v)
 	case core.Word:
 		return 1 + 4 + len(v)
+	case core.Vector32:
+		return 1 + 4 + 4*len(v)
 	default:
 		panic(fmt.Sprintf("store: cannot size object of type %T", o))
 	}
@@ -55,6 +59,12 @@ func EncodeObject(dst []byte, o core.Object) []byte {
 		dst = append(dst, tagWord)
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
 		dst = append(dst, v...)
+	case core.Vector32:
+		dst = append(dst, tagVector32)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+		for _, x := range v {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(x))
+		}
 	default:
 		panic(fmt.Sprintf("store: cannot encode object of type %T", o))
 	}
@@ -94,6 +104,15 @@ func DecodeObject(buf []byte) (core.Object, int, error) {
 			return nil, 0, fmt.Errorf("store: truncated word of %d bytes", n)
 		}
 		return core.Word(string(body[:n])), 5 + n, nil
+	case tagVector32:
+		if len(body) < 4*n {
+			return nil, 0, fmt.Errorf("store: truncated float32 vector of %d dims", n)
+		}
+		v := make(core.Vector32, n)
+		for i := 0; i < n; i++ {
+			v[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+		return v, 5 + 4*n, nil
 	default:
 		return nil, 0, fmt.Errorf("store: unknown object tag %d", tag)
 	}

@@ -14,10 +14,24 @@ import (
 // excludes it from the large-scale experiments, and so do we; it serves as
 // the strongest-possible-filtering baseline in tests and small examples.
 type AESA struct {
-	ds    *core.Dataset
-	ids   []int32
-	rowOf map[int]int
-	dist  [][]float64 // symmetric matrix over rows
+	ds      *core.Dataset
+	ids     []int32
+	rowOf   map[int]int
+	dist    [][]float64 // symmetric matrix over rows
+	scratch core.ScratchPool
+}
+
+// queryState draws per-query scratch and returns the zeroed lower-bound
+// and visited arrays (steady-state queries reuse the same buffers).
+func (a *AESA) queryState() (sc *core.Scratch, lb []float64, done []bool) {
+	n := len(a.ids)
+	sc = a.scratch.Get()
+	lb = sc.GrowLB(n)
+	for i := range lb {
+		lb[i] = 0
+	}
+	done = sc.GrowDone(n)
+	return sc, lb, done
 }
 
 // NewAESA builds the full distance matrix (n(n-1)/2 computations through
@@ -43,8 +57,8 @@ func (a *AESA) Len() int { return len(a.ids) }
 // (stored) distances to every other object to tighten all lower bounds.
 func (a *AESA) RangeSearch(q core.Object, r float64) ([]int, error) {
 	n := len(a.ids)
-	lb := make([]float64, n)
-	done := make([]bool, n)
+	sc, lb, done := a.queryState()
+	defer a.scratch.Put(sc)
 	var res []int
 	for remaining := n; remaining > 0; remaining-- {
 		best, bestLB := -1, math.Inf(1)
@@ -82,9 +96,9 @@ func (a *AESA) KNNSearch(q core.Object, k int) ([]core.Neighbor, error) {
 		return nil, nil
 	}
 	n := len(a.ids)
-	lb := make([]float64, n)
-	done := make([]bool, n)
-	h := core.NewKNNHeap(k)
+	sc, lb, done := a.queryState()
+	defer a.scratch.Put(sc)
+	h := sc.Heap(k)
 	for remaining := n; remaining > 0; remaining-- {
 		best, bestLB := -1, math.Inf(1)
 		for row := 0; row < n; row++ {

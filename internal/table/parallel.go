@@ -1,8 +1,6 @@
 package table
 
 import (
-	"fmt"
-
 	"metricindex/internal/core"
 )
 
@@ -13,24 +11,33 @@ import (
 // byte-for-byte identical to the sequential build; only wall-clock
 // construction time changes. workers <= 0 uses GOMAXPROCS.
 func NewLAESAParallel(ds *core.Dataset, pivots []int, workers int) (*LAESA, error) {
-	if len(pivots) == 0 {
-		return nil, fmt.Errorf("laesa: no pivots")
-	}
 	if workers <= 0 {
 		workers = -1 // ParallelFor: negative means GOMAXPROCS
 	}
-	t := &LAESA{ds: ds, pivotIDs: append([]int(nil), pivots...), rowOf: make(map[int]int)}
-	for _, p := range pivots {
-		v := ds.Object(p)
-		if v == nil {
-			return nil, fmt.Errorf("laesa: pivot %d is not a live object", p)
-		}
-		t.pivotVals = append(t.pivotVals, v)
+	t, err := newLAESAEmpty(ds, pivots)
+	if err != nil {
+		return nil, err
 	}
-
-	t.ids, t.dists = core.BuildDistRows(ds, ds.LiveIDs(), t.pivotVals, workers)
+	t.ids, t.cols = core.BuildDistCols(ds, ds.LiveIDs(), t.pivotVals, workers)
 	for row, id := range t.ids {
 		t.rowOf[int(id)] = row
+		t.mirrorAt(row)
 	}
+	t.qcol = core.NewQuantCol(t.cols[0])
 	return t, nil
+}
+
+// mirrorAt arms/extends the coordinate mirror for a row appended outside
+// Insert (parallel build, snapshot load).
+func (t *LAESA) mirrorAt(row int) {
+	o := t.ds.Object(int(t.ids[row]))
+	if o == nil {
+		// A row whose object is missing from the dataset cannot be
+		// mirrored; verification for it would fail anyway, but drop the
+		// mirror rather than leave a hole.
+		t.flat = nil
+		t.noMirror = true
+		return
+	}
+	t.mirrorRow(row, o)
 }

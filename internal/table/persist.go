@@ -11,8 +11,17 @@ import (
 // Snapshot payload encodings for the table family (spec:
 // docs/PERSISTENCE.md §LAESA, §AESA). Both payloads begin with a u16
 // family version.
-
-const tableFormatVersion = 1
+//
+// LAESA version history:
+//   - 1: distance table row-major (dists[row*l+i]).
+//   - 2: distance table column-major (the in-memory struct-of-arrays
+//     layout: column i's rows, then column i+1's). Same fields, same
+//     wire ops; only the float order changed. Version-1 payloads still
+//     load via a transpose.
+const (
+	tableFormatVersion = 2
+	aesaFormatVersion  = 1
+)
 
 func init() {
 	persist.Register("LAESA", loadLAESA)
@@ -20,19 +29,25 @@ func init() {
 }
 
 // EncodeSnapshot writes the LAESA payload: pivots (ids and snapshotted
-// values), the row ids, and the flat distance table. The row directory
-// is derivable and not stored.
+// values), the row ids, and the distance table as one flat column-major
+// block. The row directory and the coordinate mirror are derivable and
+// not stored.
 func (t *LAESA) EncodeSnapshot(w *persist.Writer) error {
 	w.U16(tableFormatVersion)
 	w.Ints(t.pivotIDs)
 	w.Objects(t.pivotVals)
 	w.Int32s(t.ids)
-	w.Floats(t.dists)
+	flat := make([]float64, 0, len(t.ids)*len(t.cols))
+	for _, col := range t.cols {
+		flat = append(flat, col...)
+	}
+	w.Floats(flat)
 	return nil
 }
 
 func loadLAESA(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
-	if v := r.U16(); r.Err() == nil && v != tableFormatVersion {
+	v := r.U16()
+	if r.Err() == nil && v != 1 && v != tableFormatVersion {
 		return nil, nil, fmt.Errorf("laesa: unsupported payload version %d", v)
 	}
 	t := &LAESA{
@@ -40,28 +55,50 @@ func loadLAESA(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, e
 		pivotIDs:  r.Ints(),
 		pivotVals: r.Objects(),
 		ids:       r.Int32s(),
-		dists:     r.Floats(),
 		rowOf:     make(map[int]int),
 	}
+	dists := r.Floats()
 	if err := r.Err(); err != nil {
 		return nil, nil, err
 	}
 	if len(t.pivotVals) != len(t.pivotIDs) || len(t.pivotIDs) == 0 {
 		return nil, nil, fmt.Errorf("laesa: %d pivot values for %d pivot ids", len(t.pivotVals), len(t.pivotIDs))
 	}
-	if len(t.dists) != len(t.ids)*len(t.pivotIDs) {
-		return nil, nil, fmt.Errorf("laesa: %d distances for %d rows × %d pivots", len(t.dists), len(t.ids), len(t.pivotIDs))
+	if len(dists) != len(t.ids)*len(t.pivotIDs) {
+		return nil, nil, fmt.Errorf("laesa: %d distances for %d rows × %d pivots", len(dists), len(t.ids), len(t.pivotIDs))
 	}
+	t.cols = distColumns(dists, len(t.ids), len(t.pivotIDs), v == 1)
+	t.kern, t.hasKern = core.PreKernelFor(ds.Space().Metric())
 	for row, id := range t.ids {
 		t.rowOf[int(id)] = row
+		t.mirrorAt(row)
 	}
+	t.qcol = core.NewQuantCol(t.cols[0])
 	return t, nil, nil
+}
+
+// distColumns splits a flat distance block into per-pivot columns,
+// transposing when the block is the row-major layout of version-1
+// payloads.
+func distColumns(dists []float64, rows, l int, rowMajor bool) [][]float64 {
+	cols := make([][]float64, l)
+	for i := range cols {
+		cols[i] = make([]float64, rows)
+		if rowMajor {
+			for row := 0; row < rows; row++ {
+				cols[i][row] = dists[row*l+i]
+			}
+		} else {
+			copy(cols[i], dists[i*rows:(i+1)*rows])
+		}
+	}
+	return cols
 }
 
 // EncodeSnapshot writes the AESA payload: the row ids and the full n×n
 // distance matrix, row by row.
 func (a *AESA) EncodeSnapshot(w *persist.Writer) error {
-	w.U16(tableFormatVersion)
+	w.U16(aesaFormatVersion)
 	w.Int32s(a.ids)
 	for _, row := range a.dist {
 		w.Floats(row)
@@ -70,7 +107,7 @@ func (a *AESA) EncodeSnapshot(w *persist.Writer) error {
 }
 
 func loadAESA(ds *core.Dataset, r *persist.Reader) (core.Index, *store.Pager, error) {
-	if v := r.U16(); r.Err() == nil && v != tableFormatVersion {
+	if v := r.U16(); r.Err() == nil && v != aesaFormatVersion {
 		return nil, nil, fmt.Errorf("aesa: unsupported payload version %d", v)
 	}
 	a := &AESA{ds: ds, ids: r.Int32s(), rowOf: make(map[int]int)}

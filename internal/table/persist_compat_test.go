@@ -1,0 +1,72 @@
+package table
+
+import (
+	"reflect"
+	"testing"
+
+	"metricindex/internal/core"
+	"metricindex/internal/persist"
+	"metricindex/internal/testutil"
+)
+
+// TestLAESALoadsVersion1Payload hand-encodes the version-1 (row-major)
+// LAESA payload of an index built fresh, loads it through the registered
+// loader, and checks the restored table and its answers are identical —
+// the compatibility promise of the version-2 column-major bump.
+func TestLAESALoadsVersion1Payload(t *testing.T) {
+	ds := testutil.VectorDataset(300, 4, 100, core.L2{}, 7)
+	idx, err := NewLAESA(ds, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := persist.NewWriter()
+	w.U16(1)
+	w.Ints(idx.pivotIDs)
+	w.Objects(idx.pivotVals)
+	w.Int32s(idx.ids)
+	rows := len(idx.ids)
+	dists := make([]float64, rows*len(idx.cols))
+	for i, col := range idx.cols {
+		for row, d := range col {
+			dists[row*len(idx.cols)+i] = d
+		}
+	}
+	w.Floats(dists)
+
+	restoredIdx, _, err := loadLAESA(ds, persist.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatalf("load v1 payload: %v", err)
+	}
+	restored := restoredIdx.(*LAESA)
+	if !reflect.DeepEqual(restored.cols, idx.cols) {
+		t.Fatal("v1 load did not transpose to the original columns")
+	}
+	if !restored.useFlat() {
+		t.Fatal("v1 load did not arm the flat path")
+	}
+	for qs := int64(0); qs < 3; qs++ {
+		q := testutil.RandomQuery(ds, qs)
+		a, err := idx.RangeSearch(q, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.RangeSearch(q, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("MRQ answers differ after v1 load: %v vs %v", a, b)
+		}
+		an, err := idx.KNNSearch(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bn, err := restored.KNNSearch(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(an, bn) {
+			t.Fatalf("MkNNQ answers differ after v1 load: %v vs %v", an, bn)
+		}
+	}
+}

@@ -99,6 +99,56 @@ func TestLAESAPivotDeletionSafe(t *testing.T) {
 	testutil.CheckKNN(t, idx, ds, q, 7)
 }
 
+// TestLAESAVector32 runs a LAESA over float32 vectors end to end: the
+// flat path must arm with the float32 mirror, answers must match brute
+// force (which goes through scalar Distance on the same widened
+// kernels), and updates must keep the mirror in lockstep.
+func TestLAESAVector32(t *testing.T) {
+	for _, m := range []core.Metric{core.L1{}, core.L2{}, core.LInf{}} {
+		ds := testutil.Vector32Dataset(300, 4, 100, m, 7)
+		pv, err := pivot.HFI(ds, 4, pivot.Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("HFI: %v", err)
+		}
+		idx, err := NewLAESA(ds, pv)
+		if err != nil {
+			t.Fatalf("NewLAESA: %v", err)
+		}
+		if !idx.useFlat() {
+			t.Fatalf("%s: flat path not armed on a Vector32 dataset", m.Name())
+		}
+		for qs := int64(0); qs < 4; qs++ {
+			q := testutil.RandomQuery(ds, qs)
+			for _, r := range testutil.Radii(ds, q) {
+				testutil.CheckRange(t, idx, ds, q, r)
+			}
+			testutil.CheckKNN(t, idx, ds, q, 10)
+		}
+		for id := 0; id < 60; id += 3 {
+			if err := idx.Delete(id); err != nil {
+				t.Fatalf("Delete(%d): %v", id, err)
+			}
+			if err := ds.Delete(id); err != nil {
+				t.Fatalf("dataset Delete(%d): %v", id, err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			id := ds.Insert(core.Vector32{float32(i), float32(i), 1, 2})
+			if err := idx.Insert(id); err != nil {
+				t.Fatalf("Insert(%d): %v", id, err)
+			}
+		}
+		if !idx.useFlat() {
+			t.Fatalf("%s: flat path lost across updates", m.Name())
+		}
+		q := testutil.RandomQuery(ds, 9)
+		for _, r := range testutil.Radii(ds, q) {
+			testutil.CheckRange(t, idx, ds, q, r)
+		}
+		testutil.CheckKNN(t, idx, ds, q, 15)
+	}
+}
+
 func TestLAESAWords(t *testing.T) {
 	ds := testutil.WordDataset(250, 11)
 	pv, err := pivot.HFI(ds, 3, pivot.Options{Seed: 5})

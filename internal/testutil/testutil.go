@@ -29,6 +29,22 @@ func VectorDataset(n, dim int, span float64, m core.Metric, seed int64) *core.Da
 	return core.NewDataset(core.NewSpace(m), objs)
 }
 
+// Vector32Dataset builds a deterministic dataset of n uniform float32
+// vectors in [0, span) under the given metric (which compares them
+// through the widening float32 kernels).
+func Vector32Dataset(n, dim int, span float64, m core.Metric, seed int64) *core.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]core.Object, n)
+	for i := range objs {
+		v := make(core.Vector32, dim)
+		for d := range v {
+			v[d] = float32(rng.Float64() * span)
+		}
+		objs[i] = v
+	}
+	return core.NewDataset(core.NewSpace(m), objs)
+}
+
 // IntVectorDataset builds a deterministic dataset of n integer vectors in
 // [0, span) under the discrete L∞ metric.
 func IntVectorDataset(n, dim, span int, seed int64) *core.Dataset {
@@ -70,6 +86,12 @@ func RandomQuery(ds *core.Dataset, seed int64) core.Object {
 		q := v.Clone()
 		for d := range q {
 			q[d] += rng.NormFloat64() * q[d] * 0.1
+		}
+		return q
+	case core.Vector32:
+		q := v.Clone()
+		for d := range q {
+			q[d] += float32(rng.NormFloat64()) * q[d] * 0.1
 		}
 		return q
 	case core.IntVector:

@@ -132,6 +132,27 @@
 //	live.KNNSearch(q, 10)  // served memoized, 0 compdists
 //	live.Add(obj)          // epoch bump: every entry invalid
 //	st, _ := live.CacheStats()
+//
+// # Batched distance kernels
+//
+// Scalar Metric.Distance is the universal contract, but the built-in
+// vector metrics (L1, L2, LInf, IntLInf) additionally implement
+// BatchMetric: DistanceMany evaluates one query against a slice of
+// objects, and DistanceFlat runs directly over packed row-major
+// coordinates with unrolled, bounds-check-hoisted loops (L2 keeps the
+// square root out of the accumulation loop, and exposes a
+// squared-distance path for pruning). The pivot tables detect the
+// capability automatically: query-pivot distances go through
+// DistanceMany, candidate verification runs over a flat coordinate
+// mirror of the table rows, and per-query buffers come from a scratch
+// pool, so a steady-state LAESA/EPT query allocates nothing. Batched
+// answers are bit-for-bit identical to the scalar path because the
+// scalar metrics delegate to the same kernels. Vector32 holds float32
+// coordinates (half the memory per table row); its kernels widen every
+// coordinate to float64 before accumulating, so distances stay
+// deterministic, but the metric contract only holds among Vector32
+// values of equal quantization. docs/KERNELS.md specifies the layout,
+// the scratch rules, and the float32 pruning-safety caveats.
 package metricindex
 
 import (
@@ -149,11 +170,23 @@ type Vector = core.Vector
 // discrete Chebyshev metric required by BKT and FQT).
 type IntVector = core.IntVector
 
+// Vector32 is a float32-coordinate point: half the memory of a Vector
+// per dimension, compared by the same vector metrics through kernels
+// that widen to float64 before accumulating (see "Batched distance
+// kernels" above).
+type Vector32 = core.Vector32
+
 // Word is a string compared with edit distance.
 type Word = core.Word
 
 // Metric is a distance function satisfying the metric axioms.
 type Metric = core.Metric
+
+// BatchMetric is the optional batched capability of a Metric (see
+// "Batched distance kernels" above). All built-in vector metrics
+// implement it; custom metrics may ignore it and every index still
+// works through scalar Distance.
+type BatchMetric = core.BatchMetric
 
 // The built-in metrics.
 type (
