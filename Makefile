@@ -23,9 +23,9 @@ XTOOLS_VERSION ?= v0.30.0
 # Tolerated q/s regression fraction of the bench gate.
 MAX_REGRESS ?= 0.25
 
-# Seconds each native fuzz target runs in the `make fuzz` smoke (four
+# Seconds each native fuzz target runs in the `make fuzz` smoke (six
 # targets: FuzzLevenshtein, FuzzBatchKernels, FuzzDecodeQuery,
-# FuzzSnapshotHeader).
+# FuzzSnapshotHeader, FuzzPredicateParse, FuzzPredicateEval).
 FUZZTIME ?= 10s
 
 # Packages with a parallel build, the concurrent query engine, the
@@ -40,7 +40,7 @@ RACE_PKGS = ./internal/exec/... ./internal/epoch/... ./internal/server/... \
             ./internal/mtree/... ./internal/pmtree/... ./internal/persist/... \
             ./internal/bptree/... ./internal/rtree/... ./internal/spb/... \
             ./internal/mindex/... ./internal/pivot/... ./internal/dataset/... \
-            ./internal/obs/... .
+            ./internal/obs/... ./internal/plan/... .
 
 # The example programs CI runs end to end so example rot fails the
 # pipeline (each finishes in well under a second).
@@ -48,7 +48,7 @@ EXAMPLES = ./examples/quickstart ./examples/wordsearch ./examples/geosearch \
            ./examples/imagesearch ./examples/cachedsearch
 
 .PHONY: all build test race fuzz bench bench-json bench-baseline bench-gate \
-        staticcheck govulncheck lint fmt vet examples serve-smoke ci
+        staticcheck govulncheck lint fmt vet examples serve-smoke load-smoke ci
 
 all: build
 
@@ -68,6 +68,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzBatchKernels -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotHeader -fuzztime=$(FUZZTIME) ./internal/persist
+	$(GO) test -run='^$$' -fuzz=FuzzPredicateParse -fuzztime=$(FUZZTIME) ./internal/plan
+	$(GO) test -run='^$$' -fuzz=FuzzPredicateEval -fuzztime=$(FUZZTIME) ./internal/plan
 
 bench:
 	$(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -run=^$$ .
@@ -136,8 +138,27 @@ serve-smoke:
 	$(GO) run ./cmd/mserve -data /tmp/mserve-smoke.midx -index LAESA -smoke \
 		-data-dir /tmp/mserve-smoke-state -require-restore
 
+# Production load harness smoke: generate an attributed dataset, boot
+# mserve on a loopback port, and drive a short loadgen ramp that must
+# finish error-free with nonzero filtered throughput and all three
+# planner strategies (pre/probe/post) chosen at least once — the
+# end-to-end proof of the filtered-search stack under concurrency.
+# LAESA is deliberate: a probe-capable index is what lets the planner
+# reach all three strategies. See docs/HYBRID.md.
+LOADSMOKE_ADDR ?= 127.0.0.1:18099
+load-smoke:
+	$(GO) build -o /tmp/mx-loadsmoke-mserve ./cmd/mserve
+	$(GO) build -o /tmp/mx-loadsmoke-loadgen ./cmd/loadgen
+	$(GO) run ./cmd/datagen -kind LA -n 8000 -queries 200 -attrs -out /tmp/mx-loadsmoke.midx
+	@/tmp/mx-loadsmoke-mserve -data /tmp/mx-loadsmoke.midx -index LAESA \
+		-addr $(LOADSMOKE_ADDR) & SRV=$$!; \
+	/tmp/mx-loadsmoke-loadgen -addr http://$(LOADSMOKE_ADDR) \
+		-data /tmp/mx-loadsmoke.midx -ramp 4,16,32 -step 10s -assert \
+		-out /tmp/mx-loadsmoke-report.json; \
+	rc=$$?; kill $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; exit $$rc
+
 # The full CI surface: the test and lint jobs' steps plus the bench
 # job's gate (vet's extra analyzers, staticcheck, govulncheck and
 # bench-gate need module downloads, so an offline run can cherry-pick
 # the other targets individually — lint itself is pure stdlib).
-ci: build vet fmt lint staticcheck govulncheck test race fuzz examples serve-smoke bench-gate
+ci: build vet fmt lint staticcheck govulncheck test race fuzz examples serve-smoke load-smoke bench-gate

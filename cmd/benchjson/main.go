@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"metricindex"
+	"metricindex/internal/dataset"
 	"metricindex/internal/obs"
 	"metricindex/internal/store"
 )
@@ -281,6 +282,31 @@ func measure(n, queries, k, reps int, minDur time.Duration) (*Report, error) {
 		r := rep.Benchmarks["cache_hot_knn"]
 		r.HitRate = st.HitRate()
 		rep.Benchmarks["cache_hot_knn"] = r
+	}
+
+	// Filtered kNN through the selectivity-aware planner: datagen-style
+	// attribute bags, a mid-selectivity predicate (≈25% of rows), and a
+	// cache-less live front so every query runs a real plan — on LAESA
+	// that is the probe strategy, the predicate pushed into candidate
+	// verification. Measures the full filtered path: estimate, choose,
+	// execute.
+	if err := dataset.AttachAttrs(gen, 13); err != nil {
+		return nil, err
+	}
+	flive := metricindex.NewLive(ds, idx)
+	pred, err := metricindex.ParseFilter(`stock < 25`)
+	if err != nil {
+		return nil, err
+	}
+	if err := bench("filtered_knn", nil, func() (int64, error) {
+		for _, q := range gen.Queries {
+			if _, _, _, err := flive.KNNSearchFiltered(q, k, pred); err != nil {
+				return 0, err
+			}
+		}
+		return int64(len(gen.Queries)), nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Construction benchmarks: objects indexed per second, sequential vs

@@ -23,6 +23,7 @@ func main() {
 		queries = flag.Int("queries", 100, "number of held-out query objects")
 		seed    = flag.Int64("seed", 42, "generation seed")
 		out     = flag.String("out", "", "output file (default <kind>.midx)")
+		attrs   = flag.Bool("attrs", false, "attach generated attribute bags (category/price/stock/tags) for filtered search; writes a MIDX2 file")
 		stats   = flag.Bool("stats", false, "print Table 2 statistics (intrinsic dimensionality, d+)")
 	)
 	flag.Parse()
@@ -31,6 +32,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *attrs {
+		if err := dataset.AttachAttrs(gen, *seed+1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	path := *out
 	if path == "" {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"metricindex/internal/dataset"
 	"metricindex/internal/epoch"
 	"metricindex/internal/obs"
+	"metricindex/internal/plan"
 	"metricindex/internal/server"
 )
 
@@ -145,6 +147,14 @@ func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated, metr
 		return fmt.Errorf("deleted object %d still served", ir.ID)
 	}
 	fmt.Println("smoke: insert/delete round trip ✓")
+
+	// Filtered (hybrid) search: attach attribute bags over the wire,
+	// then filtered range and knn answers must equal the brute-force
+	// filter-then-scan, and the response must name the plan strategy.
+	if err := smokeFiltered(base, live, gen, radius, k); err != nil {
+		return fmt.Errorf("filtered: %w", err)
+	}
+	fmt.Println("smoke: filtered search verified against filter-then-scan ✓")
 
 	// Traced query: the span timeline must cover the request's whole
 	// path, and tracing must not change the answer. The insert/delete
@@ -289,6 +299,142 @@ func runSmoke(srv *server.Server, live *epoch.Live, gen *dataset.Generated, metr
 	return nil
 }
 
+// smokeFiltered exercises the hybrid-search surface end to end: attach
+// attribute bags through POST /v1/attrs, run filtered range/knn/batch
+// queries, and verify every answer equals the brute-force
+// filter-then-scan over the live dataset (the metamorphic relation the
+// planner must preserve regardless of the strategy it picks).
+func smokeFiltered(base string, live *epoch.Live, gen *dataset.Generated, radius float64, k int) error {
+	// Attribute population: three categories round-robin plus a counter,
+	// written over the wire so the endpoint itself is covered.
+	cats := []string{"red", "green", "blue"}
+	var tagged []int
+	live.View(func(ds *core.Dataset, _ core.Index) { tagged = ds.LiveIDs() })
+	if len(tagged) > 90 {
+		tagged = tagged[:90]
+	}
+	for i, id := range tagged {
+		bag, err := json.Marshal(map[string]any{"category": cats[i%3], "stock": i})
+		if err != nil {
+			return err
+		}
+		if err := call(base+"/v1/attrs", server.AttrsRequest{ID: id, Attrs: bag}, &server.AttrsResponse{}); err != nil {
+			return fmt.Errorf("set attrs %d: %w", id, err)
+		}
+	}
+
+	const filter = `category = "red" AND stock < 60`
+	pred, err := plan.Parse(filter)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(gen.Queries[0])
+	if err != nil {
+		return err
+	}
+
+	var fr server.RangeResponse
+	if err := call(base+"/v1/range", server.RangeRequest{Query: raw, Radius: radius, Filter: filter}, &fr); err != nil {
+		return err
+	}
+	if fr.Strategy == "" {
+		return fmt.Errorf("filtered range response carries no strategy")
+	}
+	var verr error
+	live.View(func(ds *core.Dataset, _ core.Index) {
+		m := ds.Space().Metric()
+		var want []int
+		for _, id := range ds.LiveIDs() {
+			if pred.Eval(ds.Attrs(id)) && m.Distance(gen.Queries[0], ds.Object(id)) <= radius {
+				want = append(want, id)
+			}
+		}
+		if !sameIDs(fr.IDs, want) {
+			verr = fmt.Errorf("filtered range served %v, filter-then-scan %v", fr.IDs, want)
+		}
+	})
+	if verr != nil {
+		return verr
+	}
+
+	var fk server.KNNResponse
+	if err := call(base+"/v1/knn", server.KNNRequest{Query: raw, K: k, Filter: filter}, &fk); err != nil {
+		return err
+	}
+	if fk.Strategy == "" {
+		return fmt.Errorf("filtered knn response carries no strategy")
+	}
+	live.View(func(ds *core.Dataset, _ core.Index) {
+		m := ds.Space().Metric()
+		var want []server.Neighbor
+		for _, id := range ds.LiveIDs() {
+			if pred.Eval(ds.Attrs(id)) {
+				want = append(want, server.Neighbor{ID: id, Dist: m.Distance(gen.Queries[0], ds.Object(id))})
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Dist != want[j].Dist {
+				return want[i].Dist < want[j].Dist
+			}
+			return want[i].ID < want[j].ID
+		})
+		if len(want) > k {
+			want = want[:k]
+		}
+		if verr = sameNeighbors(fk.Neighbors, want); verr != nil {
+			verr = fmt.Errorf("filtered knn disagrees with filter-then-scan: %w", verr)
+		}
+	})
+	if verr != nil {
+		return verr
+	}
+
+	// Filtered batch: per-query plans must be reported, answers already
+	// proven equal by construction (same path as the single queries).
+	raws := make([]json.RawMessage, len(gen.Queries))
+	for i, q := range gen.Queries {
+		if raws[i], err = json.Marshal(q); err != nil {
+			return err
+		}
+	}
+	var fb server.BatchResponse
+	if err := call(base+"/v1/batch", server.BatchRequest{Type: "knn", Queries: raws, K: k, Filter: filter}, &fb); err != nil {
+		return err
+	}
+	if len(fb.Plans) != len(raws) {
+		return fmt.Errorf("filtered batch reported %d plans for %d queries", len(fb.Plans), len(raws))
+	}
+
+	// Insert with an attribute bag: the new object must be reachable
+	// through a filter that matches only it, then vanish on delete.
+	bag, err := json.Marshal(map[string]any{"category": "smoke-insert"})
+	if err != nil {
+		return err
+	}
+	var ir server.InsertResponse
+	if err := call(base+"/v1/insert", server.InsertRequest{Object: raw, Attrs: bag}, &ir); err != nil {
+		return fmt.Errorf("insert with attrs: %w", err)
+	}
+	var only server.RangeResponse
+	if err := call(base+"/v1/range",
+		server.RangeRequest{Query: raw, Radius: radius, Filter: `category = "smoke-insert"`}, &only); err != nil {
+		return err
+	}
+	if len(only.IDs) != 1 || only.IDs[0] != ir.ID {
+		return fmt.Errorf("filter on inserted attrs served %v, want [%d]", only.IDs, ir.ID)
+	}
+	if err := call(base+"/v1/delete", server.DeleteRequest{ID: ir.ID}, &server.DeleteResponse{}); err != nil {
+		return err
+	}
+
+	// A malformed filter is a client error, not a server failure.
+	err = call(base+"/v1/range", server.RangeRequest{Query: raw, Radius: radius, Filter: "price <"}, &server.RangeResponse{})
+	if err == nil || !strings.Contains(err.Error(), "status 400") {
+		return fmt.Errorf("malformed filter: want status 400, got %v", err)
+	}
+	return nil
+}
+
 // checkMetrics scrapes GET /metrics, validates the Prometheus text
 // exposition line by line, and requires one metric family per
 // instrumented subsystem (plus the shard and persistence families when
@@ -378,6 +524,7 @@ func checkMetrics(base string, sharded, persistent bool) error {
 		"mx_cache_hits_total", "mx_cache_entries",
 		"mx_exec_batches_total", "mx_exec_batch_queries",
 		"mx_epoch_swaps_total", "mx_epoch_write_wait_seconds",
+		"mx_plan_strategy_total",
 		"mx_store_page_reads_total", "mx_store_cache_hits_total",
 	}
 	if sharded {
@@ -399,6 +546,7 @@ func checkMetrics(base string, sharded, persistent bool) error {
 	for _, nonzero := range []string{
 		"mx_server_admitted_total", "mx_compdists_total",
 		"mx_exec_batches_total", "mx_epoch_swaps_total",
+		"mx_plan_strategy_total",
 		"mx_server_request_seconds_count",
 	} {
 		if values[nonzero] == 0 {

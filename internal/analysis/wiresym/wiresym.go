@@ -59,6 +59,7 @@ var frozenInts = map[string]int64{
 	"OpInsert":     3,
 	"OpDelete":     4,
 	"OpSwap":       5,
+	"OpSetAttrs":   6,
 	"tagVector":    1,
 	"tagIntVector": 2,
 	"tagWord":      3,

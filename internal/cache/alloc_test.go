@@ -30,10 +30,10 @@ func TestHitPathAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	k := key{digest: digest(q, kindRange, math.Float64bits(radius)), kind: kindRange, param: math.Float64bits(radius)}
+	k := key{digest: digest(q, kindRange, math.Float64bits(radius), ""), kind: kindRange, param: math.Float64bits(radius)}
 	misses := 0
 	allocs := testing.AllocsPerRun(1000, func() {
-		if c.lookup(k, q, epoch) == nil {
+		if c.lookup(k, q, "", epoch) == nil {
 			misses++
 		}
 	})
@@ -45,7 +45,7 @@ func TestHitPathAllocs(t *testing.T) {
 	}
 
 	allocs = testing.AllocsPerRun(1000, func() {
-		digest(q, kindRange, math.Float64bits(radius))
+		digest(q, kindRange, math.Float64bits(radius), "")
 	})
 	if allocs != 0 {
 		t.Fatalf("digest allocated %.1f times; want 0", allocs)

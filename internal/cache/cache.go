@@ -106,11 +106,12 @@ const (
 	kindKNN   kind = 2
 )
 
-// key identifies one cached query: digest of the query object, the query
-// kind, and the parameter (radius bits or k). The epoch is deliberately
-// NOT part of the map key — one entry lives per query, stamped with the
-// epoch it was observed at, so a fill at a newer epoch replaces the
-// stale answer instead of accumulating dead versions.
+// key identifies one cached query: digest of the query object (and the
+// filter predicate, for filtered searches), the query kind, and the
+// parameter (radius bits or k). The epoch is deliberately NOT part of
+// the map key — one entry lives per query, stamped with the epoch it
+// was observed at, so a fill at a newer epoch replaces the stale answer
+// instead of accumulating dead versions.
 type key struct {
 	digest uint64
 	kind   kind
@@ -127,23 +128,28 @@ type flightKey struct {
 
 // flight is one in-flight fill other callers can wait on.
 type flight struct {
-	query core.Object // collision guard, same as entry.query
-	done  chan struct{}
-	ids   []int
-	nns   []core.Neighbor
-	epoch uint64
-	err   error
+	query  core.Object // collision guard, same as entry.query
+	filter string      // collision guard, same as entry.filter
+	done   chan struct{}
+	ids    []int
+	nns    []core.Neighbor
+	epoch  uint64
+	err    error
 }
 
-// entry is one resident answer.
+// entry is one resident answer. filter is the canonical predicate of a
+// filtered search ("" for plain searches): it joins the digest in the
+// key and the equality guard here, so a filtered answer can never be
+// served to an unfiltered lookup or to a different predicate.
 type entry struct {
-	key   key
-	query core.Object
-	epoch uint64
-	ids   []int           // kindRange answers
-	nns   []core.Neighbor // kindKNN answers
-	bytes int64
-	elem  *list.Element
+	key    key
+	query  core.Object
+	filter string
+	epoch  uint64
+	ids    []int           // kindRange answers
+	nns    []core.Neighbor // kindKNN answers
+	bytes  int64
+	elem   *list.Element
 }
 
 // shard is one lock stripe: an LRU over its share of the byte budget
@@ -213,8 +219,14 @@ func (c *Cache) shardFor(k key) *shard {
 // the given epoch, or ok=false. The returned slice is the caller's to
 // keep (a copy).
 func (c *Cache) GetRange(q core.Object, r float64, epoch uint64) ([]int, bool) {
-	k := key{digest: digest(q, kindRange, math.Float64bits(r)), kind: kindRange, param: math.Float64bits(r)}
-	e := c.lookup(k, q, epoch)
+	return c.GetRangeFiltered(q, r, "", epoch)
+}
+
+// GetRangeFiltered is GetRange for a filtered search: filter is the
+// canonical predicate ("" means unfiltered) and joins the key.
+func (c *Cache) GetRangeFiltered(q core.Object, r float64, filter string, epoch uint64) ([]int, bool) {
+	k := key{digest: digest(q, kindRange, math.Float64bits(r), filter), kind: kindRange, param: math.Float64bits(r)}
+	e := c.lookup(k, q, filter, epoch)
 	if e == nil {
 		return nil, false
 	}
@@ -225,26 +237,31 @@ func (c *Cache) GetRange(q core.Object, r float64, epoch uint64) ([]int, bool) {
 // the given epoch, or ok=false. The returned slice is the caller's to
 // keep (a copy).
 func (c *Cache) GetKNN(q core.Object, kq int, epoch uint64) ([]core.Neighbor, bool) {
-	k := key{digest: digest(q, kindKNN, uint64(kq)), kind: kindKNN, param: uint64(kq)}
-	e := c.lookup(k, q, epoch)
+	return c.GetKNNFiltered(q, kq, "", epoch)
+}
+
+// GetKNNFiltered is GetKNN for a filtered search; see GetRangeFiltered.
+func (c *Cache) GetKNNFiltered(q core.Object, kq int, filter string, epoch uint64) ([]core.Neighbor, bool) {
+	k := key{digest: digest(q, kindKNN, uint64(kq), filter), kind: kindKNN, param: uint64(kq)}
+	e := c.lookup(k, q, filter, epoch)
 	if e == nil {
 		return nil, false
 	}
 	return append([]core.Neighbor(nil), e.nns...), true
 }
 
-// lookup finds a resident entry matching (k, q, epoch), touching its LRU
-// position and counting the hit. Lookups that miss are not counted —
-// the compute path (Range/KNN) counts exactly one miss per fill, so a
-// peek-then-fill sequence is not double-counted.
+// lookup finds a resident entry matching (k, q, filter, epoch), touching
+// its LRU position and counting the hit. Lookups that miss are not
+// counted — the compute path (Range/KNN) counts exactly one miss per
+// fill, so a peek-then-fill sequence is not double-counted.
 //
 //metriclint:noalloc
-func (c *Cache) lookup(k key, q core.Object, epoch uint64) *entry {
+func (c *Cache) lookup(k key, q core.Object, filter string, epoch uint64) *entry {
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e := sh.entries[k]
-	if e == nil || e.epoch != epoch || !objectEqual(e.query, q) {
+	if e == nil || e.epoch != epoch || e.filter != filter || !objectEqual(e.query, q) {
 		return nil
 	}
 	sh.lru.MoveToFront(e.elem)
@@ -269,8 +286,15 @@ type KNNFill func() ([]core.Neighbor, uint64, error)
 // running). Returned slices are copies — callers may keep and mutate
 // them.
 func (c *Cache) Range(q core.Object, r float64, epoch uint64, fetch RangeFill) ([]int, uint64, error) {
-	k := key{digest: digest(q, kindRange, math.Float64bits(r)), kind: kindRange, param: math.Float64bits(r)}
-	e, f, leader := c.acquire(k, q, epoch)
+	return c.RangeFiltered(q, r, "", epoch, fetch)
+}
+
+// RangeFiltered is Range for a filtered search: filter is the canonical
+// predicate ("" means unfiltered) and joins both the key digest and the
+// collision guard, so answers for different predicates never mix.
+func (c *Cache) RangeFiltered(q core.Object, r float64, filter string, epoch uint64, fetch RangeFill) ([]int, uint64, error) {
+	k := key{digest: digest(q, kindRange, math.Float64bits(r), filter), kind: kindRange, param: math.Float64bits(r)}
+	e, f, leader := c.acquire(k, q, filter, epoch)
 	switch {
 	case e != nil:
 		return append([]int(nil), e.ids...), e.epoch, nil
@@ -292,7 +316,7 @@ func (c *Cache) Range(q core.Object, r float64, epoch uint64, fetch RangeFill) (
 		if f != nil {
 			f.ids, f.epoch, f.err = ids, ep, err
 		}
-		c.release(k, flightKey{key: k, epoch: epoch}, f, q, ep, ids, nil, err)
+		c.release(k, flightKey{key: k, epoch: epoch}, f, q, filter, ep, ids, nil, err)
 	}()
 	ids, ep, err = fetch()
 	c.misses.Add(1)
@@ -304,8 +328,13 @@ func (c *Cache) Range(q core.Object, r float64, epoch uint64, fetch RangeFill) (
 
 // KNN answers MkNNQ(q, k) through the cache; see Range.
 func (c *Cache) KNN(q core.Object, kq int, epoch uint64, fetch KNNFill) ([]core.Neighbor, uint64, error) {
-	k := key{digest: digest(q, kindKNN, uint64(kq)), kind: kindKNN, param: uint64(kq)}
-	e, f, leader := c.acquire(k, q, epoch)
+	return c.KNNFiltered(q, kq, "", epoch, fetch)
+}
+
+// KNNFiltered is KNN for a filtered search; see RangeFiltered.
+func (c *Cache) KNNFiltered(q core.Object, kq int, filter string, epoch uint64, fetch KNNFill) ([]core.Neighbor, uint64, error) {
+	k := key{digest: digest(q, kindKNN, uint64(kq), filter), kind: kindKNN, param: uint64(kq)}
+	e, f, leader := c.acquire(k, q, filter, epoch)
 	switch {
 	case e != nil:
 		return append([]core.Neighbor(nil), e.nns...), e.epoch, nil
@@ -325,7 +354,7 @@ func (c *Cache) KNN(q core.Object, kq int, epoch uint64, fetch KNNFill) ([]core.
 		if f != nil {
 			f.nns, f.epoch, f.err = nns, ep, err
 		}
-		c.release(k, flightKey{key: k, epoch: epoch}, f, q, ep, nil, nns, err)
+		c.release(k, flightKey{key: k, epoch: epoch}, f, q, filter, ep, nil, nns, err)
 	}()
 	nns, ep, err = fetch()
 	c.misses.Add(1)
@@ -340,22 +369,33 @@ func (c *Cache) KNN(q core.Object, kq int, epoch uint64, fetch KNNFill) ([]core.
 // resident). The fill is counted as one miss, mirroring what Range
 // would have recorded. The ids slice is copied.
 func (c *Cache) PutRange(q core.Object, r float64, epoch uint64, ids []int) {
-	k := key{digest: digest(q, kindRange, math.Float64bits(r)), kind: kindRange, param: math.Float64bits(r)}
+	c.PutRangeFiltered(q, r, "", epoch, ids)
+}
+
+// PutRangeFiltered is PutRange for a filtered answer; see
+// RangeFiltered.
+func (c *Cache) PutRangeFiltered(q core.Object, r float64, filter string, epoch uint64, ids []int) {
+	k := key{digest: digest(q, kindRange, math.Float64bits(r), filter), kind: kindRange, param: math.Float64bits(r)}
 	c.misses.Add(1)
 	sh := c.shardFor(k)
 	sh.mu.Lock()
-	c.store(sh, k, q, epoch, append([]int(nil), ids...), nil)
+	c.store(sh, k, q, filter, epoch, append([]int(nil), ids...), nil)
 	sh.mu.Unlock()
 }
 
 // PutKNN stores an MkNNQ answer computed outside the cache; see
 // PutRange.
 func (c *Cache) PutKNN(q core.Object, kq int, epoch uint64, nns []core.Neighbor) {
-	k := key{digest: digest(q, kindKNN, uint64(kq)), kind: kindKNN, param: uint64(kq)}
+	c.PutKNNFiltered(q, kq, "", epoch, nns)
+}
+
+// PutKNNFiltered is PutKNN for a filtered answer; see RangeFiltered.
+func (c *Cache) PutKNNFiltered(q core.Object, kq int, filter string, epoch uint64, nns []core.Neighbor) {
+	k := key{digest: digest(q, kindKNN, uint64(kq), filter), kind: kindKNN, param: uint64(kq)}
 	c.misses.Add(1)
 	sh := c.shardFor(k)
 	sh.mu.Lock()
-	c.store(sh, k, q, epoch, nil, append([]core.Neighbor(nil), nns...))
+	c.store(sh, k, q, filter, epoch, nil, append([]core.Neighbor(nil), nns...))
 	sh.mu.Unlock()
 }
 
@@ -364,23 +404,23 @@ func (c *Cache) PutKNN(q core.Object, kq int, epoch uint64, nns []core.Neighbor)
 // false), or leadership of a new flight (f != nil, leader true). All
 // nil means compute without singleflight — a digest collision is
 // already in flight for a different query, too rare to serialize on.
-func (c *Cache) acquire(k key, q core.Object, epoch uint64) (e *entry, f *flight, leader bool) {
+func (c *Cache) acquire(k key, q core.Object, filter string, epoch uint64) (e *entry, f *flight, leader bool) {
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if e = sh.entries[k]; e != nil && e.epoch == epoch && objectEqual(e.query, q) {
+	if e = sh.entries[k]; e != nil && e.epoch == epoch && e.filter == filter && objectEqual(e.query, q) {
 		sh.lru.MoveToFront(e.elem)
 		c.hits.Add(1)
 		return e, nil, false
 	}
 	fk := flightKey{key: k, epoch: epoch}
 	if f = sh.flights[fk]; f != nil {
-		if objectEqual(f.query, q) {
+		if f.filter == filter && objectEqual(f.query, q) {
 			return nil, f, false
 		}
 		return nil, nil, false // digest collision with the in-flight query
 	}
-	f = &flight{query: q, done: make(chan struct{})}
+	f = &flight{query: q, filter: filter, done: make(chan struct{})}
 	sh.flights[fk] = f
 	return nil, f, true
 }
@@ -388,14 +428,14 @@ func (c *Cache) acquire(k key, q core.Object, epoch uint64) (e *entry, f *flight
 // release publishes a finished fill: the flight (if any) is closed so
 // waiters wake, and a successful answer is stored under the epoch it
 // observed, evicting LRU entries beyond the shard budget.
-func (c *Cache) release(k key, fk flightKey, f *flight, q core.Object, epoch uint64, ids []int, nns []core.Neighbor, err error) {
+func (c *Cache) release(k key, fk flightKey, f *flight, q core.Object, filter string, epoch uint64, ids []int, nns []core.Neighbor, err error) {
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	if f != nil {
 		delete(sh.flights, fk)
 	}
 	if err == nil {
-		c.store(sh, k, q, epoch, ids, nns)
+		c.store(sh, k, q, filter, epoch, ids, nns)
 	}
 	sh.mu.Unlock()
 	if f != nil {
@@ -404,8 +444,8 @@ func (c *Cache) release(k key, fk flightKey, f *flight, q core.Object, epoch uin
 }
 
 // store inserts or replaces the entry for k. Called with sh.mu held.
-func (c *Cache) store(sh *shard, k key, q core.Object, epoch uint64, ids []int, nns []core.Neighbor) {
-	size := entrySize(q, ids, nns)
+func (c *Cache) store(sh *shard, k key, q core.Object, filter string, epoch uint64, ids []int, nns []core.Neighbor) {
+	size := entrySize(q, ids, nns) + int64(len(filter))
 	if size > sh.maxBytes {
 		return // larger than a whole stripe's budget: not cacheable
 	}
@@ -486,10 +526,17 @@ func fnvWord(h uint64, w uint64) uint64 {
 // library object kinds stay on the annotated path.)
 //
 //metriclint:noalloc
-func digest(q core.Object, kd kind, param uint64) uint64 {
+func digest(q core.Object, kd kind, param uint64, filter string) uint64 {
 	h := uint64(fnvOffset64)
 	h = fnvByte(h, byte(kd))
 	h = fnvWord(h, param)
+	// The predicate joins the key through its canonical string: an
+	// unfiltered query ("") and any filtered variant of the same (q,
+	// param) hash — and compare — apart.
+	h = fnvWord(h, uint64(len(filter)))
+	for i := 0; i < len(filter); i++ {
+		h = fnvByte(h, filter[i])
+	}
 	switch v := q.(type) {
 	case core.Vector:
 		for _, x := range v {

@@ -77,6 +77,11 @@ type Dataset struct {
 	objects []Object
 	free    []int // stack of deleted slots available for reuse
 	live    int   // number of non-nil objects
+	// attrs holds the attribute bag of each slot, parallel to objects
+	// but grown lazily: it may be shorter than objects when no object
+	// past its end carries attributes. attrs[id] is nil for objects
+	// without metadata and for deleted slots.
+	attrs []Attrs
 }
 
 // NewDataset builds a dataset over the given objects. The slice is owned by
@@ -270,9 +275,58 @@ func (ds *Dataset) Delete(id int) error {
 		return fmt.Errorf("core: delete of already-deleted id %d", id)
 	}
 	ds.objects[id] = nil
+	if id < len(ds.attrs) {
+		ds.attrs[id] = nil
+	}
 	ds.free = append(ds.free, id)
 	ds.live--
 	return nil
+}
+
+// SetAttrs attaches an attribute bag to a live object (nil detaches).
+// The map is owned by the dataset afterwards. It errors on a deleted or
+// out-of-range identifier so attrs can never outlive their object.
+func (ds *Dataset) SetAttrs(id int, a Attrs) error {
+	if !ds.Live(id) {
+		return fmt.Errorf("core: attrs on non-live id %d", id)
+	}
+	if a == nil && id >= len(ds.attrs) {
+		return nil
+	}
+	for len(ds.attrs) <= id {
+		ds.attrs = append(ds.attrs, nil)
+	}
+	ds.attrs[id] = a
+	return nil
+}
+
+// Attrs returns the attribute bag of the given identifier, or nil when
+// the object has none (or the id is deleted/out of range). Callers must
+// not mutate the returned map.
+//
+//metriclint:ignore read-only view by contract, not a defensive copy
+func (ds *Dataset) Attrs(id int) Attrs {
+	if id < 0 || id >= len(ds.attrs) {
+		return nil
+	}
+	return ds.attrs[id]
+}
+
+// CopyAttrsFrom bulk-copies every attribute bag of src (by identifier)
+// onto this dataset, skipping ids that are not live here. Epoch
+// snapshots and shard mirrors use it to carry metadata across dataset
+// clones; the bags themselves are shared, not deep-copied — both sides
+// treat them as immutable.
+func (ds *Dataset) CopyAttrsFrom(src *Dataset) {
+	for id, a := range src.attrs {
+		if a == nil || !ds.Live(id) {
+			continue
+		}
+		for len(ds.attrs) <= id {
+			ds.attrs = append(ds.attrs, nil)
+		}
+		ds.attrs[id] = a
+	}
 }
 
 // Live reports whether the identifier refers to a non-deleted object.

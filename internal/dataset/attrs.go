@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"metricindex/internal/core"
+)
+
+// Attribute generation for the filtered (hybrid) search workloads: every
+// object gets a small bag of typed fields whose marginal distributions
+// are skewed the way production metadata is — a zipf-distributed
+// category, a log-normal-ish price, a small integer stock count, and a
+// sparse tag set. The skew matters: it makes selectivities span the
+// whole planner range, so a filtered workload over a generated dataset
+// exercises pre-, probe-, and post-filtering rather than collapsing
+// onto one strategy.
+
+// attrCategories is the category vocabulary; zipf rank order, so
+// "alpha" dominates and the tail is rare (predicates on tail categories
+// drive the pre-filter path, head categories the post-filter path).
+var attrCategories = []string{
+	"alpha", "beta", "gamma", "delta", "epsilon",
+	"zeta", "eta", "theta", "iota", "kappa",
+}
+
+// attrTags is the tag vocabulary; each object carries 0–3 tags drawn
+// without replacement.
+var attrTags = []string{"new", "sale", "featured", "archived", "staff", "beta"}
+
+// AttachAttrs generates a deterministic attribute bag for every live
+// object of g's dataset (replacing any existing bags). The fields:
+//
+//	category string  zipf over attrCategories (s=1.3)
+//	price    float   ~log-normal, median ≈ 20
+//	stock    int     uniform 0..99
+//	tags     tags    0–3 draws from attrTags (absent when empty)
+//
+// Generation is seeded independently of object generation so the same
+// objects can carry different attribute populations across experiments.
+func AttachAttrs(g *Generated, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(attrCategories)-1))
+	for _, id := range g.Dataset.LiveIDs() {
+		a := core.Attrs{
+			"category": core.StringValue(attrCategories[zipf.Uint64()]),
+			"price":    core.FloatValue(roundCents(20 * math.Exp(rng.NormFloat64()))),
+			"stock":    core.IntValue(int64(rng.Intn(100))),
+		}
+		if tags := drawTags(rng); len(tags) > 0 {
+			a["tags"] = core.TagsValue(tags...)
+		}
+		if err := g.Dataset.SetAttrs(id, a); err != nil {
+			return fmt.Errorf("dataset: attrs for %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// drawTags picks 0–3 distinct tags; the count is skewed toward zero so
+// tag predicates are selective.
+func drawTags(rng *rand.Rand) []string {
+	n := 0
+	switch r := rng.Float64(); {
+	case r < 0.45: // no tags
+	case r < 0.80:
+		n = 1
+	case r < 0.95:
+		n = 2
+	default:
+		n = 3
+	}
+	if n == 0 {
+		return nil
+	}
+	perm := rng.Perm(len(attrTags))[:n]
+	tags := make([]string, n)
+	for i, j := range perm {
+		tags[i] = attrTags[j]
+	}
+	return tags
+}
+
+func roundCents(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

@@ -197,3 +197,79 @@ func TestCalibrateRadiusSparseDataset(t *testing.T) {
 		t.Fatalf("query-less sparse calibration returned %v", r)
 	}
 }
+
+// TestSaveLoadAttrsRoundTrip covers the MIDX2 attrs section: generated
+// bags must survive the file byte-for-bag, and a file without bags must
+// still carry the MIDX1 magic so older tools keep reading it.
+func TestSaveLoadAttrsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g, err := Generate(LA, Config{N: 200, Queries: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachAttrs(g, 99); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "attrs.midx")
+	if err := Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:5]) != "MIDX2" {
+		t.Fatalf("attrs dataset saved with magic %q, want MIDX2", raw[:5])
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withAttrs := 0
+	for _, id := range g.Dataset.LiveIDs() {
+		want := g.Dataset.Attrs(id)
+		if len(want) > 0 {
+			withAttrs++
+		}
+		if !got.Dataset.Attrs(id).Equal(want) {
+			t.Fatalf("attrs of %d changed in round trip: %v != %v", id, got.Dataset.Attrs(id), want)
+		}
+	}
+	if withAttrs == 0 {
+		t.Fatal("AttachAttrs left every object bare")
+	}
+
+	// Attribute-less datasets must keep the v1 magic.
+	plain, err := Generate(LA, Config{N: 50, Queries: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPath := filepath.Join(dir, "plain.midx")
+	if err := Save(plainPath, plain); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:5]) != "MIDX1" {
+		t.Fatalf("plain dataset saved with magic %q, want MIDX1", raw[:5])
+	}
+}
+
+// TestAttachAttrsDeterministic: same seed, same bags.
+func TestAttachAttrsDeterministic(t *testing.T) {
+	a, _ := Generate(Words, Config{N: 80, Queries: 1, Seed: 3})
+	b, _ := Generate(Words, Config{N: 80, Queries: 1, Seed: 3})
+	if err := AttachAttrs(a, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachAttrs(b, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range a.Dataset.LiveIDs() {
+		if !a.Dataset.Attrs(id).Equal(b.Dataset.Attrs(id)) {
+			t.Fatalf("attrs of %d differ across identical seeds", id)
+		}
+	}
+}

@@ -17,8 +17,21 @@ import (
 //	magic "MIDX1" | kindLen u8, kind | maxDistance f64 |
 //	nObjects u32, objects... | nQueries u32, queries...
 //
+// MIDX2 appends one section for the attribute bags of filtered search:
+//
+//	... | nAttrs u32, (id u32, attrs)...
+//
+// where id is the object's position in the objects section (= its
+// identifier after Load) and attrs uses the store attrs codec. Only
+// objects with a non-empty bag appear. Save emits MIDX2 only when at
+// least one bag exists, so attribute-less datasets stay byte-identical
+// to MIDX1 and readable by older tools; Load accepts both magics.
+//
 // Objects use the store codec. The metric is implied by the kind.
-const magic = "MIDX1"
+const (
+	magic   = "MIDX1"
+	magicV2 = "MIDX2"
+)
 
 // Save writes a generated dataset (objects + query workload) to a file.
 func Save(path string, g *Generated) error {
@@ -27,8 +40,21 @@ func Save(path string, g *Generated) error {
 		return err
 	}
 	defer f.Close()
+	ids := g.Dataset.LiveIDs()
+	// Positions (= post-Load identifiers) of objects carrying attrs; a
+	// non-empty list upgrades the file to MIDX2.
+	var withAttrs []int
+	for pos, id := range ids {
+		if len(g.Dataset.Attrs(id)) > 0 {
+			withAttrs = append(withAttrs, pos)
+		}
+	}
+	mag := magic
+	if len(withAttrs) > 0 {
+		mag = magicV2
+	}
 	w := bufio.NewWriter(f)
-	if _, err := w.WriteString(magic); err != nil {
+	if _, err := w.WriteString(mag); err != nil {
 		return err
 	}
 	if err := w.WriteByte(byte(len(g.Kind))); err != nil {
@@ -40,12 +66,19 @@ func Save(path string, g *Generated) error {
 	var buf []byte
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(g.MaxDistance))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Dataset.Count()))
-	for _, id := range g.Dataset.LiveIDs() {
+	for _, id := range ids {
 		buf = store.EncodeObject(buf, g.Dataset.Object(id))
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.Queries)))
 	for _, q := range g.Queries {
 		buf = store.EncodeObject(buf, q)
+	}
+	if len(withAttrs) > 0 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(withAttrs)))
+		for _, pos := range withAttrs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(pos))
+			buf = store.EncodeAttrs(buf, g.Dataset.Attrs(ids[pos]))
+		}
 	}
 	if _, err := w.Write(buf); err != nil {
 		return err
@@ -75,7 +108,11 @@ func Load(path string) (*Generated, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < len(magic)+1 || string(raw[:len(magic)]) != magic {
+	if len(raw) < len(magic)+1 {
+		return nil, fmt.Errorf("dataset: %s is not a %s file", path, magic)
+	}
+	mag := string(raw[:len(magic)])
+	if mag != magic && mag != magicV2 {
 		return nil, fmt.Errorf("dataset: %s is not a %s file", path, magic)
 	}
 	raw = raw[len(magic):]
@@ -115,9 +152,32 @@ func Load(path string) (*Generated, error) {
 		qs = append(qs, q)
 		raw = raw[used:]
 	}
+	ds := core.NewDataset(core.NewSpace(m), objs)
+	if mag == magicV2 {
+		if len(raw) < 4 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		na := int(binary.LittleEndian.Uint32(raw))
+		raw = raw[4:]
+		for i := 0; i < na; i++ {
+			if len(raw) < 4 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			id := int(binary.LittleEndian.Uint32(raw))
+			raw = raw[4:]
+			a, used, err := store.DecodeAttrs(raw)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: attrs %d: %w", i, err)
+			}
+			raw = raw[used:]
+			if err := ds.SetAttrs(id, a); err != nil {
+				return nil, fmt.Errorf("dataset: attrs %d: %w", i, err)
+			}
+		}
+	}
 	return &Generated{
 		Kind:        kind,
-		Dataset:     core.NewDataset(core.NewSpace(m), objs),
+		Dataset:     ds,
 		Queries:     qs,
 		MaxDistance: maxD,
 	}, nil

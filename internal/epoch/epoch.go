@@ -9,6 +9,7 @@ import (
 
 	"metricindex/internal/cache"
 	"metricindex/internal/core"
+	"metricindex/internal/plan"
 )
 
 // Builder constructs the replacement index during a Swap. It receives a
@@ -40,6 +41,9 @@ const (
 	// OpSwap marks a committed Swap. The structure rebuild changes no
 	// answers, so replay only advances the epoch.
 	OpSwap Op = 5
+	// OpSetAttrs is a Live.SetAttrsAt: the object's attribute bag
+	// replaced in place. The record carries the new bag (nil clears).
+	OpSetAttrs Op = 6
 )
 
 // Journal receives every committed write with the epoch it committed at,
@@ -49,15 +53,17 @@ const (
 // and returns the error. internal/persist.WAL is the on-disk
 // implementation.
 type Journal interface {
-	Append(op Op, epoch uint64, id int, obj core.Object) error
+	Append(op Op, epoch uint64, id int, obj core.Object, attrs core.Attrs) error
 }
 
 // logEntry is one update recorded while a swap builds, for replay onto
 // the replacement at cutover.
 type logEntry struct {
-	insert bool
-	id     int
-	obj    core.Object // the inserted object; nil for deletes
+	insert   bool
+	setAttrs bool // attrs-only update: replace the bag, touch nothing else
+	id       int
+	obj      core.Object // the inserted object; nil for deletes
+	attrs    core.Attrs  // the inserted object's attribute bag, if any
 }
 
 // Live is an index whose updates are epoch-synchronized with its
@@ -84,11 +90,23 @@ type Live struct {
 	// metrics is the optional obs attachment (SetObs); outside the lock
 	// discipline like cache.
 	metrics atomic.Pointer[Obs]
+	// stats is the planner's selectivity estimator, mutated only inside
+	// write sections and read only inside read sections, so filtered
+	// searches always plan against exactly the dataset version they
+	// answer over.
+	stats *plan.Stats
 }
 
-// NewLive wraps an index and the dataset it was built over.
+// NewLive wraps an index and the dataset it was built over, seeding the
+// planner's selectivity estimator from the dataset's live objects.
 func NewLive(ds *core.Dataset, idx core.Index) *Live {
-	return &Live{ds: ds, idx: idx}
+	st := plan.NewStats()
+	for id, o := range ds.Objects() {
+		if o != nil {
+			st.Observe(ds.Attrs(id))
+		}
+	}
+	return &Live{ds: ds, idx: idx, stats: st}
 }
 
 // SetCache attaches (or, with nil, detaches) an epoch-keyed answer
@@ -175,7 +193,7 @@ func (l *Live) Snapshot(fn func(ds *core.Dataset, idx core.Index, epoch uint64) 
 // restores the object under its exact original id; OpInsert inserts the
 // recorded object into the dataset first if the snapshot predates it;
 // OpSwap only advances the epoch (a rebuild changes no answers).
-func (l *Live) Apply(op Op, epoch uint64, id int, obj core.Object) error {
+func (l *Live) Apply(op Op, epoch uint64, id int, obj core.Object, attrs core.Attrs) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	switch op {
@@ -183,29 +201,52 @@ func (l *Live) Apply(op Op, epoch uint64, id int, obj core.Object) error {
 		if err := l.ds.InsertAt(id, obj); err != nil {
 			return err
 		}
-		if err := l.idx.Insert(id); err != nil {
-			return err
-		}
-	case OpRemove:
-		if err := l.idx.Delete(id); err != nil {
-			return err
-		}
-		if err := l.ds.Delete(id); err != nil {
-			return err
-		}
-	case OpInsert:
-		if l.ds.Object(id) == nil {
-			if err := l.ds.InsertAt(id, obj); err != nil {
+		if attrs != nil {
+			if err := l.ds.SetAttrs(id, attrs); err != nil {
 				return err
 			}
 		}
 		if err := l.idx.Insert(id); err != nil {
 			return err
 		}
-	case OpDelete:
+		l.stats.Observe(attrs)
+	case OpRemove:
+		a := l.ds.Attrs(id)
 		if err := l.idx.Delete(id); err != nil {
 			return err
 		}
+		if err := l.ds.Delete(id); err != nil {
+			return err
+		}
+		l.stats.Remove(a)
+	case OpInsert:
+		if l.ds.Object(id) == nil {
+			if err := l.ds.InsertAt(id, obj); err != nil {
+				return err
+			}
+			if attrs != nil {
+				if err := l.ds.SetAttrs(id, attrs); err != nil {
+					return err
+				}
+			}
+		}
+		if err := l.idx.Insert(id); err != nil {
+			return err
+		}
+		l.stats.Observe(l.ds.Attrs(id))
+	case OpDelete:
+		a := l.ds.Attrs(id)
+		if err := l.idx.Delete(id); err != nil {
+			return err
+		}
+		l.stats.Remove(a)
+	case OpSetAttrs:
+		old := l.ds.Attrs(id)
+		if err := l.ds.SetAttrs(id, attrs); err != nil {
+			return err
+		}
+		l.stats.Remove(old)
+		l.stats.Observe(attrs)
 	case OpSwap:
 		// Structure rebuild: answers unchanged, only the epoch moves.
 	default:
@@ -221,11 +262,11 @@ func (l *Live) Apply(op Op, epoch uint64, id int, obj core.Object) error {
 // at epoch+1. Caller holds the write lock and must roll back on error.
 //
 //metriclint:locked
-func (l *Live) journalAppend(op Op, id int, obj core.Object) error {
+func (l *Live) journalAppend(op Op, id int, obj core.Object, attrs core.Attrs) error {
 	if l.journal == nil {
 		return nil
 	}
-	if err := l.journal.Append(op, l.epoch+1, id, obj); err != nil {
+	if err := l.journal.Append(op, l.epoch+1, id, obj, attrs); err != nil {
 		return fmt.Errorf("epoch: journal append: %w", err)
 	}
 	return nil
@@ -260,6 +301,20 @@ func (l *Live) Add(o core.Object) (int, error) {
 // a separate Epoch() call, the returned value cannot include later
 // writers' commits.
 func (l *Live) AddAt(o core.Object) (int, uint64, error) {
+	return l.AddAttrsAt(o, nil)
+}
+
+// AddAttrs is Add carrying an attribute bag for the new object; the bag
+// becomes visible to filtered searches in the same committed epoch as
+// the object itself.
+func (l *Live) AddAttrs(o core.Object, a core.Attrs) (int, error) {
+	id, _, err := l.AddAttrsAt(o, a)
+	return id, err
+}
+
+// AddAttrsAt is AddAttrs reporting also the epoch the write committed
+// at. A nil bag is an object with no attributes (matches no predicate).
+func (l *Live) AddAttrsAt(o core.Object, a core.Attrs) (int, uint64, error) {
 	if o == nil {
 		return 0, 0, fmt.Errorf("epoch: add of nil object")
 	}
@@ -268,16 +323,23 @@ func (l *Live) AddAt(o core.Object) (int, uint64, error) {
 	defer l.mu.Unlock()
 	l.writeWait(time.Since(waitStart))
 	id := l.ds.Insert(o)
+	if a != nil {
+		if err := l.ds.SetAttrs(id, a); err != nil {
+			_ = l.ds.Delete(id)
+			return 0, l.epoch, err
+		}
+	}
 	if err := l.idx.Insert(id); err != nil {
-		_ = l.ds.Delete(id) // roll the dataset back
+		_ = l.ds.Delete(id) // roll the dataset (and its attrs) back
 		return 0, l.epoch, err
 	}
-	if err := l.journalAppend(OpAdd, id, o); err != nil {
+	if err := l.journalAppend(OpAdd, id, o, a); err != nil {
 		_ = l.idx.Delete(id)
 		_ = l.ds.Delete(id)
 		return 0, l.epoch, err
 	}
-	l.record(logEntry{insert: true, id: id, obj: o})
+	l.record(logEntry{insert: true, id: id, obj: o, attrs: a})
+	l.stats.Observe(a)
 	l.epoch++
 	return id, l.epoch, nil
 }
@@ -296,18 +358,23 @@ func (l *Live) RemoveAt(id int) (uint64, error) {
 	defer l.mu.Unlock()
 	l.writeWait(time.Since(waitStart))
 	o := l.ds.Object(id) // captured for journal-failure rollback
+	a := l.ds.Attrs(id)  // likewise, and for the estimator
 	if err := l.idx.Delete(id); err != nil {
 		return l.epoch, err
 	}
 	if err := l.ds.Delete(id); err != nil {
 		return l.epoch, err
 	}
-	if err := l.journalAppend(OpRemove, id, nil); err != nil {
+	if err := l.journalAppend(OpRemove, id, nil, nil); err != nil {
 		_ = l.ds.InsertAt(id, o)
+		if a != nil {
+			_ = l.ds.SetAttrs(id, a)
+		}
 		_ = l.idx.Insert(id)
 		return l.epoch, err
 	}
 	l.record(logEntry{id: id})
+	l.stats.Remove(a)
 	l.epoch++
 	return l.epoch, nil
 }
@@ -325,14 +392,16 @@ func (l *Live) Insert(id int) error {
 	if o == nil {
 		return fmt.Errorf("epoch: insert of deleted or unknown object %d", id)
 	}
+	a := l.ds.Attrs(id)
 	if err := l.idx.Insert(id); err != nil {
 		return err
 	}
-	if err := l.journalAppend(OpInsert, id, o); err != nil {
+	if err := l.journalAppend(OpInsert, id, o, a); err != nil {
 		_ = l.idx.Delete(id)
 		return err
 	}
-	l.record(logEntry{insert: true, id: id, obj: o})
+	l.record(logEntry{insert: true, id: id, obj: o, attrs: a})
+	l.stats.Observe(a)
 	l.epoch++
 	return nil
 }
@@ -349,7 +418,7 @@ func (l *Live) Delete(id int) error {
 	if err := l.idx.Delete(id); err != nil {
 		return err
 	}
-	if err := l.journalAppend(OpDelete, id, nil); err != nil {
+	if err := l.journalAppend(OpDelete, id, nil, nil); err != nil {
 		o := l.ds.Object(id)
 		if o != nil {
 			_ = l.idx.Insert(id)
@@ -357,6 +426,7 @@ func (l *Live) Delete(id int) error {
 		return err
 	}
 	l.record(logEntry{id: id})
+	l.stats.Remove(l.ds.Attrs(id))
 	l.epoch++
 	return nil
 }
@@ -419,7 +489,7 @@ func (l *Live) Swap(build Builder) error {
 		// The swap has committed — searches already see the new structure
 		// (which answers identically) — so the marker cannot be rolled
 		// back; surface the journal failure to the caller instead.
-		if err := l.journal.Append(OpSwap, l.epoch, 0, nil); err != nil {
+		if err := l.journal.Append(OpSwap, l.epoch, 0, nil, nil); err != nil {
 			return fmt.Errorf("epoch: swap committed but journal append failed: %w", err)
 		}
 	}
@@ -431,10 +501,13 @@ func (l *Live) Swap(build Builder) error {
 }
 
 // snapshot clones the dataset: same Space (compdists accounting stays
-// global), same identifiers, copied object slots.
+// global), same identifiers, copied object slots and attribute bags
+// (bags are shared, not deep-copied — they are immutable once set).
 func snapshot(ds *core.Dataset) *core.Dataset {
 	objs := append([]core.Object(nil), ds.Objects()...)
-	return core.NewDataset(ds.Space(), objs)
+	snap := core.NewDataset(ds.Space(), objs)
+	snap.CopyAttrsFrom(ds)
+	return snap
 }
 
 // replay applies the operation log to the replacement dataset and index.
@@ -445,12 +518,26 @@ func snapshot(ds *core.Dataset) *core.Dataset {
 // object the snapshot never held.
 func replay(ds *core.Dataset, idx core.Index, log []logEntry) error {
 	for _, e := range log {
+		if e.setAttrs {
+			if ds.Object(e.id) == nil {
+				continue // removed before the cutover; nothing to update
+			}
+			if err := ds.SetAttrs(e.id, e.attrs); err != nil {
+				return err
+			}
+			continue
+		}
 		if e.insert {
 			if ds.Object(e.id) != nil {
 				continue // already in the snapshot the build indexed
 			}
 			if err := ds.InsertAt(e.id, e.obj); err != nil {
 				return err
+			}
+			if e.attrs != nil {
+				if err := ds.SetAttrs(e.id, e.attrs); err != nil {
+					return err
+				}
 			}
 			if err := idx.Insert(e.id); err != nil {
 				return err

@@ -5,6 +5,7 @@ import (
 
 	"metricindex/internal/core"
 	"metricindex/internal/obs"
+	"metricindex/internal/plan"
 )
 
 // Obs carries the metric handles Live updates on its write and swap
@@ -22,6 +23,13 @@ type Obs struct {
 	// write lock (mx_epoch_write_wait_seconds) — the back-pressure
 	// readers put on writers.
 	WriteWait *obs.Histogram
+	// PlanPre/PlanProbe/PlanPost count executed filtered-query plans by
+	// strategy (mx_plan_strategy_total{strategy=...}). Cache hits run no
+	// plan and count on none of them. Unlike the write-path fields these
+	// may be nil: a Live serving no filtered traffic needs none.
+	PlanPre   *obs.Counter
+	PlanProbe *obs.Counter
+	PlanPost  *obs.Counter
 }
 
 // SetObs attaches metric handles. Safe to call at any time.
@@ -103,6 +111,118 @@ func (l *Live) KNNSearchTraced(q core.Object, k int, tr *obs.Trace) ([]core.Neig
 		return nns, obsEp, nil
 	}
 	return l.knnDirectTraced(q, k, tr)
+}
+
+// RangeSearchFilteredTraced is RangeSearchFiltered recording the span
+// timeline of RangeSearchTraced plus a plan span carrying the strategy
+// decision (see rangeFilteredDirectTraced). A nil tr degrades to
+// RangeSearchFiltered; a nil predicate to RangeSearchTraced.
+func (l *Live) RangeSearchFilteredTraced(q core.Object, r float64, p *plan.Predicate, tr *obs.Trace) ([]int, uint64, plan.Strategy, error) {
+	if tr == nil {
+		return l.RangeSearchFiltered(q, r, p)
+	}
+	if p == nil {
+		ids, ep, err := l.RangeSearchTraced(q, r, tr)
+		return ids, ep, 0, err
+	}
+	if c := l.cache.Load(); c != nil {
+		probeStart := time.Now()
+		ep := l.Epoch()
+		ids, ok := c.GetRangeFiltered(q, r, p.String(), ep)
+		tr.Add("cache_probe", probeStart, time.Since(probeStart), 0, 0)
+		if ok {
+			return ids, ep, 0, nil
+		}
+		ids, obsEp, st, err := l.rangeFilteredDirectTraced(q, r, p, tr)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		c.PutRangeFiltered(q, r, p.String(), obsEp, ids)
+		return ids, obsEp, st, err
+	}
+	return l.rangeFilteredDirectTraced(q, r, p, tr)
+}
+
+// KNNSearchFilteredTraced is KNNSearchFiltered with the span timeline
+// of RangeSearchFilteredTraced.
+func (l *Live) KNNSearchFilteredTraced(q core.Object, k int, p *plan.Predicate, tr *obs.Trace) ([]core.Neighbor, uint64, plan.Strategy, error) {
+	if tr == nil {
+		return l.KNNSearchFiltered(q, k, p)
+	}
+	if p == nil {
+		nns, ep, err := l.KNNSearchTraced(q, k, tr)
+		return nns, ep, 0, err
+	}
+	if c := l.cache.Load(); c != nil {
+		probeStart := time.Now()
+		ep := l.Epoch()
+		nns, ok := c.GetKNNFiltered(q, k, p.String(), ep)
+		tr.Add("cache_probe", probeStart, time.Since(probeStart), 0, 0)
+		if ok {
+			return nns, ep, 0, nil
+		}
+		nns, obsEp, st, err := l.knnFilteredDirectTraced(q, k, p, tr)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		c.PutKNNFiltered(q, k, p.String(), obsEp, nns)
+		return nns, obsEp, st, err
+	}
+	return l.knnFilteredDirectTraced(q, k, p, tr)
+}
+
+// rangeFilteredDirectTraced is rangeFilteredDirect with read_wait, plan
+// and read_section spans. The plan span times the selectivity estimate
+// and strategy choice; the strategy itself rides back on the return
+// value (span labels carry no payload).
+func (l *Live) rangeFilteredDirectTraced(q core.Object, r float64, p *plan.Predicate, tr *obs.Trace) ([]int, uint64, plan.Strategy, error) {
+	waitStart := time.Now()
+	l.mu.RLock()
+	waited := time.Since(waitStart)
+	defer l.mu.RUnlock()
+	tr.Add("read_wait", waitStart, waited, 0, 0)
+	planStart := time.Now()
+	sel := l.stats.Selectivity(p)
+	st := plan.Choose(sel, l.ds.Count(), plan.Capable(l.idx))
+	tr.Add("plan", planStart, time.Since(planStart), 0, 0)
+	compBase := l.ds.Space().CompDists()
+	paBase := l.idx.PageAccesses()
+	secStart := time.Now()
+	ids, err := plan.ExecRange(l.ds, l.idx, p, q, r, st)
+	dur := time.Since(secStart)
+	pa := l.idx.PageAccesses() - paBase
+	if pa < 0 {
+		pa = 0
+	}
+	tr.Add("read_section", secStart, dur, l.ds.Space().CompDists()-compBase, pa)
+	l.planCount(st)
+	return ids, l.epoch, st, err
+}
+
+// knnFilteredDirectTraced is the kNN counterpart of
+// rangeFilteredDirectTraced.
+func (l *Live) knnFilteredDirectTraced(q core.Object, k int, p *plan.Predicate, tr *obs.Trace) ([]core.Neighbor, uint64, plan.Strategy, error) {
+	waitStart := time.Now()
+	l.mu.RLock()
+	waited := time.Since(waitStart)
+	defer l.mu.RUnlock()
+	tr.Add("read_wait", waitStart, waited, 0, 0)
+	planStart := time.Now()
+	sel := l.stats.Selectivity(p)
+	st := plan.Choose(sel, l.ds.Count(), plan.Capable(l.idx))
+	tr.Add("plan", planStart, time.Since(planStart), 0, 0)
+	compBase := l.ds.Space().CompDists()
+	paBase := l.idx.PageAccesses()
+	secStart := time.Now()
+	nns, err := plan.ExecKNN(l.ds, l.idx, p, q, k, st, sel)
+	dur := time.Since(secStart)
+	pa := l.idx.PageAccesses() - paBase
+	if pa < 0 {
+		pa = 0
+	}
+	tr.Add("read_section", secStart, dur, l.ds.Space().CompDists()-compBase, pa)
+	l.planCount(st)
+	return nns, l.epoch, st, err
 }
 
 // rangeDirectTraced is rangeDirect with read_wait and read_section

@@ -1,0 +1,163 @@
+package ept
+
+import (
+	"sort"
+
+	"metricindex/internal/core"
+)
+
+// Probe-filtered search (core.AcceptSearcher), the EPT twin of the
+// LAESA implementation: the accept test runs on every row that survives
+// the indexed column sweep, before its distance is computed, so
+// rejected candidates cost zero compdists while Lemma 1 pruning is
+// untouched.
+
+// RangeSearchAccept answers MRQ(q, r) restricted to accepted ids. A nil
+// accept is the unfiltered search.
+func (e *EPT) RangeSearchAccept(q core.Object, r float64, accept core.Accept) ([]int, error) {
+	if accept == nil {
+		return e.RangeSearch(q, r)
+	}
+	sc := e.queryPrep(q)
+	sur := core.SurviveColumnsIndexed(sc.Sur, sc.QD, e.pcols, e.dcols, 0, len(e.ids), r)
+	var res []int
+	if e.useFlat() {
+		if q64, q32, ok := e.flat.QueryCoords(q, sc); ok {
+			ndist := 0
+			for _, row := range sur {
+				id := int(e.ids[row])
+				if !accept(id) {
+					continue
+				}
+				pre := e.flat.Pre(&e.kern, q64, q32, int(row))
+				ndist++
+				if e.kern.Exceeds(pre, r) {
+					continue
+				}
+				if e.kern.Finish(pre) <= r {
+					res = append(res, id)
+				}
+			}
+			e.ds.Space().CountDistances(ndist)
+			e.scratch.Put(sc)
+			sort.Ints(res)
+			return res, nil
+		}
+	}
+	objs := e.ds.Objects()
+	sp := e.ds.Space()
+	m := 0
+	flush := func() {
+		sp.DistanceMany(q, sc.Objs[:m], sc.Out[:m])
+		for j := 0; j < m; j++ {
+			if sc.Out[j] <= r {
+				res = append(res, int(sc.IDs[j]))
+			}
+		}
+		m = 0
+	}
+	for _, row := range sur {
+		id := e.ids[row]
+		if !accept(int(id)) {
+			continue
+		}
+		sc.IDs[m] = id
+		sc.Objs[m] = objs[id]
+		m++
+		if m == len(sc.IDs) {
+			flush()
+		}
+	}
+	if m > 0 {
+		flush()
+	}
+	e.scratch.Put(sc)
+	sort.Ints(res)
+	return res, nil
+}
+
+// KNNSearchAccept answers MkNNQ(q, k) over accepted ids only: the
+// staged block sweep without the unconditional seed prefix (a rejected
+// seed row must not cost a distance).
+func (e *EPT) KNNSearchAccept(q core.Object, k int, accept core.Accept) ([]core.Neighbor, error) {
+	if accept == nil {
+		return e.KNNSearch(q, k)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	sc := e.queryPrep(q)
+	h := sc.Heap(k)
+	if e.useFlat() {
+		if q64, q32, ok := e.flat.QueryCoords(q, sc); ok {
+			e.knnFlatAccept(q64, q32, sc, h, accept)
+			res := h.Result()
+			e.scratch.Put(sc)
+			return res, nil
+		}
+	}
+	e.knnObjsAccept(q, sc, h, accept)
+	res := h.Result()
+	e.scratch.Put(sc)
+	return res, nil
+}
+
+//metriclint:noalloc
+func (e *EPT) knnFlatAccept(q64 []float64, q32 []float32, sc *core.Scratch, h *core.KNNHeap, accept core.Accept) {
+	ndist := 0
+	for base, blk := 0, knnBlockMin; base < len(e.ids); base, blk = base+blk, min(blk*2, knnBlock) {
+		end := base + blk
+		if end > len(e.ids) {
+			end = len(e.ids)
+		}
+		sur := core.SurviveColumnsIndexed(sc.Sur, sc.QD, e.pcols, e.dcols, base, end, h.Radius())
+		for _, row := range sur {
+			if !accept(int(e.ids[row])) {
+				continue
+			}
+			r := h.Radius()
+			if core.PruneRowIndexedAt(sc.QD, e.pcols, e.dcols, int(row), r) {
+				continue
+			}
+			pre := e.flat.Pre(&e.kern, q64, q32, int(row))
+			ndist++
+			if e.kern.Exceeds(pre, r) {
+				continue
+			}
+			h.Push(int(e.ids[row]), e.kern.Finish(pre))
+		}
+	}
+	e.ds.Space().CountDistances(ndist)
+}
+
+//metriclint:noalloc
+func (e *EPT) knnObjsAccept(q core.Object, sc *core.Scratch, h *core.KNNHeap, accept core.Accept) {
+	objs := e.ds.Objects()
+	m := 0
+	for base, blk := 0, knnBlockMin; base < len(e.ids); base, blk = base+blk, min(blk*2, knnBlock) {
+		end := base + blk
+		if end > len(e.ids) {
+			end = len(e.ids)
+		}
+		sur := core.SurviveColumnsIndexed(sc.Sur, sc.QD, e.pcols, e.dcols, base, end, h.Radius())
+		for _, row := range sur {
+			id := e.ids[row]
+			if !accept(int(id)) {
+				continue
+			}
+			if core.PruneRowIndexedAt(sc.QD, e.pcols, e.dcols, int(row), h.Radius()) {
+				continue
+			}
+			sc.IDs[m] = id
+			sc.Objs[m] = objs[id]
+			m++
+			if m == len(sc.IDs) {
+				e.flushKNN(q, sc, m, h)
+				m = 0
+			}
+		}
+	}
+	if m > 0 {
+		e.flushKNN(q, sc, m, h)
+	}
+}

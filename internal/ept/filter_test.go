@@ -1,0 +1,29 @@
+package ept
+
+import (
+	"testing"
+
+	"metricindex/internal/pivot"
+	"metricindex/internal/plan"
+	"metricindex/internal/testutil"
+)
+
+// TestEPTFilterEquivalence runs the shared filtered-search harness over
+// both EPT variants: every strategy (and the planner's pick) must
+// answer exactly the brute-force filter-then-scan. EPT is
+// probe-capable, so the probe leg pushes the predicate into candidate
+// verification for real.
+func TestEPTFilterEquivalence(t *testing.T) {
+	for _, v := range []Variant{Original, Star} {
+		for _, ed := range testutil.EquivDatasets(false, 250, 7) {
+			idx, err := New(ed.DS, v, Options{L: 4, Radius: 10, Sel: pivot.Options{Seed: 3, SampleSize: 128}})
+			if err != nil {
+				t.Fatalf("%s/%v: New: %v", ed.Name, v, err)
+			}
+			if !plan.Capable(idx) {
+				t.Fatalf("%s/%v: EPT must be probe-capable", ed.Name, v)
+			}
+			testutil.CheckFilterEquivalence(t, ed, idx)
+		}
+	}
+}

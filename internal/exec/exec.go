@@ -39,6 +39,7 @@ import (
 
 	"metricindex/internal/core"
 	"metricindex/internal/obs"
+	"metricindex/internal/plan"
 )
 
 // Metrics carries the engine's obs handles. All fields must be non-nil;
@@ -120,12 +121,20 @@ type BatchStats struct {
 	// Wall is the elapsed wall-clock time of the whole batch.
 	Wall time.Duration
 	// P50, P95 and P99 are per-query latency percentiles (nearest-rank)
-	// over the batch — the SLO-grade numbers a serving layer reports.
-	// Unlike Wall they measure individual queries, so they stay meaningful
-	// however many workers overlap.
+	// over the queries that actually computed — the SLO-grade numbers a
+	// serving layer reports. Unlike Wall they measure individual
+	// queries, so they stay meaningful however many workers overlap.
+	// Cache hits are excluded: a hit resolves in sub-microsecond time,
+	// and folding those samples in deflates every percentile below p(hit
+	// rate) to ~0, which misreports the latency of the work the index is
+	// really doing. Hit latencies are reported separately below.
 	P50, P95, P99 time.Duration
+	// HitP50, HitP95 and HitP99 are the latency percentiles of the
+	// cache-hit queries alone (zeros when the batch had none).
+	HitP50, HitP95, HitP99 time.Duration
 	// CacheHits is the number of queries answered from the index's
-	// answer cache before dispatch (see AnswerCached); 0 when the index
+	// answer cache without computing — before dispatch via AnswerCached,
+	// or (filtered batches) inside the search itself. 0 when the index
 	// has no cache. Cached answers cost no compdists and no page
 	// accesses, which is why a hot batch's per-query averages drop.
 	CacheHits int
@@ -160,6 +169,10 @@ type RangeResult struct {
 	// IDs[i] is the RangeSearch answer for the i-th query, in the same
 	// ascending-id order the sequential call returns.
 	IDs [][]int
+	// Plans[i] is the strategy that answered the i-th query of a
+	// filtered batch (the zero value when it came from the answer
+	// cache). Nil for unfiltered batches.
+	Plans []plan.Strategy
 	// Stats aggregates the batch cost.
 	Stats BatchStats
 }
@@ -170,8 +183,20 @@ type KNNResult struct {
 	// ascending distance (ties by id) exactly as the sequential call
 	// returns.
 	Neighbors [][]core.Neighbor
+	// Plans[i] is the strategy that answered the i-th query of a
+	// filtered batch; see RangeResult.Plans.
+	Plans []plan.Strategy
 	// Stats aggregates the batch cost.
 	Stats BatchStats
+}
+
+// FilteredSearcher is the interface of indexes that plan and execute
+// predicate-filtered searches (epoch.Live). The returned Strategy is
+// the plan that produced the answer; its zero value means the answer
+// came from the index's answer cache.
+type FilteredSearcher interface {
+	RangeSearchFiltered(q core.Object, r float64, p *plan.Predicate) ([]int, uint64, plan.Strategy, error)
+	KNNSearchFiltered(q core.Object, k int, p *plan.Predicate) ([]core.Neighbor, uint64, plan.Strategy, error)
 }
 
 // BatchRangeSearch answers MRQ(q, r) for every query concurrently.
@@ -190,7 +215,7 @@ func (e *Engine) BatchRangeSearch(ctx context.Context, idx core.Index, queries [
 			return ok
 		}
 	}
-	stats, err := e.run(ctx, idx, len(queries), peek, func(i int) error {
+	stats, _, err := e.run(ctx, idx, len(queries), peek, func(i int) error {
 		ids, err := idx.RangeSearch(queries[i], r)
 		if err != nil {
 			return fmt.Errorf("exec: range query %d: %w", i, err)
@@ -202,6 +227,40 @@ func (e *Engine) BatchRangeSearch(ctx context.Context, idx core.Index, queries [
 		return nil, err
 	}
 	res.Stats = stats
+	return res, nil
+}
+
+// BatchRangeSearchFiltered answers MRQ(q, r) restricted to the
+// predicate for every query concurrently. A nil predicate degrades to
+// BatchRangeSearch; otherwise the index must implement
+// FilteredSearcher. Per-query strategies land in RangeResult.Plans, and
+// queries the answer cache resolved (strategy zero) count as cache hits
+// in the stats.
+func (e *Engine) BatchRangeSearchFiltered(ctx context.Context, idx core.Index, queries []core.Object, r float64, p *plan.Predicate) (*RangeResult, error) {
+	if p == nil {
+		return e.BatchRangeSearch(ctx, idx, queries, r)
+	}
+	fs, ok := idx.(FilteredSearcher)
+	if !ok {
+		return nil, fmt.Errorf("exec: index %s does not support filtered search", idx.Name())
+	}
+	res := &RangeResult{
+		IDs:   make([][]int, len(queries)),
+		Plans: make([]plan.Strategy, len(queries)),
+	}
+	stats, durs, err := e.run(ctx, idx, len(queries), nil, func(i int) error {
+		ids, _, st, err := fs.RangeSearchFiltered(queries[i], r, p)
+		if err != nil {
+			return fmt.Errorf("exec: filtered range query %d: %w", i, err)
+		}
+		res.IDs[i] = ids
+		res.Plans[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = reclassifyFiltered(stats, durs, res.Plans)
 	return res, nil
 }
 
@@ -221,7 +280,7 @@ func (e *Engine) BatchKNNSearch(ctx context.Context, idx core.Index, queries []c
 			return ok
 		}
 	}
-	stats, err := e.run(ctx, idx, len(queries), peek, func(i int) error {
+	stats, _, err := e.run(ctx, idx, len(queries), peek, func(i int) error {
 		nns, err := idx.KNNSearch(queries[i], k)
 		if err != nil {
 			return fmt.Errorf("exec: knn query %d: %w", i, err)
@@ -236,15 +295,64 @@ func (e *Engine) BatchKNNSearch(ctx context.Context, idx core.Index, queries []c
 	return res, nil
 }
 
+// BatchKNNSearchFiltered answers MkNNQ(q, k) over the predicate's
+// matches for every query concurrently; see BatchRangeSearchFiltered.
+func (e *Engine) BatchKNNSearchFiltered(ctx context.Context, idx core.Index, queries []core.Object, k int, p *plan.Predicate) (*KNNResult, error) {
+	if p == nil {
+		return e.BatchKNNSearch(ctx, idx, queries, k)
+	}
+	fs, ok := idx.(FilteredSearcher)
+	if !ok {
+		return nil, fmt.Errorf("exec: index %s does not support filtered search", idx.Name())
+	}
+	res := &KNNResult{
+		Neighbors: make([][]core.Neighbor, len(queries)),
+		Plans:     make([]plan.Strategy, len(queries)),
+	}
+	stats, durs, err := e.run(ctx, idx, len(queries), nil, func(i int) error {
+		nns, _, st, err := fs.KNNSearchFiltered(queries[i], k, p)
+		if err != nil {
+			return fmt.Errorf("exec: filtered knn query %d: %w", i, err)
+		}
+		res.Neighbors[i] = nns
+		res.Plans[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = reclassifyFiltered(stats, durs, res.Plans)
+	return res, nil
+}
+
+// reclassifyFiltered rebuilds a filtered batch's hit/miss split: cache
+// hits surface only after each search returns (strategy zero), not in a
+// pre-dispatch peek, so the run-level split saw every query as a miss.
+func reclassifyFiltered(stats BatchStats, durs []time.Duration, plans []plan.Strategy) BatchStats {
+	hit := make([]bool, len(plans))
+	hits := 0
+	for i, st := range plans {
+		if st == 0 {
+			hit[i] = true
+			hits++
+		}
+	}
+	stats.CacheHits = hits
+	stats.splitPercentiles(durs, hit)
+	return stats
+}
+
 // run answers n queries and wraps them with the per-batch cost
 // accounting. When peek is non-nil it probes the index's answer cache
 // first: hits are served inline during the sweep, and only the misses
 // are dispatched through Scatter — a hot batch never waits on the
-// worker pool at all. Latency percentiles cover every query, hit or
-// miss, exactly as a serving client would experience them.
-func (e *Engine) run(ctx context.Context, idx core.Index, n int, peek func(i int) bool, job func(i int) error) (BatchStats, error) {
+// worker pool at all. Latency percentiles are reported separately for
+// hits and misses (see BatchStats); callers whose hits surface only
+// after the job ran (filtered batches) reclassify via the returned
+// per-query durations and splitPercentiles.
+func (e *Engine) run(ctx context.Context, idx core.Index, n int, peek func(i int) bool, job func(i int) error) (BatchStats, []time.Duration, error) {
 	if n == 0 {
-		return BatchStats{}, ctx.Err()
+		return BatchStats{}, nil, ctx.Err()
 	}
 	var compBase, paBase int64
 	if e.space != nil {
@@ -254,6 +362,7 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, peek func(i int
 		paBase = idx.PageAccesses()
 	}
 	durs := make([]time.Duration, n)
+	hit := make([]bool, n)
 	start := time.Now()
 	todo := make([]int, 0, n)
 	hits := 0
@@ -262,6 +371,7 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, peek func(i int
 			qStart := time.Now()
 			if peek(i) {
 				durs[i] = time.Since(qStart)
+				hit[i] = true
 				hits++
 				continue
 			}
@@ -281,7 +391,7 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, peek func(i int
 		return err
 	}
 	if err := Scatter(ctx, e.workers, len(todo), timed); err != nil {
-		return BatchStats{}, err
+		return BatchStats{}, nil, err
 	}
 	if m != nil {
 		m.Batches.Inc()
@@ -289,7 +399,7 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, peek func(i int
 		m.PredispatchHits.Add(int64(hits))
 	}
 	stats := BatchStats{Queries: n, Wall: time.Since(start), CacheHits: hits}
-	stats.P50, stats.P95, stats.P99 = LatencyPercentiles(durs)
+	stats.splitPercentiles(durs, hit)
 	if e.space != nil {
 		stats.CompDists = e.space.CompDists() - compBase
 	}
@@ -301,7 +411,24 @@ func (e *Engine) run(ctx context.Context, idx core.Index, n int, peek func(i int
 			stats.PageAccesses = 0
 		}
 	}
-	return stats, nil
+	return stats, durs, nil
+}
+
+// splitPercentiles fills the stats' miss (P50/P95/P99) and hit
+// (HitP50/HitP95/HitP99) percentile sets from per-query durations and
+// the hit classification mask.
+func (s *BatchStats) splitPercentiles(durs []time.Duration, hit []bool) {
+	missDurs := make([]time.Duration, 0, len(durs))
+	hitDurs := make([]time.Duration, 0, s.CacheHits)
+	for i, d := range durs {
+		if hit[i] {
+			hitDurs = append(hitDurs, d)
+		} else {
+			missDurs = append(missDurs, d)
+		}
+	}
+	s.P50, s.P95, s.P99 = LatencyPercentiles(missDurs)
+	s.HitP50, s.HitP95, s.HitP99 = LatencyPercentiles(hitDurs)
 }
 
 // Scatter is the engine's dispatch primitive, exported for other

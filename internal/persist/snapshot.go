@@ -14,7 +14,7 @@ import (
 	"metricindex/internal/store"
 )
 
-// Snapshot container format, version 1 (normative spec in
+// Snapshot container format, version 2 (normative spec in
 // docs/PERSISTENCE.md):
 //
 //	file    := header dataset-section index-section
@@ -26,10 +26,21 @@ import (
 // The dataset payload encodes every id slot (nil slots included, so
 // identifiers survive restore); the index payload is family-specific and
 // dispatched through the kind registry.
+//
+// Version 2 extends the dataset slot encoding: the per-slot presence
+// byte became a flags byte (bit 0 = object present, bit 1 = attribute
+// bag follows the object). Version-1 images only ever wrote 0 or 1, so
+// the version-2 decoder reads both formats; version-1 readers cannot
+// load attr-carrying images, hence the version bump.
 const (
-	snapshotMagic   = "MXSNAP"
-	snapshotVersion = 1
-	snapshotClean   = 1 << 0
+	snapshotMagic      = "MXSNAP"
+	snapshotVersion    = 2
+	snapshotVersionMin = 1
+	snapshotClean      = 1 << 0
+
+	// Dataset slot flags (version 2; version 1 wrote 0 or 1).
+	slotObject = 1 << 0
+	slotAttrs  = 1 << 1
 )
 
 // maxSectionBytes caps a section length before allocation; a corrupt
@@ -206,18 +217,27 @@ func readSection(r *Reader) []byte {
 }
 
 // encodeDataset writes every id slot: u32 slot count, then per slot a
-// presence byte followed by the object (store codec) when present.
-// Encoding empty slots keeps identifiers stable across restore.
+// flags byte followed by the object (store codec) and, when the slot
+// carries one, its attribute bag. Encoding empty slots keeps
+// identifiers stable across restore.
 func encodeDataset(w *Writer, ds *core.Dataset) {
 	objs := ds.Objects()
 	w.U32(uint32(len(objs)))
-	for _, o := range objs {
+	for id, o := range objs {
 		if o == nil {
 			w.U8(0)
 			continue
 		}
-		w.U8(1)
+		flags := uint8(slotObject)
+		a := ds.Attrs(id)
+		if len(a) > 0 {
+			flags |= slotAttrs
+		}
+		w.U8(flags)
 		w.Object(o)
+		if flags&slotAttrs != 0 {
+			w.Attrs(a)
+		}
 	}
 }
 
@@ -228,9 +248,17 @@ func decodeDataset(payload []byte, metric core.Metric) (*core.Dataset, error) {
 		return nil, r.err
 	}
 	objs := make([]core.Object, n)
+	attrs := make(map[int]core.Attrs)
 	for i := range objs {
-		if r.Bool() {
+		flags := r.U8()
+		if r.err == nil && (flags&slotObject == 0 && flags != 0 || flags&^uint8(slotObject|slotAttrs) != 0) {
+			return nil, fmt.Errorf("persist: dataset slot %d has invalid flags %#x", i, flags)
+		}
+		if flags&slotObject != 0 {
 			objs[i] = r.Object()
+		}
+		if flags&slotAttrs != 0 {
+			attrs[i] = r.Attrs()
 		}
 		if r.err != nil {
 			return nil, r.err
@@ -240,7 +268,13 @@ func decodeDataset(payload []byte, metric core.Metric) (*core.Dataset, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	return core.NewDataset(core.NewSpace(metric), objs), nil
+	ds := core.NewDataset(core.NewSpace(metric), objs)
+	for id, a := range attrs {
+		if err := ds.SetAttrs(id, a); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
 }
 
 // Decode parses a snapshot image: header, checksummed sections, dataset,
@@ -253,8 +287,8 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("persist: not a snapshot (bad magic)")
 	}
 	ver := r.U16()
-	if r.err == nil && ver != snapshotVersion {
-		return nil, fmt.Errorf("persist: unsupported snapshot version %d (want %d)", ver, snapshotVersion)
+	if r.err == nil && (ver < snapshotVersionMin || ver > snapshotVersion) {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d (want %d..%d)", ver, snapshotVersionMin, snapshotVersion)
 	}
 	flags := r.U8()
 	if r.err == nil && flags&snapshotClean == 0 {
@@ -376,7 +410,7 @@ func Replay(l *epoch.Live, recs []Record) (int, error) {
 		if rec.Epoch <= l.Epoch() {
 			continue
 		}
-		if err := l.Apply(rec.Op, rec.Epoch, rec.ID, rec.Obj); err != nil {
+		if err := l.Apply(rec.Op, rec.Epoch, rec.ID, rec.Obj, rec.Attrs); err != nil {
 			return applied, fmt.Errorf("persist: replay of op %d at epoch %d: %w", rec.Op, rec.Epoch, err)
 		}
 		applied++

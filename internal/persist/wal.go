@@ -20,7 +20,14 @@ import (
 //	file    := magic "MXWAL1" | version u16 | record*
 //	record  := length u32 | crc32 u32 (IEEE, over payload) | payload
 //	payload := op u8 | epoch u64 | id u64 | object? (store codec,
-//	           present iff op is OpAdd or OpInsert)
+//	           present iff op is OpAdd or OpInsert) | attrs?
+//	           (store attrs codec, present iff bytes remain)
+//
+// The trailing attrs bag is a compatible extension: records written
+// before attributes existed simply end after the object, and decode
+// with a nil bag. An attr-carrying op (OpAdd, OpInsert, OpSetAttrs)
+// whose bag is empty omits the bag, so such records stay byte-identical
+// to the pre-attrs encoding.
 //
 // Appends are sequential; a crash can only tear the tail. On open the
 // file is scanned front to back and the first record that is short,
@@ -42,6 +49,7 @@ type Record struct {
 	Epoch uint64
 	ID    int
 	Obj   core.Object
+	Attrs core.Attrs
 }
 
 // SyncMode selects the WAL's fsync policy — the durability/latency
@@ -242,9 +250,12 @@ func decodeWALRecord(payload []byte) (Record, bool) {
 	switch rec.Op {
 	case epoch.OpAdd, epoch.OpInsert:
 		rec.Obj = r.Object()
-	case epoch.OpRemove, epoch.OpDelete, epoch.OpSwap:
+	case epoch.OpRemove, epoch.OpDelete, epoch.OpSwap, epoch.OpSetAttrs:
 	default:
 		return Record{}, false
+	}
+	if r.Remaining() > 0 {
+		rec.Attrs = r.Attrs()
 	}
 	r.ExpectEOF()
 	return rec, r.Err() == nil
@@ -258,6 +269,9 @@ func encodeWALRecord(rec Record) []byte {
 	if rec.Op == epoch.OpAdd || rec.Op == epoch.OpInsert {
 		p.Object(rec.Obj)
 	}
+	if len(rec.Attrs) > 0 {
+		p.Attrs(rec.Attrs)
+	}
 	payload := p.Bytes()
 	f := NewWriter()
 	f.U32(uint32(len(payload)))
@@ -270,8 +284,8 @@ func encodeWALRecord(rec Record) []byte {
 // SyncAlways the record is fsynced before returning, so the write
 // section that called us cannot acknowledge a commit the disk has not
 // seen.
-func (w *WAL) Append(op epoch.Op, ep uint64, id int, obj core.Object) error {
-	frame := encodeWALRecord(Record{Op: op, Epoch: ep, ID: id, Obj: obj})
+func (w *WAL) Append(op epoch.Op, ep uint64, id int, obj core.Object, attrs core.Attrs) error {
+	frame := encodeWALRecord(Record{Op: op, Epoch: ep, ID: id, Obj: obj, Attrs: attrs})
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {

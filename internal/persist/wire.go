@@ -64,6 +64,10 @@ func (w *Writer) String(s string) {
 // Object appends one object in the store codec (self-delimiting).
 func (w *Writer) Object(o core.Object) { w.buf = store.EncodeObject(w.buf, o) }
 
+// Attrs appends one attribute bag in the store attrs codec
+// (self-delimiting; a nil bag encodes as zero fields).
+func (w *Writer) Attrs(a core.Attrs) { w.buf = store.EncodeAttrs(w.buf, a) }
+
 // Objects appends a u32 count followed by each object.
 func (w *Writer) Objects(os []core.Object) {
 	w.U32(uint32(len(os)))
@@ -241,6 +245,20 @@ func (r *Reader) Object() core.Object {
 	}
 	r.off += n
 	return o
+}
+
+// Attrs reads one store-codec attribute bag (nil for zero fields).
+func (r *Reader) Attrs() core.Attrs {
+	if r.err != nil {
+		return nil
+	}
+	a, n, err := store.DecodeAttrs(r.data[r.off:])
+	if err != nil {
+		r.fail("attrs: %v", err)
+		return nil
+	}
+	r.off += n
+	return a
 }
 
 // Objects reads a u32 count followed by that many objects.

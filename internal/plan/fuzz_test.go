@@ -1,0 +1,98 @@
+package plan
+
+import (
+	"testing"
+
+	"metricindex/internal/core"
+)
+
+var fuzzSeeds = []string{
+	`category = "mid"`,
+	`level >= 2 AND score < 90`,
+	`(a < 1 OR b > 2) AND c != 3`,
+	`tags IN ("hot", "sale")`,
+	`x IN (1, 2.5, -3e2)`,
+	`f = "quote\"backslash\\"`,
+	`LEVEL = 1 and level = 2 or level = 3`,
+	"price <",
+	"price IN ()",
+	`name = "unterminated`,
+	"((((((((((a=1))))))))))",
+	"a.b-c = 1",
+	"!= = !=",
+	"\x00\xff",
+}
+
+func fuzzBags() []core.Attrs {
+	return []core.Attrs{
+		nil,
+		{},
+		{
+			"category": core.StringValue("mid"),
+			"level":    core.IntValue(7),
+			"score":    core.FloatValue(41.5),
+			"tags":     core.TagsValue("hot", "sale"),
+		},
+		{"a": core.IntValue(-1), "b": core.FloatValue(2.5), "c": core.IntValue(3)},
+		{"x": core.FloatValue(2.5), "f": core.StringValue(`quote"backslash\`)},
+	}
+}
+
+// FuzzPredicateParse: for any input that parses, the canonical form
+// must itself parse, be a fixpoint of canonicalization, and evaluate
+// identically to the original — the properties the answer cache needs
+// from String() as a key component. Parse must never panic.
+func FuzzPredicateParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	bags := fuzzBags()
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %q -> %q: %v", src, s, err)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("canonical form not a fixpoint: %q -> %q -> %q", src, s, s2)
+		}
+		for i, bag := range bags {
+			if p.Eval(bag) != p2.Eval(bag) {
+				t.Fatalf("reparsed %q disagrees with %q on bag %d", s, src, i)
+			}
+		}
+	})
+}
+
+// FuzzPredicateEval: evaluation is total and deterministic — any
+// parsed predicate against any bag (including nil) yields a stable
+// boolean and never panics, whatever values the bag holds.
+func FuzzPredicateEval(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s, int64(7), 41.5, "mid")
+	}
+	f.Add(`score = 0`, int64(0), 0.0, "")
+	f.Add(`level < 3 OR tags = "x"`, int64(-1), -1e308, "x")
+	f.Fuzz(func(t *testing.T, src string, iv int64, fv float64, sv string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		bag := core.Attrs{
+			"category": core.StringValue(sv),
+			"level":    core.IntValue(iv),
+			"score":    core.FloatValue(fv),
+			"tags":     core.TagsValue(sv, "hot"),
+		}
+		got := p.Eval(bag)
+		if p.Eval(bag) != got {
+			t.Fatalf("Eval not deterministic for %q", src)
+		}
+		_ = p.Eval(nil)
+		_ = p.Eval(core.Attrs{})
+	})
+}

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"metricindex/internal/core"
 )
@@ -61,4 +63,59 @@ func encodeObject(o core.Object) (json.RawMessage, error) {
 	default:
 		return nil, fmt.Errorf("unsupported object type %T", o)
 	}
+}
+
+// decodeAttrs parses a JSON attribute bag into core.Attrs. The wire
+// shape maps each JSON type to its attribute kind: a string becomes
+// AttrString, an array of strings AttrTags, and a number AttrInt when
+// it is an exact integer literal, AttrFloat otherwise. The int/float
+// split never changes filter semantics — predicates compare numerics in
+// a widened float64 domain — it only preserves the client's type
+// through persistence. An empty or absent bag decodes to nil.
+func decodeAttrs(raw json.RawMessage) (core.Attrs, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var m map[string]any
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("attrs must be a JSON object: %w", err)
+	}
+	if len(m) == 0 {
+		return nil, nil
+	}
+	a := make(core.Attrs, len(m))
+	for k, v := range m {
+		if k == "" {
+			return nil, fmt.Errorf("attrs: empty field name")
+		}
+		switch x := v.(type) {
+		case string:
+			a[k] = core.StringValue(x)
+		case json.Number:
+			if i, err := strconv.ParseInt(string(x), 10, 64); err == nil {
+				a[k] = core.IntValue(i)
+				break
+			}
+			f, err := x.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("attr %q: bad number %q", k, string(x))
+			}
+			a[k] = core.FloatValue(f)
+		case []any:
+			tags := make([]string, len(x))
+			for i, t := range x {
+				s, ok := t.(string)
+				if !ok {
+					return nil, fmt.Errorf("attr %q: tag arrays may hold strings only", k)
+				}
+				tags[i] = s
+			}
+			a[k] = core.TagsValue(tags...)
+		default:
+			return nil, fmt.Errorf("attr %q: must be a string, number, or string array", k)
+		}
+	}
+	return a, nil
 }

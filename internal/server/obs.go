@@ -5,6 +5,7 @@ import (
 	"metricindex/internal/core"
 	"metricindex/internal/epoch"
 	"metricindex/internal/obs"
+	"metricindex/internal/plan"
 	"metricindex/internal/store"
 )
 
@@ -89,7 +90,14 @@ func (s *Server) registerObs() {
 		"Pager buffer-cache hits (reads that cost no page access, process-wide).",
 		func() float64 { _, _, h := store.GlobalPageStats(); return float64(h) })
 
-	// Epoch layer push handles: swap count/duration and write-lock wait.
+	// Epoch layer push handles: swap count/duration, write-lock wait,
+	// and the planner's per-strategy counters (cache-served filtered
+	// queries run no plan and count on none of the three).
+	strategyCounter := func(st plan.Strategy) *obs.Counter {
+		return reg.Counter("mx_plan_strategy_total",
+			"Executed filtered-query plans by chosen strategy.",
+			obs.Label{Key: "strategy", Value: st.String()})
+	}
 	s.live.SetObs(&epoch.Obs{
 		Swaps: reg.Counter("mx_epoch_swaps_total",
 			"Committed index swaps (hot rebuilds with cutover)."),
@@ -99,6 +107,9 @@ func (s *Server) registerObs() {
 		WriteWait: reg.Histogram("mx_epoch_write_wait_seconds",
 			"Write-section wait for the epoch write lock.",
 			obs.DefLatencyBuckets),
+		PlanPre:   strategyCounter(plan.StrategyPre),
+		PlanProbe: strategyCounter(plan.StrategyProbe),
+		PlanPost:  strategyCounter(plan.StrategyPost),
 	})
 
 	// Shard layer (when the wrapped index is a sharded front): per-shard

@@ -33,6 +33,7 @@ import (
 	"metricindex/internal/epoch"
 	"metricindex/internal/exec"
 	"metricindex/internal/obs"
+	"metricindex/internal/plan"
 )
 
 // Options configures a Server.
@@ -200,6 +201,7 @@ func New(live *epoch.Live, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/knn", s.handle("knn", true, s.handleKNN))
 	s.mux.HandleFunc("POST /v1/batch", s.handle("batch", true, s.handleBatch))
 	s.mux.HandleFunc("POST /v1/insert", s.handle("insert", true, s.handleInsert))
+	s.mux.HandleFunc("POST /v1/attrs", s.handle("attrs", true, s.handleAttrs))
 	s.mux.HandleFunc("POST /v1/delete", s.handle("delete", true, s.handleDelete))
 	s.mux.HandleFunc("POST /v1/swap", s.handle("swap", false, s.handleSwap))
 	s.mux.HandleFunc("GET /v1/stats", s.handle("stats", false, s.handleStats))
@@ -427,22 +429,53 @@ func finishTrace(tr *obs.Trace, ri *reqInfo, res any) *TraceResult {
 	}
 }
 
-// RangeRequest is the body of POST /v1/range. Trace opts into the
-// per-query span timeline on the response.
+// parseFilter compiles the optional filter clause of a query request.
+// An empty clause means unfiltered (nil predicate); a malformed one is
+// a client error. The predicate is compiled exactly once per request —
+// evaluation against candidate attribute bags is allocation-free.
+func parseFilter(src string) (*plan.Predicate, error) {
+	if src == "" {
+		return nil, nil
+	}
+	p, err := plan.Parse(src)
+	if err != nil {
+		return nil, badRequest("filter: %v", err)
+	}
+	return p, nil
+}
+
+// strategyString renders a plan strategy for the wire. Strategy zero is
+// the cache convention: the answer was served memoized, no plan ran.
+func strategyString(st plan.Strategy) string {
+	if st == 0 {
+		return "cached"
+	}
+	return st.String()
+}
+
+// RangeRequest is the body of POST /v1/range. Filter optionally
+// restricts the answer to objects whose attribute bag satisfies the
+// predicate (see docs/HYBRID.md for the clause language); Trace opts
+// into the per-query span timeline on the response.
 type RangeRequest struct {
 	Query  json.RawMessage `json:"query"`
 	Radius float64         `json:"radius"`
+	Filter string          `json:"filter,omitempty"`
 	Trace  bool            `json:"trace,omitempty"`
 }
 
 // RangeResponse answers POST /v1/range. IDs is ascending, exactly the
 // direct RangeSearch answer; Epoch is the dataset version the search
 // observed — answer and epoch come from one read section, so the pair is
-// safe to cache. Trace is present iff the request set trace.
+// safe to cache. Strategy is present iff the request carried a filter:
+// the execution shape the planner chose ("pre", "probe", "post"), or
+// "cached" when the answer came from the answer cache without running a
+// plan. Trace is present iff the request set trace.
 type RangeResponse struct {
-	IDs   []int        `json:"ids"`
-	Epoch uint64       `json:"epoch"`
-	Trace *TraceResult `json:"trace,omitempty"`
+	IDs      []int        `json:"ids"`
+	Epoch    uint64       `json:"epoch"`
+	Strategy string       `json:"strategy,omitempty"`
+	Trace    *TraceResult `json:"trace,omitempty"`
 }
 
 func (s *Server) handleRange(r *http.Request, ri *reqInfo) (any, error) {
@@ -458,19 +491,45 @@ func (s *Server) handleRange(r *http.Request, ri *reqInfo) (any, error) {
 	if req.Radius < 0 {
 		return nil, badRequest("radius must be >= 0")
 	}
+	pred, err := parseFilter(req.Filter)
+	if err != nil {
+		return nil, err
+	}
 	if !req.Trace {
-		ids, ep, err := s.live.RangeSearchAt(q, req.Radius)
+		var (
+			ids []int
+			ep  uint64
+			st  plan.Strategy
+		)
+		if pred != nil {
+			ids, ep, st, err = s.live.RangeSearchFiltered(q, req.Radius, pred)
+		} else {
+			ids, ep, err = s.live.RangeSearchAt(q, req.Radius)
+		}
 		if err != nil {
 			return nil, err
 		}
 		if ids == nil {
 			ids = []int{}
 		}
-		return RangeResponse{IDs: ids, Epoch: ep}, nil
+		resp := RangeResponse{IDs: ids, Epoch: ep}
+		if pred != nil {
+			resp.Strategy = strategyString(st)
+		}
+		return resp, nil
 	}
 	tr := newTrace(ri)
 	tr.Add("decode", decStart, time.Since(decStart), 0, 0)
-	ids, ep, err := s.live.RangeSearchTraced(q, req.Radius, tr)
+	var (
+		ids []int
+		ep  uint64
+		st  plan.Strategy
+	)
+	if pred != nil {
+		ids, ep, st, err = s.live.RangeSearchFilteredTraced(q, req.Radius, pred, tr)
+	} else {
+		ids, ep, err = s.live.RangeSearchTraced(q, req.Radius, tr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -478,25 +537,33 @@ func (s *Server) handleRange(r *http.Request, ri *reqInfo) (any, error) {
 		ids = []int{}
 	}
 	resp := RangeResponse{IDs: ids, Epoch: ep}
+	if pred != nil {
+		resp.Strategy = strategyString(st)
+	}
 	resp.Trace = finishTrace(tr, ri, resp)
 	return resp, nil
 }
 
-// KNNRequest is the body of POST /v1/knn. Trace opts into the per-query
-// span timeline on the response.
+// KNNRequest is the body of POST /v1/knn. Filter optionally restricts
+// the answer to objects whose attribute bag satisfies the predicate
+// (see docs/HYBRID.md); Trace opts into the per-query span timeline on
+// the response.
 type KNNRequest struct {
-	Query json.RawMessage `json:"query"`
-	K     int             `json:"k"`
-	Trace bool            `json:"trace,omitempty"`
+	Query  json.RawMessage `json:"query"`
+	K      int             `json:"k"`
+	Filter string          `json:"filter,omitempty"`
+	Trace  bool            `json:"trace,omitempty"`
 }
 
 // KNNResponse answers POST /v1/knn, sorted by ascending distance
 // (ties by id) exactly as the direct KNNSearch call returns; Epoch is
-// the dataset version the search observed (see RangeResponse). Trace is
-// present iff the request set trace.
+// the dataset version the search observed (see RangeResponse). Strategy
+// is present iff the request carried a filter (see RangeResponse).
+// Trace is present iff the request set trace.
 type KNNResponse struct {
 	Neighbors []Neighbor   `json:"neighbors"`
 	Epoch     uint64       `json:"epoch"`
+	Strategy  string       `json:"strategy,omitempty"`
 	Trace     *TraceResult `json:"trace,omitempty"`
 }
 
@@ -513,37 +580,73 @@ func (s *Server) handleKNN(r *http.Request, ri *reqInfo) (any, error) {
 	if req.K <= 0 {
 		return nil, badRequest("k must be >= 1")
 	}
+	pred, err := parseFilter(req.Filter)
+	if err != nil {
+		return nil, err
+	}
 	if !req.Trace {
-		nns, ep, err := s.live.KNNSearchAt(q, req.K)
+		var (
+			nns []core.Neighbor
+			ep  uint64
+			st  plan.Strategy
+		)
+		if pred != nil {
+			nns, ep, st, err = s.live.KNNSearchFiltered(q, req.K, pred)
+		} else {
+			nns, ep, err = s.live.KNNSearchAt(q, req.K)
+		}
 		if err != nil {
 			return nil, err
 		}
-		return KNNResponse{Neighbors: toWire(nns), Epoch: ep}, nil
+		resp := KNNResponse{Neighbors: toWire(nns), Epoch: ep}
+		if pred != nil {
+			resp.Strategy = strategyString(st)
+		}
+		return resp, nil
 	}
 	tr := newTrace(ri)
 	tr.Add("decode", decStart, time.Since(decStart), 0, 0)
-	nns, ep, err := s.live.KNNSearchTraced(q, req.K, tr)
+	var (
+		nns []core.Neighbor
+		ep  uint64
+		st  plan.Strategy
+	)
+	if pred != nil {
+		nns, ep, st, err = s.live.KNNSearchFilteredTraced(q, req.K, pred, tr)
+	} else {
+		nns, ep, err = s.live.KNNSearchTraced(q, req.K, tr)
+	}
 	if err != nil {
 		return nil, err
 	}
 	resp := KNNResponse{Neighbors: toWire(nns), Epoch: ep}
+	if pred != nil {
+		resp.Strategy = strategyString(st)
+	}
 	resp.Trace = finishTrace(tr, ri, resp)
 	return resp, nil
 }
 
 // BatchRequest is the body of POST /v1/batch: a whole workload answered
 // through the concurrent batch engine in one round trip. Type is "range"
-// (with Radius) or "knn" (with K).
+// (with Radius) or "knn" (with K). Filter optionally applies one
+// attribute predicate to every query in the batch (compiled once).
 type BatchRequest struct {
 	Type    string            `json:"type"`
 	Queries []json.RawMessage `json:"queries"`
 	Radius  float64           `json:"radius,omitempty"`
 	K       int               `json:"k,omitempty"`
+	Filter  string            `json:"filter,omitempty"`
 }
 
 // BatchStats reports the engine's per-batch cost on the wire.
 // CacheHits is the number of queries the answer cache served before the
-// batch ever reached a worker (0 without a cache).
+// batch ever reached a worker (0 without a cache). The p50/p95/p99
+// percentiles cover only the queries that actually computed — cache
+// hits return in single-digit microseconds and would otherwise drag the
+// percentiles toward zero exactly when the operator is reading them —
+// and the hit percentiles report the memoized path separately (zero
+// when every query missed).
 type BatchStats struct {
 	Queries      int     `json:"queries"`
 	WallMicros   int64   `json:"wall_us"`
@@ -553,6 +656,9 @@ type BatchStats struct {
 	P50Micros    int64   `json:"p50_us"`
 	P95Micros    int64   `json:"p95_us"`
 	P99Micros    int64   `json:"p99_us"`
+	HitP50Micros int64   `json:"hit_p50_us"`
+	HitP95Micros int64   `json:"hit_p95_us"`
+	HitP99Micros int64   `json:"hit_p99_us"`
 	CacheHits    int     `json:"cache_hits"`
 }
 
@@ -566,8 +672,24 @@ func toWireStats(st exec.BatchStats) BatchStats {
 		P50Micros:    st.P50.Microseconds(),
 		P95Micros:    st.P95.Microseconds(),
 		P99Micros:    st.P99.Microseconds(),
+		HitP50Micros: st.HitP50.Microseconds(),
+		HitP95Micros: st.HitP95.Microseconds(),
+		HitP99Micros: st.HitP99.Microseconds(),
 		CacheHits:    st.CacheHits,
 	}
+}
+
+// wirePlans renders the per-query strategies of a filtered batch
+// (nil for unfiltered batches, so the field is omitted).
+func wirePlans(plans []plan.Strategy) []string {
+	if plans == nil {
+		return nil
+	}
+	out := make([]string, len(plans))
+	for i, st := range plans {
+		out[i] = strategyString(st)
+	}
+	return out
 }
 
 // BatchResponse answers POST /v1/batch; IDs (range) or Neighbors (knn)
@@ -578,6 +700,7 @@ func toWireStats(st exec.BatchStats) BatchStats {
 type BatchResponse struct {
 	IDs       [][]int      `json:"ids,omitempty"`
 	Neighbors [][]Neighbor `json:"neighbors,omitempty"`
+	Plans     []string     `json:"plans,omitempty"`
 	Stats     BatchStats   `json:"stats"`
 	EpochLow  uint64       `json:"epoch_low"`
 	EpochHigh uint64       `json:"epoch_high"`
@@ -599,13 +722,22 @@ func (s *Server) handleBatch(r *http.Request, _ *reqInfo) (any, error) {
 		}
 		qs[i] = q
 	}
+	pred, err := parseFilter(req.Filter)
+	if err != nil {
+		return nil, err
+	}
 	epochLow := s.live.Epoch()
 	switch req.Type {
 	case "range":
 		if req.Radius < 0 {
 			return nil, badRequest("radius must be >= 0")
 		}
-		res, err := s.eng.BatchRangeSearch(r.Context(), s.live, qs, req.Radius)
+		var res *exec.RangeResult
+		if pred != nil {
+			res, err = s.eng.BatchRangeSearchFiltered(r.Context(), s.live, qs, req.Radius, pred)
+		} else {
+			res, err = s.eng.BatchRangeSearch(r.Context(), s.live, qs, req.Radius)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -615,13 +747,19 @@ func (s *Server) handleBatch(r *http.Request, _ *reqInfo) (any, error) {
 				ids[i] = []int{}
 			}
 		}
-		return BatchResponse{IDs: ids, Stats: toWireStats(res.Stats),
+		return BatchResponse{IDs: ids, Plans: wirePlans(res.Plans),
+			Stats:    toWireStats(res.Stats),
 			EpochLow: epochLow, EpochHigh: s.live.Epoch()}, nil
 	case "knn":
 		if req.K <= 0 {
 			return nil, badRequest("k must be >= 1")
 		}
-		res, err := s.eng.BatchKNNSearch(r.Context(), s.live, qs, req.K)
+		var res *exec.KNNResult
+		if pred != nil {
+			res, err = s.eng.BatchKNNSearchFiltered(r.Context(), s.live, qs, req.K, pred)
+		} else {
+			res, err = s.eng.BatchKNNSearch(r.Context(), s.live, qs, req.K)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -629,16 +767,21 @@ func (s *Server) handleBatch(r *http.Request, _ *reqInfo) (any, error) {
 		for i, part := range res.Neighbors {
 			nns[i] = toWire(part)
 		}
-		return BatchResponse{Neighbors: nns, Stats: toWireStats(res.Stats),
+		return BatchResponse{Neighbors: nns, Plans: wirePlans(res.Plans),
+			Stats:    toWireStats(res.Stats),
 			EpochLow: epochLow, EpochHigh: s.live.Epoch()}, nil
 	default:
 		return nil, badRequest("type must be \"range\" or \"knn\", got %q", req.Type)
 	}
 }
 
-// InsertRequest is the body of POST /v1/insert.
+// InsertRequest is the body of POST /v1/insert. Attrs optionally
+// attaches an attribute bag to the object for filtered search: a JSON
+// object mapping field names to strings, numbers, or string arrays
+// (tag sets) — see decodeAttrs for the exact kind mapping.
 type InsertRequest struct {
 	Object json.RawMessage `json:"object"`
+	Attrs  json.RawMessage `json:"attrs,omitempty"`
 }
 
 // InsertResponse reports the identifier the object now answers under
@@ -657,11 +800,43 @@ func (s *Server) handleInsert(r *http.Request, _ *reqInfo) (any, error) {
 	if err != nil {
 		return nil, badRequest("object: %v", err)
 	}
-	id, ep, err := s.live.AddAt(o)
+	attrs, err := decodeAttrs(req.Attrs)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	id, ep, err := s.live.AddAttrsAt(o, attrs)
 	if err != nil {
 		return nil, err
 	}
 	return InsertResponse{ID: id, Epoch: ep}, nil
+}
+
+// AttrsRequest is the body of POST /v1/attrs: replace the attribute bag
+// of a live object (an absent or empty bag clears it).
+type AttrsRequest struct {
+	ID    int             `json:"id"`
+	Attrs json.RawMessage `json:"attrs,omitempty"`
+}
+
+// AttrsResponse confirms the attribute write with its commit epoch.
+type AttrsResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+func (s *Server) handleAttrs(r *http.Request, _ *reqInfo) (any, error) {
+	var req AttrsRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	attrs, err := decodeAttrs(req.Attrs)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	ep, err := s.live.SetAttrsAt(req.ID, attrs)
+	if err != nil {
+		return nil, badRequest("attrs %d: %v", req.ID, err)
+	}
+	return AttrsResponse{Epoch: ep}, nil
 }
 
 // DeleteRequest is the body of POST /v1/delete.

@@ -1,0 +1,28 @@
+package shard
+
+import (
+	"testing"
+
+	"metricindex/internal/plan"
+	"metricindex/internal/testutil"
+)
+
+// TestShardedFilterEquivalence runs the shared filtered-search harness
+// over a sharded front. The accept closure evaluates against the
+// *parent* dataset's attribute bags while the candidates surface from
+// per-shard mirrors, so this is the test that the scatter-gather keeps
+// identifiers aligned with the bags.
+func TestShardedFilterEquivalence(t *testing.T) {
+	for _, b := range builders() {
+		for _, ed := range testutil.EquivDatasets(false, 250, 7) {
+			sharded, err := New(ed.DS, b.build, Options{Shards: 3})
+			if err != nil {
+				t.Fatalf("%s/%s: New: %v", b.name, ed.Name, err)
+			}
+			if !plan.Capable(sharded) {
+				t.Fatalf("%s/%s: sharded front must be probe-capable", b.name, ed.Name)
+			}
+			testutil.CheckFilterEquivalence(t, ed, sharded)
+		}
+	}
+}

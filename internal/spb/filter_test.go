@@ -1,0 +1,27 @@
+package spb
+
+import (
+	"testing"
+
+	"metricindex/internal/plan"
+	"metricindex/internal/store"
+	"metricindex/internal/testutil"
+)
+
+// TestSPBFilterEquivalence runs the shared filtered-search harness.
+// The SPB-tree does not implement core.AcceptSearcher (its candidates
+// surface from the B+-tree leaf scan with RAF verification), so the
+// forced probe leg degrades to post-filtering and must still answer
+// exactly the brute-force filter-then-scan.
+func TestSPBFilterEquivalence(t *testing.T) {
+	for _, ed := range testutil.EquivDatasets(false, 250, 7) {
+		idx, err := New(ed.DS, store.NewPager(0), ed.Pivots, Options{MaxDistance: ed.MaxDistance})
+		if err != nil {
+			t.Fatalf("%s: New: %v", ed.Name, err)
+		}
+		if plan.Capable(idx) {
+			t.Fatalf("%s: SPB-tree unexpectedly probe-capable; drop the degradation comment", ed.Name)
+		}
+		testutil.CheckFilterEquivalence(t, ed, idx)
+	}
+}

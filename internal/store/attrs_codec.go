@@ -1,0 +1,137 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"metricindex/internal/core"
+)
+
+// Attribute-bag serialization, shared by the MIDX dataset files, the
+// MXSNAP attrs section, and MXWAL records:
+//
+//	attrs: uint16 nFields | nFields × field
+//	field: uint16 keyLen, key bytes | kind(1) | payload
+//	  kind 1 (int):    int64 (little endian)
+//	  kind 2 (float):  float64 bits
+//	  kind 3 (string): uint16 len, raw bytes
+//	  kind 4 (tags):   uint16 count, count × (uint16 len, raw bytes)
+//
+// Fields are written in sorted key order so the encoding of a given bag
+// is deterministic (snapshot byte-stability tests rely on it).
+
+// EncodeAttrs appends the serialized form of a to dst and returns the
+// extended slice. A nil or empty bag encodes as a zero field count.
+func EncodeAttrs(dst []byte, a core.Attrs) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(a)))
+	if len(a) == 0 {
+		return dst
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := a[k]
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(k)))
+		dst = append(dst, k...)
+		dst = append(dst, byte(v.Kind()))
+		switch v.Kind() {
+		case core.AttrInt:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.Int()))
+		case core.AttrFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float()))
+		case core.AttrString:
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Str())))
+			dst = append(dst, v.Str()...)
+		case core.AttrTags:
+			tags := v.Tags()
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(tags)))
+			for _, t := range tags {
+				dst = binary.LittleEndian.AppendUint16(dst, uint16(len(t)))
+				dst = append(dst, t...)
+			}
+		default:
+			panic(fmt.Sprintf("store: cannot encode attr kind %d", v.Kind()))
+		}
+	}
+	return dst
+}
+
+// DecodeAttrs parses one attribute bag from the front of buf, returning
+// the bag (nil when it was empty) and the number of bytes consumed.
+func DecodeAttrs(buf []byte) (core.Attrs, int, error) {
+	if len(buf) < 2 {
+		return nil, 0, fmt.Errorf("store: truncated attrs header (%d bytes)", len(buf))
+	}
+	nFields := int(binary.LittleEndian.Uint16(buf))
+	off := 2
+	if nFields == 0 {
+		return nil, off, nil
+	}
+	a := make(core.Attrs, nFields)
+	readStr := func() (string, error) {
+		if len(buf)-off < 2 {
+			return "", fmt.Errorf("store: truncated attrs string header")
+		}
+		n := int(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		if len(buf)-off < n {
+			return "", fmt.Errorf("store: truncated attrs string of %d bytes", n)
+		}
+		s := string(buf[off : off+n])
+		off += n
+		return s, nil
+	}
+	for i := 0; i < nFields; i++ {
+		key, err := readStr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(buf)-off < 1 {
+			return nil, 0, fmt.Errorf("store: truncated attr kind for %q", key)
+		}
+		kind := core.AttrKind(buf[off])
+		off++
+		switch kind {
+		case core.AttrInt, core.AttrFloat:
+			if len(buf)-off < 8 {
+				return nil, 0, fmt.Errorf("store: truncated numeric attr %q", key)
+			}
+			bits := binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+			if kind == core.AttrInt {
+				a[key] = core.IntValue(int64(bits))
+			} else {
+				a[key] = core.FloatValue(math.Float64frombits(bits))
+			}
+		case core.AttrString:
+			s, err := readStr()
+			if err != nil {
+				return nil, 0, err
+			}
+			a[key] = core.StringValue(s)
+		case core.AttrTags:
+			if len(buf)-off < 2 {
+				return nil, 0, fmt.Errorf("store: truncated tag count for %q", key)
+			}
+			n := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+			tags := make([]string, n)
+			for j := 0; j < n; j++ {
+				t, err := readStr()
+				if err != nil {
+					return nil, 0, err
+				}
+				tags[j] = t
+			}
+			a[key] = core.TagsValue(tags...)
+		default:
+			return nil, 0, fmt.Errorf("store: unknown attr kind %d for %q", kind, key)
+		}
+	}
+	return a, off, nil
+}

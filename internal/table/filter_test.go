@@ -1,0 +1,25 @@
+package table
+
+import (
+	"testing"
+
+	"metricindex/internal/plan"
+	"metricindex/internal/testutil"
+)
+
+// TestLAESAFilterEquivalence runs the shared filtered-search harness:
+// every strategy (and the planner's pick) must answer exactly the
+// brute-force filter-then-scan. LAESA is probe-capable, so the probe
+// leg exercises RangeSearchAccept/KNNSearchAccept for real.
+func TestLAESAFilterEquivalence(t *testing.T) {
+	for _, ed := range testutil.EquivDatasets(false, 300, 7) {
+		idx, err := NewLAESA(ed.DS, ed.Pivots)
+		if err != nil {
+			t.Fatalf("%s: NewLAESA: %v", ed.Name, err)
+		}
+		if !plan.Capable(idx) {
+			t.Fatalf("%s: LAESA must be probe-capable", ed.Name)
+		}
+		testutil.CheckFilterEquivalence(t, ed, idx)
+	}
+}

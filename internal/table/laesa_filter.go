@@ -1,0 +1,160 @@
+package table
+
+import "metricindex/internal/core"
+
+// Probe-filtered search (core.AcceptSearcher): the attribute predicate
+// is applied to every candidate that survives the Lemma 1 column sweep,
+// *before* its distance is computed. Rejected candidates therefore cost
+// zero compdists — the whole point of the probe-filter strategy — while
+// the geometric pruning is untouched, so the answer is exactly the
+// accepted subset of the unfiltered answer.
+
+// RangeSearchAccept answers MRQ(q, r) restricted to accepted ids. A nil
+// accept is the unfiltered search.
+func (t *LAESA) RangeSearchAccept(q core.Object, r float64, accept core.Accept) ([]int, error) {
+	if accept == nil {
+		return t.RangeSearch(q, r)
+	}
+	sc := t.queryPrep(q)
+	sur := core.SurviveColumnsQuant(sc.Sur, sc.QD, t.qcol, t.cols, 0, len(t.ids), r)
+	var res []int
+	if t.useFlat() {
+		if q64, q32, ok := t.flat.QueryCoords(q, sc); ok {
+			ndist := 0
+			for _, row := range sur {
+				id := int(t.ids[row])
+				if !accept(id) {
+					continue
+				}
+				pre := t.flat.Pre(&t.kern, q64, q32, int(row))
+				ndist++
+				if t.kern.Exceeds(pre, r) {
+					continue
+				}
+				if t.kern.Finish(pre) <= r {
+					res = append(res, id)
+				}
+			}
+			t.ds.Space().CountDistances(ndist)
+			t.scratch.Put(sc)
+			sortInts(res)
+			return res, nil
+		}
+	}
+	objs := t.ds.Objects()
+	m := 0
+	for _, row := range sur {
+		id := t.ids[row]
+		if !accept(int(id)) {
+			continue
+		}
+		sc.IDs[m] = id
+		sc.Objs[m] = objs[id]
+		m++
+		if m == len(sc.IDs) {
+			res = flushRange(t.ds.Space(), q, sc, m, r, res)
+			m = 0
+		}
+	}
+	if m > 0 {
+		res = flushRange(t.ds.Space(), q, sc, m, r, res)
+	}
+	t.scratch.Put(sc)
+	sortInts(res)
+	return res, nil
+}
+
+// KNNSearchAccept answers MkNNQ(q, k) over accepted ids only. The scan
+// is the staged block sweep of KNNSearch without the unconditional seed
+// prefix (a rejected seed row must not cost a distance), so the radius
+// stays +Inf until k accepted candidates have been verified and
+// tightens from there.
+func (t *LAESA) KNNSearchAccept(q core.Object, k int, accept core.Accept) ([]core.Neighbor, error) {
+	if accept == nil {
+		return t.KNNSearch(q, k)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	sc := t.queryPrep(q)
+	h := sc.Heap(k)
+	if t.useFlat() {
+		if q64, q32, ok := t.flat.QueryCoords(q, sc); ok {
+			t.knnFlatAccept(q64, q32, sc, h, accept)
+			res := h.Result()
+			t.scratch.Put(sc)
+			return res, nil
+		}
+	}
+	t.knnObjsAccept(q, sc, h, accept)
+	res := h.Result()
+	t.scratch.Put(sc)
+	return res, nil
+}
+
+// knnFlatAccept is the flat-kernel filtered kNN loop: accept test, then
+// Lemma 1 recheck at the current radius, then (and only then) the
+// distance.
+//
+//metriclint:noalloc
+func (t *LAESA) knnFlatAccept(q64 []float64, q32 []float32, sc *core.Scratch, h *core.KNNHeap, accept core.Accept) {
+	ndist := 0
+	for base, blk := 0, knnBlockMin; base < len(t.ids); base, blk = base+blk, min(blk*2, knnBlock) {
+		end := base + blk
+		if end > len(t.ids) {
+			end = len(t.ids)
+		}
+		sur := core.SurviveColumnsQuant(sc.Sur, sc.QD, t.qcol, t.cols, base, end, h.Radius())
+		for _, row := range sur {
+			if !accept(int(t.ids[row])) {
+				continue
+			}
+			r := h.Radius()
+			if core.PruneRowAt(sc.QD, t.cols, int(row), r) {
+				continue
+			}
+			pre := t.flat.Pre(&t.kern, q64, q32, int(row))
+			ndist++
+			if t.kern.Exceeds(pre, r) {
+				continue
+			}
+			h.Push(int(t.ids[row]), t.kern.Finish(pre))
+		}
+	}
+	t.ds.Space().CountDistances(ndist)
+}
+
+// knnObjsAccept is the Object-fallback filtered kNN loop, chunked
+// through DistanceMany like knnObjs.
+//
+//metriclint:noalloc
+func (t *LAESA) knnObjsAccept(q core.Object, sc *core.Scratch, h *core.KNNHeap, accept core.Accept) {
+	objs := t.ds.Objects()
+	m := 0
+	for base, blk := 0, knnBlockMin; base < len(t.ids); base, blk = base+blk, min(blk*2, knnBlock) {
+		end := base + blk
+		if end > len(t.ids) {
+			end = len(t.ids)
+		}
+		sur := core.SurviveColumnsQuant(sc.Sur, sc.QD, t.qcol, t.cols, base, end, h.Radius())
+		for _, row := range sur {
+			id := t.ids[row]
+			if !accept(int(id)) {
+				continue
+			}
+			if core.PruneRowAt(sc.QD, t.cols, int(row), h.Radius()) {
+				continue
+			}
+			sc.IDs[m] = id
+			sc.Objs[m] = objs[id]
+			m++
+			if m == len(sc.IDs) {
+				flushKNN(t.ds.Space(), q, sc, m, h)
+				m = 0
+			}
+		}
+	}
+	if m > 0 {
+		flushKNN(t.ds.Space(), q, sc, m, h)
+	}
+}
